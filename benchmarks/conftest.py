@@ -1,0 +1,35 @@
+"""Shared fixtures and profiles for the benchmark suite.
+
+Two kinds of benchmarks live here:
+
+* **host micro-benchmarks** (``test_bench_core_ops``, ``..._executor``)
+  time the real numpy data structures on the host — AFL's full-map
+  sweeps in literal (dense) mode genuinely cost ~128x more wall time at
+  8 MB than at 64 kB, demonstrating the paper's point on any machine;
+* **harness benchmarks** (``test_bench_fig*``, ``..._table*``) time the
+  experiment pipelines at a micro profile and, more importantly, print
+  the paper-shape metrics they produce (speedups, crash gains) via
+  ``benchmark.extra_info``.
+
+Run with: ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+from repro.experiments.common import BenchmarkCache, Profile
+
+#: Micro profile used by harness benches: small enough for CI.
+BENCH_PROFILE = Profile(
+    name="bench", scale=0.04, seed_scale=0.02, throughput_execs=150,
+    campaign_virtual_seconds=0.8, campaign_max_execs=1_200,
+    composition_scale=0.02, replicas=1)
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return BENCH_PROFILE
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return BenchmarkCache()

@@ -1,0 +1,135 @@
+"""Ablation benches for the design choices DESIGN.md §4 calls out.
+
+Each ablation isolates one §IV-E optimization (or BigMap design rule)
+and reports both the host wall time of the real data structures and the
+model-predicted cycle deltas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AflCoverage, BigMapCoverage, VirginMap
+from repro.core.hashing import crc32_full, crc32_trimmed
+from repro.memsim import (AFL, BIGMAP, BitmapCostModel, ExecShape,
+                          MapCostConfig)
+
+MAP_2M = 1 << 21
+SHAPE = ExecShape(traversals=16_000, unique_locations=9_000,
+                  used_bytes=30_000)
+
+
+def _loaded_afl(map_size):
+    cov = AflCoverage(map_size, sparse_host_ops=False)
+    rng = np.random.default_rng(1)
+    cov.update(rng.integers(0, map_size, size=9_000, dtype=np.int64),
+               rng.integers(1, 20, size=9_000, dtype=np.int64))
+    return cov
+
+
+class TestMergedClassifyCompare:
+    """Ablation 1: merging classify+compare halves the sweep cost."""
+
+    def test_host_split_passes(self, benchmark):
+        cov = _loaded_afl(MAP_2M)
+        virgin = VirginMap(MAP_2M)
+
+        def split():
+            cov.classify()
+            cov.compare(virgin)
+        benchmark(split)
+
+    def test_host_merged_pass(self, benchmark):
+        cov = _loaded_afl(MAP_2M)
+        virgin = VirginMap(MAP_2M)
+
+        def merged():
+            cov.classify_and_compare(virgin)
+        benchmark(merged)
+
+    def test_model_predicts_saving(self, benchmark):
+        def predict():
+            split = BitmapCostModel(MapCostConfig(
+                AFL, MAP_2M, merged_classify_compare=False))
+            merged = BitmapCostModel(MapCostConfig(
+                AFL, MAP_2M, merged_classify_compare=True))
+            s = split.exec_cycles(SHAPE)
+            m = merged.exec_cycles(SHAPE)
+            return (s.classify + s.compare) / (m.classify + m.compare)
+        ratio = benchmark(predict)
+        benchmark.extra_info["sweep_cost_ratio_split_over_merged"] = \
+            round(ratio, 2)
+        assert ratio > 1.3
+
+
+class TestNonTemporalReset:
+    """Ablation 2: NT reset helps only DRAM-bound (large-map) AFL."""
+
+    def test_model_deltas(self, benchmark):
+        def predict():
+            out = {}
+            for size, label in ((1 << 16, "64k"), (1 << 23, "8M")):
+                nt = BitmapCostModel(MapCostConfig(
+                    AFL, size, non_temporal_reset=True))
+                normal = BitmapCostModel(MapCostConfig(
+                    AFL, size, non_temporal_reset=False))
+                out[label] = (normal.exec_cycles(SHAPE).reset /
+                              nt.exec_cycles(SHAPE).reset)
+            return out
+        ratios = benchmark(predict)
+        benchmark.extra_info.update(
+            {f"reset_speedup_{k}": round(v, 2)
+             for k, v in ratios.items()})
+        assert ratios["8M"] > 1.2, "NT must win once DRAM-bound"
+        assert ratios["64k"] < 1.0, "NT must lose while cache-resident"
+
+
+class TestHugePages:
+    """Ablation 3: huge pages remove DTLB pressure on big maps."""
+
+    def test_model_deltas(self, benchmark):
+        def predict():
+            huge = BitmapCostModel(MapCostConfig(
+                AFL, 1 << 23, huge_pages=True))
+            small = BitmapCostModel(MapCostConfig(
+                AFL, 1 << 23, huge_pages=False))
+            return small.exec_cycles(SHAPE).total / \
+                huge.exec_cycles(SHAPE).total
+        ratio = benchmark(predict)
+        benchmark.extra_info["total_speedup_from_huge_pages"] = \
+            round(ratio, 3)
+        assert ratio > 1.01
+
+
+class TestHashTrimming:
+    """Ablation 4: hash up-to-last-nonzero vs full map (§IV-D)."""
+
+    def test_host_full_hash_8m(self, benchmark):
+        data = np.zeros(1 << 23, dtype=np.uint8)
+        data[:30_000] = 1
+        benchmark(lambda: crc32_full(data))
+
+    def test_host_trimmed_hash_8m(self, benchmark):
+        data = np.zeros(1 << 23, dtype=np.uint8)
+        data[:30_000] = 1
+        result = benchmark(lambda: crc32_trimmed(data, 30_000))
+        assert result == crc32_full(data[:30_000])
+
+
+class TestIndexResetRule:
+    """Ablation 5: never resetting the index is what keeps slots
+    stable; resetting it would also cost a full-map sweep per exec."""
+
+    def test_host_used_region_reset(self, benchmark):
+        cov = BigMapCoverage(1 << 23)
+        rng = np.random.default_rng(2)
+        cov.update(rng.integers(0, 1 << 23, size=9_000, dtype=np.int64),
+                   np.ones(9_000, dtype=np.int64))
+        benchmark(cov.reset)
+
+    def test_host_hypothetical_index_reset(self, benchmark):
+        """What BigMap would pay if reset *did* clear the index."""
+        index = np.full(1 << 23, -1, dtype=np.int64)
+
+        def wipe():
+            index.fill(-1)
+        benchmark(wipe)

@@ -1,0 +1,137 @@
+"""Host micro-benchmarks of the coverage-map operations.
+
+These time the *literal* data structures (AFL in dense mode — real
+full-map sweeps) and BigMap side by side at the paper's map sizes. The
+paper's core claim shows up directly in wall time: AFL's reset /
+classify+compare / hash scale with the map, BigMap's with the used
+region.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AflCoverage, BigMapCoverage, VirginMap
+
+MAP_SIZES = [(1 << 16, "64k"), (1 << 21, "2M"), (1 << 23, "8M")]
+
+#: A realistic per-execution trace: ~9k distinct keys (sqlite3-like).
+N_KEYS = 9_000
+
+
+def _keys(map_size, seed=1):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, map_size, size=N_KEYS, dtype=np.int64)
+    counts = rng.integers(1, 20, size=N_KEYS, dtype=np.int64)
+    return keys, counts
+
+
+def _loaded(cls, map_size, **kwargs):
+    cov = cls(map_size, **kwargs)
+    keys, counts = _keys(map_size)
+    cov.update(keys, counts)
+    return cov, keys, counts
+
+
+@pytest.mark.parametrize("map_size,label", MAP_SIZES)
+def test_afl_reset_full_map(benchmark, map_size, label):
+    cov, keys, counts = _loaded(AflCoverage, map_size,
+                                sparse_host_ops=False)
+    benchmark.extra_info["map"] = label
+    benchmark(cov.reset)
+
+
+@pytest.mark.parametrize("map_size,label", MAP_SIZES)
+def test_bigmap_reset_used_region(benchmark, map_size, label):
+    cov, keys, counts = _loaded(BigMapCoverage, map_size)
+    benchmark.extra_info["map"] = label
+    benchmark.extra_info["used_key"] = cov.used_key
+    benchmark(cov.reset)
+
+
+@pytest.mark.parametrize("map_size,label", MAP_SIZES)
+def test_afl_update(benchmark, map_size, label):
+    cov = AflCoverage(map_size, sparse_host_ops=False)
+    keys, counts = _keys(map_size)
+    benchmark.extra_info["map"] = label
+
+    def step():
+        cov.update(keys, counts)
+    benchmark(step)
+
+
+@pytest.mark.parametrize("map_size,label", MAP_SIZES)
+def test_bigmap_update_two_level(benchmark, map_size, label):
+    cov = BigMapCoverage(map_size)
+    keys, counts = _keys(map_size)
+    cov.update(keys, counts)  # assign slots once; steady state after
+    benchmark.extra_info["map"] = label
+
+    def step():
+        cov.update(keys, counts)
+    benchmark(step)
+
+
+@pytest.mark.parametrize("map_size,label", MAP_SIZES)
+def test_afl_classify_compare_full_sweep(benchmark, map_size, label):
+    cov, keys, counts = _loaded(AflCoverage, map_size,
+                                sparse_host_ops=False)
+    virgin = VirginMap(map_size)
+    benchmark.extra_info["map"] = label
+
+    def step():
+        cov.classify_and_compare(virgin)
+    benchmark(step)
+
+
+@pytest.mark.parametrize("map_size,label", MAP_SIZES)
+def test_bigmap_classify_compare_used_region(benchmark, map_size, label):
+    cov, keys, counts = _loaded(BigMapCoverage, map_size)
+    virgin = VirginMap(map_size)
+    benchmark.extra_info["map"] = label
+
+    def step():
+        cov.classify_and_compare(virgin)
+    benchmark(step)
+
+
+@pytest.mark.parametrize("map_size,label", MAP_SIZES)
+def test_afl_hash_full_map(benchmark, map_size, label):
+    cov, keys, counts = _loaded(AflCoverage, map_size,
+                                sparse_host_ops=False)
+    cov.classify()
+    benchmark.extra_info["map"] = label
+    benchmark(cov.hash)
+
+
+@pytest.mark.parametrize("map_size,label", MAP_SIZES)
+def test_bigmap_hash_trimmed(benchmark, map_size, label):
+    cov, keys, counts = _loaded(BigMapCoverage, map_size)
+    cov.classify()
+    benchmark.extra_info["map"] = label
+    benchmark(cov.hash)
+
+
+def test_full_iteration_afl_8m_vs_bigmap_8m(benchmark):
+    """One complete fuzzing iteration at 8 MB: the end-to-end gap."""
+    map_size = 1 << 23
+    afl, keys, counts = _loaded(AflCoverage, map_size,
+                                sparse_host_ops=False)
+    virgin = VirginMap(map_size)
+
+    def iteration():
+        afl.reset()
+        afl.update(keys, counts)
+        afl.classify_and_compare(virgin)
+    benchmark(iteration)
+
+
+def test_full_iteration_bigmap_8m(benchmark):
+    map_size = 1 << 23
+    big, keys, counts = _loaded(BigMapCoverage, map_size)
+    virgin = VirginMap(map_size)
+
+    def iteration():
+        big.reset()
+        big.update(keys, counts)
+        big.classify_and_compare(virgin)
+    benchmark(iteration)

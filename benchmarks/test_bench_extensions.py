@@ -1,0 +1,74 @@
+"""Benches for the extension experiments (CollAFL, dedup bias,
+ensemble) and the trim / persistent-mode features."""
+
+import numpy as np
+import pytest
+
+from repro.fuzzer import CampaignConfig, Campaign
+from repro.target import get_benchmark
+
+
+def test_collafl_combination(benchmark, profile, cache):
+    from repro.experiments.extra_collafl import compute
+    data = benchmark.pedantic(compute, args=(profile, cache), rounds=1,
+                              iterations=1)
+    benchmark.extra_info["combination_speedup"] = round(
+        data["throughput_bigmap"] / data["throughput_afl"], 1)
+    benchmark.extra_info["direct_collisions"] = \
+        data["collafl_direct_collisions"]
+    assert data["collafl_direct_collisions"] == 0
+
+
+def test_dedup_bias(benchmark, profile, cache):
+    from repro.experiments.extra_dedup_bias import compute
+    rows = benchmark.pedantic(compute, args=(profile, cache),
+                              kwargs={"benchmarks": ["licm"]},
+                              rounds=1, iterations=1)
+    assert len(rows) == 4
+
+
+def test_ensemble_vs_stacked(benchmark, profile, cache):
+    from repro.experiments.extra_ensemble import compute
+    data = benchmark.pedantic(compute, args=(profile, cache), rounds=1,
+                              iterations=1)
+    benchmark.extra_info["stacked_crashes"] = data["stacked"]["crashes"]
+    benchmark.extra_info["ensemble_crashes"] = \
+        data["ensemble"]["crashes"]
+    assert data["stacked"]["execs"] > 0
+
+
+def test_trim_stage_cost(benchmark):
+    """Wall cost of trimming a queue entry through the real pipeline."""
+    built = get_benchmark("libpng").build(scale=0.15, seed_scale=1.0)
+    campaign = Campaign(CampaignConfig(
+        benchmark="libpng", fuzzer="bigmap", map_size=1 << 16,
+        scale=0.15, seed_scale=1.0, virtual_seconds=1e9,
+        max_real_execs=10**9), built=built)
+    campaign.start()
+    from repro.fuzzer.trim import trim_input
+    data = campaign.pool.seeds[0].data
+
+    def trim_once():
+        return trim_input(data, campaign._trace_hash,
+                          max_executions=64)
+    result = benchmark(trim_once)
+    benchmark.extra_info["removed_bytes"] = result.removed_bytes
+
+
+def test_persistent_vs_fork_model(benchmark):
+    """Model-level throughput gap from persistent mode (paper §V-A1)."""
+    built = get_benchmark("zlib").build(scale=1.0, seed_scale=0.1)
+
+    def measure():
+        out = {}
+        for persistent in (True, False):
+            campaign = Campaign(CampaignConfig(
+                benchmark="zlib", fuzzer="bigmap", map_size=1 << 16,
+                seed_scale=0.1, virtual_seconds=1e9, max_real_execs=300,
+                persistent_mode=persistent), built=built)
+            out[persistent] = campaign.run().throughput
+        return out
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["persistent_speedup"] = round(
+        rates[True] / rates[False], 1)
+    assert rates[True] > rates[False] * 2

@@ -1,0 +1,46 @@
+"""Benches regenerating Figure 2, Figure 3 and Table II.
+
+Each bench times the regeneration and attaches the paper-shape
+checkpoints as ``extra_info`` so a benchmark run doubles as a
+reproduction check.
+"""
+
+import pytest
+
+from repro.analysis.collision import collision_rate
+
+
+def test_fig2_collision_grid(benchmark):
+    from repro.experiments.fig2_collision import compute
+    grid = benchmark(compute)
+    benchmark.extra_info["rate_50k_at_64k_pct"] = round(grid[3][0], 1)
+    assert grid[3][0] == pytest.approx(
+        100 * collision_rate(1 << 16, 50_000))
+
+
+def test_table2_characteristics(benchmark, profile):
+    from repro.experiments.table2_benchmarks import compute
+    rows = benchmark.pedantic(compute, args=(profile,), rounds=1,
+                              iterations=1)
+    by_name = {r["benchmark"]: r for r in rows}
+    benchmark.extra_info["sqlite3_collision_pct"] = round(
+        by_name["sqlite3"]["collision_rate_64k"], 2)
+    benchmark.extra_info["instcombine_collision_pct"] = round(
+        by_name["instcombine"]["collision_rate_64k"], 2)
+    assert len(rows) == 19
+
+
+def test_fig3_runtime_composition(benchmark, profile, cache):
+    from repro.experiments.fig3_runtime import compute
+    data = benchmark.pedantic(compute, args=(profile, cache), rounds=1,
+                              iterations=1)
+    # The paper's observation, as extra info: map-op share at 8M.
+    shares = []
+    for sizes in data.values():
+        cats = sizes["8M"]
+        total = sum(cats.values())
+        map_ops = total - cats["execution"] - cats["others"]
+        shares.append(map_ops / total)
+    benchmark.extra_info["map_op_share_8M_avg_pct"] = round(
+        100 * sum(shares) / len(shares), 1)
+    assert min(shares) > 0.5

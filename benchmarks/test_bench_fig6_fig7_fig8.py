@@ -1,0 +1,59 @@
+"""Benches regenerating Figure 6 (throughput), Figure 7 (coverage) and
+Figure 8 (crashes vs map size)."""
+
+import pytest
+
+from repro.analysis.throughput import arithmetic_mean
+
+
+def test_fig6_throughput_sweep(benchmark, profile, cache):
+    from repro.experiments.fig6_throughput import (compute,
+                                                   speedup_summary)
+    data = benchmark.pedantic(
+        compute, args=(profile, cache),
+        kwargs={"benchmarks": ["libpng", "sqlite3", "licm"]},
+        rounds=1, iterations=1)
+    speeds = speedup_summary(data)
+    for label, value in speeds.items():
+        benchmark.extra_info[f"speedup_{label}"] = round(value, 2)
+    ordered = [speeds[lbl] for lbl in ("64k", "256k", "2M", "8M")]
+    assert ordered == sorted(ordered), \
+        "BigMap's advantage must grow with map size"
+    assert ordered[-1] > 10
+
+
+def test_fig7_edge_coverage(benchmark, profile, cache):
+    from repro.experiments.fig7_edge_coverage import compute
+    data = benchmark.pedantic(
+        compute, args=(profile, cache),
+        kwargs={"benchmarks": ["libpng", "sqlite3"]},
+        rounds=1, iterations=1)
+    # AFL at 8M must not beat BigMap at 8M (throughput collapse).
+    for name, fuzzers in data.items():
+        benchmark.extra_info[f"{name}_afl_8M"] = fuzzers["afl"]["8M"]
+        benchmark.extra_info[f"{name}_bigmap_8M"] = \
+            fuzzers["bigmap"]["8M"]
+        assert fuzzers["afl"]["8M"] <= fuzzers["bigmap"]["8M"] * 1.1
+
+
+def test_fig8_crashes_vs_map_size(benchmark, profile, cache):
+    from repro.experiments.fig8_crashes import compute
+    data = benchmark.pedantic(
+        compute, args=(profile, cache),
+        kwargs={"benchmarks": ["licm", "gvn"]},
+        rounds=1, iterations=1)
+    labels = ("64k", "256k", "2M", "8M")
+    afl_avg = {lbl: arithmetic_mean([f["afl"][lbl]
+                                     for f in data.values()])
+               for lbl in labels}
+    big_avg = {lbl: arithmetic_mean([f["bigmap"][lbl]
+                                     for f in data.values()])
+               for lbl in labels}
+    for lbl in labels:
+        benchmark.extra_info[f"afl_{lbl}"] = round(afl_avg[lbl], 1)
+        benchmark.extra_info[f"bigmap_{lbl}"] = round(big_avg[lbl], 1)
+    # AFL's big maps must not dominate its small maps (throughput
+    # collapse costs crashes); BigMap at 8M must be at least as good
+    # as AFL at 8M.
+    assert afl_avg["8M"] <= max(afl_avg["64k"], afl_avg["256k"]) + 0.5
+    assert big_avg["8M"] >= afl_avg["8M"]

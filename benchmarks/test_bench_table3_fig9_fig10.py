@@ -1,0 +1,50 @@
+"""Benches regenerating Table III (metric composition) and Figures 9/10
+(parallel scalability and crashes)."""
+
+import pytest
+
+from repro.analysis.throughput import arithmetic_mean
+
+
+def test_table3_lafintel_ngram_composition(benchmark, profile, cache):
+    from repro.experiments.table3_composition import compute
+    from repro.target import TABLE3_BENCHMARKS
+    subset = [b for b in TABLE3_BENCHMARKS if b.name in ("licm", "gvn")]
+    rows = benchmark.pedantic(compute, args=(profile, cache),
+                              kwargs={"benchmarks": subset},
+                              rounds=1, iterations=1)
+    coll_64k = arithmetic_mean([r["collision_64kB"] for r in rows])
+    coll_2m = arithmetic_mean([r["collision_2MB"] for r in rows])
+    benchmark.extra_info["collision_64kB_pct"] = round(coll_64k, 1)
+    benchmark.extra_info["collision_2MB_pct"] = round(coll_2m, 1)
+    # The composed metric must pressure the small map far harder.
+    assert coll_64k > coll_2m * 3
+
+
+def test_fig9_scaling_curves(benchmark, profile, cache):
+    from repro.experiments.fig9_scalability import compute
+    data = benchmark.pedantic(compute, args=(profile, cache),
+                              kwargs={"benchmarks": ["sqlite3"]},
+                              rounds=1, iterations=1)
+    rates = data["sqlite3"]
+    speedup_8 = rates["bigmap"][8] / rates["afl"][8]
+    benchmark.extra_info["bigmap_speedup_k8"] = round(speedup_8, 1)
+    benchmark.extra_info["afl_norm_k12"] = round(
+        rates["afl"][12] / rates["afl"][1], 2)
+    benchmark.extra_info["bigmap_norm_k12"] = round(
+        rates["bigmap"][12] / rates["bigmap"][1], 2)
+    assert speedup_8 > rates["bigmap"][1] / rates["afl"][1], \
+        "speedup must grow with instances (super-linear, Fig 9b)"
+
+
+def test_fig10_parallel_crashes(benchmark, profile, cache):
+    from repro.experiments.fig10_parallel_crashes import compute
+    data = benchmark.pedantic(
+        compute, args=(profile, cache),
+        kwargs={"benchmarks": ["licm"], "instance_counts": (1, 2)},
+        rounds=1, iterations=1)
+    for fuzzer in ("afl", "bigmap"):
+        for k, crashes in data["licm"][fuzzer].items():
+            benchmark.extra_info[f"{fuzzer}_k{k}"] = crashes
+    # More instances never lose crashes for BigMap (union of finds).
+    assert data["licm"]["bigmap"][2] >= data["licm"]["bigmap"][1] * 0.8

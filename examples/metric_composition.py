@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Aggressive coverage-metric composition (the paper's §V-C scenario).
+
+Demonstrates why BigMap exists: stack the laf-intel transform with
+N-gram (N=3) coverage on an LLVM harness and watch the key pressure
+explode past what a 64 kB map can hold — then compare the 64 kB and
+2 MB BigMap campaigns (both are BigMap: the point is the *map size*,
+which only BigMap makes affordable).
+
+Run:
+    python examples/metric_composition.py
+"""
+
+from repro.analysis import collision_rate
+from repro.fuzzer import CampaignConfig, run_campaign
+from repro.instrumentation import NGramInstrumentation, apply_lafintel
+from repro.target import get_benchmark
+
+BENCHMARK = "gvn"
+SCALE = 0.08  # keep the demo snappy; ratios are scale-free
+
+
+def main() -> None:
+    built = get_benchmark(BENCHMARK).build(scale=SCALE, seed_scale=0.5)
+    base = built.program
+    transformed = apply_lafintel(base)
+
+    print(f"Target: {BENCHMARK} (scaled)\n")
+    print(f"{'':<38}{'base':>12}{'with laf-intel':>16}")
+    print(f"{'materialized edges':<38}{base.n_edges:>12,}"
+          f"{transformed.n_edges:>16,}")
+    print(f"{'static edges (binary-wide)':<38}{base.static_edges:>12,}"
+          f"{transformed.static_edges:>16,}")
+    print(f"{'discoverable by byte mutation':<38}"
+          f"{int(base.practically_discoverable_mask().sum()):>12,}"
+          f"{int(transformed.practically_discoverable_mask().sum()):>16,}")
+
+    ngram = NGramInstrumentation(transformed, 1 << 21, n=3)
+    pressure = ngram.distinct_keys_possible()
+    print(f"\nN-gram (N=3) key pressure on the transformed target: "
+          f"{pressure:,} possible keys")
+    for size, label in ((1 << 16, "64 kB"), (1 << 21, "2 MB")):
+        print(f"  expected collision rate on a {label} map: "
+              f"{100 * collision_rate(size, pressure):.1f}%")
+
+    print("\nRunning both compositions with BigMap...")
+    outcomes = {}
+    for size, label in ((1 << 16, "64kB"), (1 << 21, "2MB")):
+        result = run_campaign(CampaignConfig(
+            benchmark=BENCHMARK, fuzzer="bigmap", map_size=size,
+            metric="ngram3", lafintel=True, scale=SCALE, seed_scale=0.5,
+            virtual_seconds=8.0, max_real_execs=12_000, rng_seed=7),
+            built=built)
+        outcomes[label] = result
+        print(f"  {label:>5}: {result.execs:,} execs, "
+              f"{result.discovered_locations:,} keys discovered, "
+              f"{result.unique_crashes} unique crashes")
+
+    small, big = outcomes["64kB"], outcomes["2MB"]
+    if small.unique_crashes:
+        gain = 100.0 * (big.unique_crashes / small.unique_crashes - 1)
+        print(f"\nCrash gain from collision mitigation: {gain:+.0f}% "
+              f"(paper Table III average: +33%)")
+    print("Note: at this demo scale the composed metric emits only a "
+          "few thousand keys,\nso 64 kB collisions are mild; the "
+          "paper's +33% needs the full ~600k-key pressure\n(run "
+          "`repro-experiments table3 --profile full`).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Parallel fuzzing scalability (the paper's §V-D scenario).
+
+Runs master–secondary sessions with a 2 MB map at increasing instance
+counts and shows how AFL's aggregate throughput saturates (the shared
+LLC and memory bus choke on full-map sweeps) while BigMap keeps
+scaling. Also prints the pure contention-model curve for all 12 cores.
+
+Run:
+    python examples/parallel_fuzzing.py
+"""
+
+from repro.fuzzer import Campaign, CampaignConfig, ParallelSession
+from repro.memsim import InstanceLoad, solve_parallel
+from repro.target import get_benchmark
+
+BENCHMARK = "sqlite3"
+MAP_SIZE = 1 << 21
+SCALE = 0.15
+
+
+def main() -> None:
+    built = get_benchmark(BENCHMARK).build(scale=SCALE, seed_scale=0.15)
+    print(f"Target: {BENCHMARK} (scaled), 2 MB map\n")
+
+    # Real interleaved sessions with corpus sync, small instance counts.
+    print("Real parallel sessions (virtual 6 s each, corpus sync on):")
+    print(f"{'k':>3}  {'fuzzer':<8}{'total execs':>12}"
+          f"{'execs/s':>10}{'crashes':>9}{'slowdown':>10}")
+    for k in (1, 2, 4):
+        for fuzzer in ("afl", "bigmap"):
+            config = CampaignConfig(
+                benchmark=BENCHMARK, fuzzer=fuzzer, map_size=MAP_SIZE,
+                scale=SCALE, seed_scale=0.15, virtual_seconds=6.0,
+                max_real_execs=4_000, rng_seed=3)
+            summary = ParallelSession(config, k, built=built).run()
+            print(f"{k:>3}  {fuzzer:<8}{summary.total_execs:>12,}"
+                  f"{summary.total_throughput:>10,.0f}"
+                  f"{summary.unique_crashes:>9}"
+                  f"{summary.mean_slowdown:>10.2f}")
+
+    # Contention-model curve across all 12 cores (cheap).
+    print("\nContention model, 1-12 instances (normalized totals):")
+    loads = {}
+    for fuzzer in ("afl", "bigmap"):
+        campaign = Campaign(CampaignConfig(
+            benchmark=BENCHMARK, fuzzer=fuzzer, map_size=MAP_SIZE,
+            scale=SCALE, seed_scale=0.15, virtual_seconds=1e9,
+            max_real_execs=800, rng_seed=3), built=built)
+        result = campaign.run()
+        loads[fuzzer] = InstanceLoad(campaign.model, result.mean_shape)
+    print(f"{'k':>3}  {'AFL total':>12}  {'BigMap total':>13}"
+          f"  {'AFL norm':>9}  {'BigMap norm':>12}")
+    base = {f: solve_parallel([loads[f]]).total_rate
+            for f in ("afl", "bigmap")}
+    for k in range(1, 13):
+        totals = {f: solve_parallel([loads[f]] * k).total_rate
+                  for f in ("afl", "bigmap")}
+        print(f"{k:>3}  {totals['afl']:>12,.0f}  "
+              f"{totals['bigmap']:>13,.0f}  "
+              f"{totals['afl'] / base['afl']:>9.2f}  "
+              f"{totals['bigmap'] / base['bigmap']:>12.2f}")
+    print("\nPaper: AFL's total throughput has a negative slope above 4 "
+          "instances; BigMap reaches ~9.2x AFL at 8 instances.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: fuzz one benchmark with AFL's map and with BigMap.
+
+Runs two short campaigns on the libpng benchmark with a 2 MB coverage
+map — one with AFL's flat bitmap, one with BigMap's two-level bitmap —
+and prints the throughput, coverage and corpus outcomes side by side.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.fuzzer import CampaignConfig, run_campaign
+from repro.target import get_benchmark
+
+MAP_SIZE = 1 << 21  # 2 MB: big enough that AFL's full-map sweeps hurt
+
+
+def main() -> None:
+    # Build the benchmark once (synthetic program + seed corpus) and
+    # share it between both campaigns so they fuzz the same target.
+    built = get_benchmark("libpng").build(scale=0.5, seed_scale=1.0)
+    print(f"Target: {built.config.name} — "
+          f"{built.program.n_edges:,} instrumented edges, "
+          f"{len(built.seeds)} seed(s)\n")
+
+    results = {}
+    for fuzzer in ("afl", "bigmap"):
+        config = CampaignConfig(
+            benchmark="libpng",
+            fuzzer=fuzzer,
+            map_size=MAP_SIZE,
+            virtual_seconds=10.0,   # modeled Xeon seconds, not wall time
+            max_real_execs=15_000,
+            rng_seed=42,
+        )
+        results[fuzzer] = run_campaign(config, built=built)
+
+    print(f"{'':<24}{'AFL':>12}{'BigMap':>12}")
+    rows = [
+        ("throughput (execs/s)", "throughput", "{:,.0f}"),
+        ("executions", "execs", "{:,}"),
+        ("virtual seconds", "virtual_seconds", "{:.1f}"),
+        ("map locations lit", "discovered_locations", "{:,}"),
+        ("corpus size", "corpus_size", "{:,}"),
+        ("unique crashes", "unique_crashes", "{:,}"),
+    ]
+    for label, attr, fmt in rows:
+        afl = fmt.format(getattr(results["afl"], attr))
+        big = fmt.format(getattr(results["bigmap"], attr))
+        print(f"{label:<24}{afl:>12}{big:>12}")
+
+    used = results["bigmap"].used_key
+    ratio = results["bigmap"].throughput / results["afl"].throughput
+    print(f"\nBigMap condensed {used:,} live locations out of a "
+          f"{MAP_SIZE:,}-byte map, so its sweeps touch "
+          f"{100 * used / MAP_SIZE:.2f}% of what AFL's touch.")
+    print(f"BigMap throughput advantage at 2 MB: {ratio:.1f}x "
+          f"(paper average: 4.5x).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — a from-scratch reproduction of BigMap (DSN 2021).
+
+BigMap is a two-level coverage bitmap that lets coverage-guided fuzzers
+use arbitrarily large maps (mitigating hash collisions) without the
+runtime cost of full-map operations. This library reimplements:
+
+* the BigMap data structure and AFL's flat-bitmap baseline
+  (:mod:`repro.core`);
+* an AFL-style fuzzer — scheduling, mutation, fitness, crash triage,
+  parallel sessions (:mod:`repro.fuzzer`);
+* synthetic instrumented targets standing in for the paper's compiled
+  benchmarks (:mod:`repro.target`);
+* coverage-metric pipelines: edge hashing, N-gram, context sensitivity
+  and the laf-intel transform (:mod:`repro.instrumentation`);
+* a memory-hierarchy cost model standing in for the paper's Xeon
+  testbed (:mod:`repro.memsim`);
+* analysis and experiment harnesses regenerating every table and
+  figure of the evaluation (:mod:`repro.analysis`,
+  :mod:`repro.experiments`).
+
+Quick start::
+
+    from repro.fuzzer import CampaignConfig, run_campaign
+    result = run_campaign(CampaignConfig(
+        benchmark="libpng", fuzzer="bigmap", map_size=1 << 21,
+        scale=0.2, virtual_seconds=5.0, max_real_execs=10_000))
+    print(result.throughput, result.discovered_locations)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,68 @@
+"""Plain-text table/series renderers for the experiment harnesses.
+
+Every experiment prints its results in the paper's own layout (rows of
+Table II/III, series of the figures) so paper-vs-measured comparison is
+a visual diff. No plotting dependencies — the harness is meant to run
+in CI and its output to be committed into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if i else
+                               cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def render_series(name: str, points: Sequence, *,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """One figure series as aligned (x, y) pairs."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in points:
+        lines.append(f"  {_fmt(x):>12}  {_fmt(y):>12}")
+    return "\n".join(lines)
+
+
+def render_bar_block(title: str, values: Dict[str, float],
+                     unit: str = "") -> str:
+    """Labelled values with a proportional ASCII bar."""
+    lines = [title]
+    if not values:
+        return title + "\n  (empty)"
+    peak = max(values.values()) or 1.0
+    for label, value in values.items():
+        bar = "#" * max(1, int(40 * value / peak)) if value > 0 else ""
+        lines.append(f"  {label:<22} {_fmt(value):>12}{unit}  {bar}")
+    return "\n".join(lines)

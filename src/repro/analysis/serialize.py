@@ -1,0 +1,123 @@
+"""Persistence for campaign results: JSON records and corpus export.
+
+Campaigns are deterministic given their configuration, but full runs
+are expensive — downstream analysis wants to store results once and
+reload them. The JSON record keeps everything except the corpus inline;
+the corpus (raw input bytes) goes to a directory of numbered files,
+AFL-queue style, so external tools can replay it.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from ..fuzzer.stats import CampaignResult
+from ..memsim.costmodel import ExecShape
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: CampaignResult, *,
+                   include_corpus: bool = False) -> dict:
+    """JSON-ready dict for one campaign result.
+
+    The corpus is omitted by default (use :func:`save_corpus`); with
+    ``include_corpus`` it is embedded base64-encoded.
+    """
+    record = {
+        "format_version": _FORMAT_VERSION,
+        "benchmark": result.benchmark,
+        "fuzzer": result.fuzzer,
+        "map_size": result.map_size,
+        "metric": result.metric,
+        "lafintel": result.lafintel,
+        "execs": result.execs,
+        "virtual_seconds": result.virtual_seconds,
+        "throughput": result.throughput,
+        "discovered_locations": result.discovered_locations,
+        "used_key": result.used_key,
+        "unique_crashes": result.unique_crashes,
+        "afl_unique_crashes": result.afl_unique_crashes,
+        "coverage_curve": [[t, v] for t, v in result.coverage_curve],
+        "crash_curve": [[t, v] for t, v in result.crash_curve],
+        "op_cycles": result.op_cycles,
+        "interesting_execs": result.interesting_execs,
+        "stopped_by": result.stopped_by,
+        "true_edge_coverage": result.true_edge_coverage,
+        "corpus_size": result.corpus_size,
+        "mean_shape": {
+            "traversals": result.mean_shape.traversals,
+            "unique_locations": result.mean_shape.unique_locations,
+            "used_bytes": result.mean_shape.used_bytes,
+        },
+    }
+    if include_corpus:
+        record["corpus"] = [base64.b64encode(d).decode("ascii")
+                            for d in result.corpus]
+    return record
+
+
+def result_from_dict(record: dict) -> CampaignResult:
+    """Rebuild a :class:`CampaignResult` from :func:`result_to_dict`."""
+    version = record.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version {version}")
+    corpus: List[bytes] = [base64.b64decode(d)
+                           for d in record.get("corpus", [])]
+    shape = record["mean_shape"]
+    return CampaignResult(
+        benchmark=record["benchmark"], fuzzer=record["fuzzer"],
+        map_size=record["map_size"], metric=record["metric"],
+        lafintel=record["lafintel"], execs=record["execs"],
+        virtual_seconds=record["virtual_seconds"],
+        throughput=record["throughput"],
+        discovered_locations=record["discovered_locations"],
+        used_key=record["used_key"],
+        unique_crashes=record["unique_crashes"],
+        afl_unique_crashes=record["afl_unique_crashes"],
+        corpus=corpus,
+        coverage_curve=[(t, v) for t, v in record["coverage_curve"]],
+        crash_curve=[(t, v) for t, v in record["crash_curve"]],
+        op_cycles=dict(record["op_cycles"]),
+        interesting_execs=record["interesting_execs"],
+        stopped_by=record["stopped_by"],
+        mean_shape=ExecShape(
+            traversals=shape["traversals"],
+            unique_locations=shape["unique_locations"],
+            used_bytes=shape["used_bytes"]),
+        true_edge_coverage=record["true_edge_coverage"])
+
+
+def save_result(result: CampaignResult, path, *,
+                include_corpus: bool = False) -> None:
+    """Write one result to a JSON file."""
+    Path(path).write_text(json.dumps(
+        result_to_dict(result, include_corpus=include_corpus),
+        indent=2, sort_keys=True))
+
+
+def load_result(path) -> CampaignResult:
+    """Load a result written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_corpus(corpus, directory) -> List[Path]:
+    """Export inputs as ``id:000000``-style files (AFL queue layout)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i, data in enumerate(corpus):
+        path = directory / f"id:{i:06d}"
+        path.write_bytes(data)
+        paths.append(path)
+    return paths
+
+
+def load_corpus(directory) -> List[bytes]:
+    """Load a corpus directory written by :func:`save_corpus`."""
+    directory = Path(directory)
+    return [path.read_bytes()
+            for path in sorted(directory.glob("id:*"))]

@@ -1,0 +1,40 @@
+"""Throughput aggregation helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (speedup ratios should not be arithmetic-averaged
+    blindly, but the paper reports arithmetic averages — both helpers
+    exist so EXPERIMENTS.md can show the two side by side)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    vals = list(values)
+    if not vals:
+        return 0.0
+    return sum(vals) / len(vals)
+
+
+def speedups(baseline: Dict[str, float],
+             contender: Dict[str, float]) -> Dict[str, float]:
+    """Per-key ``contender / baseline`` ratios (shared keys only)."""
+    out: Dict[str, float] = {}
+    for key, base in baseline.items():
+        if key in contender and base > 0:
+            out[key] = contender[key] / base
+    return out
+
+
+def average_speedup(baseline: Dict[str, float],
+                    contender: Dict[str, float]) -> float:
+    """The paper's headline number: mean of per-benchmark speedups."""
+    ratios = speedups(baseline, contender)
+    return arithmetic_mean(list(ratios.values()))

@@ -1,0 +1,40 @@
+"""Coverage-map data structures: AFL's flat bitmap and BigMap.
+
+This package is the paper's primary contribution. Public surface:
+
+* :class:`AflCoverage` — the one-level baseline (Listing 1).
+* :class:`BigMapCoverage` — the two-level condensed bitmap (Listing 2).
+* :class:`VirginMap` / :class:`CompareResult` — global-coverage compare
+  with AFL's ``has_new_bits`` semantics.
+* :func:`classify_counts` and the bucket LUT.
+* :class:`AccessLog` / :class:`OpStats` — access accounting consumed by
+  :mod:`repro.memsim` to price operations.
+"""
+
+from .access import (AccessLog, AccessRecord, NullAccessLog, Op, OpCounter,
+                     OpStats, Pattern)
+from .afl_bitmap import AflCoverage
+from .bigmap import BigMapCoverage
+from .bitmap_base import (COUNTER_SATURATE, COUNTER_WRAP, CoverageMap,
+                          aggregate_keys, apply_counts)
+from .classify import (BUCKET_VALUES, COUNT_CLASS_LOOKUP8, bucket_of,
+                       classify_counts, is_classified)
+from .compare import (NEW_EDGE, NEW_HIT_COUNT, NO_NEW_COVERAGE,
+                      CompareResult, VirginMap)
+from .errors import (CalibrationError, CampaignConfigError, KeyRangeError,
+                     MapFullError, MapSizeError, ReproError, TraceShapeError)
+from .hashing import crc32_full, crc32_trimmed, last_nonzero_index
+
+__all__ = [
+    "AccessLog", "AccessRecord", "NullAccessLog", "Op", "OpCounter",
+    "OpStats", "Pattern",
+    "AflCoverage", "BigMapCoverage", "CoverageMap",
+    "COUNTER_SATURATE", "COUNTER_WRAP", "aggregate_keys", "apply_counts",
+    "BUCKET_VALUES", "COUNT_CLASS_LOOKUP8", "bucket_of", "classify_counts",
+    "is_classified",
+    "NEW_EDGE", "NEW_HIT_COUNT", "NO_NEW_COVERAGE", "CompareResult",
+    "VirginMap",
+    "CalibrationError", "CampaignConfigError", "KeyRangeError",
+    "MapFullError", "MapSizeError", "ReproError", "TraceShapeError",
+    "crc32_full", "crc32_trimmed", "last_nonzero_index",
+]

@@ -1,0 +1,192 @@
+"""Access-stream accounting for coverage-map operations.
+
+The paper's performance argument is entirely about *memory access patterns*:
+AFL's bitmap operations sweep the full map (sequential, cache-polluting)
+while its update scatters over the full map (poor spatial locality); BigMap
+confines everything except the index lookup to the condensed used region.
+
+Every coverage-map operation in :mod:`repro.core` reports what it touched
+through an :class:`AccessLog`. The memory-hierarchy model in
+:mod:`repro.memsim` consumes these records to price operations in cycles,
+which is how the throughput figures (Fig. 3, Fig. 6, Fig. 9) are
+reproduced without the paper's Xeon testbed.
+
+Two granularities are supported:
+
+* aggregate per-operation counters (:class:`OpStats`) — cheap, always on,
+  used by campaign-scale experiments;
+* an optional detailed record list — used by unit tests and by the
+  cache-simulator validation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class Pattern(str, Enum):
+    """Spatial shape of an access burst."""
+
+    SEQUENTIAL = "sequential"
+    SCATTERED = "scattered"
+
+
+class Op(str, Enum):
+    """The bitmap operations the paper's Figure 3 decomposes runtime into."""
+
+    RESET = "reset"
+    UPDATE = "update"
+    CLASSIFY = "classify"
+    COMPARE = "compare"
+    HASH = "hash"
+    INIT = "init"
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One burst of memory accesses performed by a bitmap operation.
+
+    Attributes:
+        op: which logical bitmap operation issued the burst.
+        array: name of the touched array (``coverage``, ``index``,
+            ``virgin`` ...), useful for asserting BigMap's claim that the
+            index bitmap is touched only during update.
+        pattern: sequential sweep or scattered (data-dependent) accesses.
+        n_accesses: number of element accesses in the burst.
+        element_size: bytes per element access.
+        region_bytes: size of the address region the burst lands in. For a
+            sweep this equals ``n_accesses * element_size``; for scattered
+            accesses it is the span the keys are drawn from, which is what
+            determines cache behaviour.
+        write: whether the burst writes (affects non-temporal handling).
+        non_temporal: non-temporal stores bypass cache fills (§IV-E).
+    """
+
+    op: Op
+    array: str
+    pattern: Pattern
+    n_accesses: int
+    element_size: int
+    region_bytes: int
+    write: bool = False
+    non_temporal: bool = False
+
+    @property
+    def bytes_touched(self) -> int:
+        """Total bytes referenced by the burst."""
+        return self.n_accesses * self.element_size
+
+
+@dataclass
+class OpCounter:
+    """Aggregate counters for one (operation, array, pattern) bucket."""
+
+    calls: int = 0
+    n_accesses: int = 0
+    bytes_touched: int = 0
+    region_bytes: int = 0  # summed; divide by calls for the mean region
+
+    def absorb(self, record: AccessRecord) -> None:
+        self.calls += 1
+        self.n_accesses += record.n_accesses
+        self.bytes_touched += record.bytes_touched
+        self.region_bytes += record.region_bytes
+
+
+#: Key used to bucket aggregate counters.
+CounterKey = tuple
+
+
+@dataclass
+class OpStats:
+    """Aggregate access statistics keyed by ``(op, array, pattern)``."""
+
+    counters: Dict[CounterKey, OpCounter] = field(default_factory=dict)
+
+    def absorb(self, record: AccessRecord) -> None:
+        key = (record.op, record.array, record.pattern,
+               record.write, record.non_temporal)
+        counter = self.counters.get(key)
+        if counter is None:
+            counter = OpCounter()
+            self.counters[key] = counter
+        counter.absorb(record)
+
+    def per_op(self) -> Dict[Op, OpCounter]:
+        """Collapse counters over arrays/patterns into one counter per op."""
+        merged: Dict[Op, OpCounter] = {}
+        for (op, _array, _pattern, _w, _nt), counter in self.counters.items():
+            tgt = merged.setdefault(op, OpCounter())
+            tgt.calls += counter.calls
+            tgt.n_accesses += counter.n_accesses
+            tgt.bytes_touched += counter.bytes_touched
+            tgt.region_bytes += counter.region_bytes
+        return merged
+
+    def total_bytes(self) -> int:
+        return sum(c.bytes_touched for c in self.counters.values())
+
+    def clear(self) -> None:
+        self.counters.clear()
+
+
+class AccessLog:
+    """Collects :class:`AccessRecord` bursts emitted by coverage maps.
+
+    Aggregation into :class:`OpStats` is always on. Keeping the individual
+    records (``keep_records=True``) is optional because campaigns emit
+    millions of bursts.
+    """
+
+    def __init__(self, keep_records: bool = False) -> None:
+        self.stats = OpStats()
+        self._keep_records = keep_records
+        self.records: List[AccessRecord] = []
+
+    def emit(self, record: AccessRecord) -> None:
+        """Account one burst."""
+        self.stats.absorb(record)
+        if self._keep_records:
+            self.records.append(record)
+
+    def clear(self) -> None:
+        """Drop all accumulated statistics and records."""
+        self.stats.clear()
+        self.records.clear()
+
+    # Convenience constructors -------------------------------------------
+
+    def sweep(self, op: Op, array: str, n_bytes: int, *, write: bool = False,
+              non_temporal: bool = False, element_size: int = 1) -> None:
+        """Record a sequential sweep over ``n_bytes`` of ``array``."""
+        if n_bytes <= 0:
+            return
+        self.emit(AccessRecord(
+            op=op, array=array, pattern=Pattern.SEQUENTIAL,
+            n_accesses=n_bytes // element_size, element_size=element_size,
+            region_bytes=n_bytes, write=write, non_temporal=non_temporal))
+
+    def scatter(self, op: Op, array: str, n_accesses: int, region_bytes: int,
+                *, element_size: int = 1, write: bool = False) -> None:
+        """Record ``n_accesses`` data-dependent accesses within a region."""
+        if n_accesses <= 0:
+            return
+        self.emit(AccessRecord(
+            op=op, array=array, pattern=Pattern.SCATTERED,
+            n_accesses=n_accesses, element_size=element_size,
+            region_bytes=region_bytes, write=write))
+
+
+class NullAccessLog(AccessLog):
+    """An :class:`AccessLog` that discards everything (zero overhead mode).
+
+    Useful for pure-functional tests where access accounting is noise.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(keep_records=False)
+
+    def emit(self, record: AccessRecord) -> None:  # noqa: D102
+        pass

@@ -1,0 +1,150 @@
+"""AFL's flat coverage bitmap (the paper's baseline).
+
+One byte per map location; edge keys index the array directly
+(``coverage_bitmap[E_XY]++``, Listing 1). Reset, classify, compare and
+hash all sweep the *full* map regardless of how little of it is in use —
+the inefficiency BigMap removes.
+
+Implementation note — the *simulation fast path*: on multi-megabyte
+maps, literally sweeping the numpy array per execution costs tens of
+host-milliseconds without changing a single result (zero bytes classify
+to zero; virgin bytes whose trace byte is zero cannot change; resetting
+untouched bytes is a no-op). With ``sparse_host_ops=True`` (default)
+the implementation therefore performs reset/classify/compare only on
+the locations touched since the last reset, while the *access
+accounting and cost model still charge the full-map sweeps* — the
+physics the paper measures. ``sparse_host_ops=False`` executes the
+literal full sweeps (used by the equivalence tests, which assert both
+modes produce byte-identical maps and identical compare outcomes).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List
+
+import numpy as np
+
+from .access import Op
+from .bitmap_base import CoverageMap, aggregate_keys, apply_counts
+from .classify import classify_counts
+from .compare import CompareResult, VirginMap
+from .hashing import crc32_full
+
+
+class AflCoverage(CoverageMap):
+    """Flat one-level coverage bitmap, as in stock AFL.
+
+    Args:
+        map_size: bitmap size in bytes (power of two; AFL default 65536).
+        non_temporal_reset: model the §IV-E optimization of resetting
+            with non-temporal stores, which avoids polluting the cache
+            with never-used map regions. Only affects access accounting.
+        sparse_host_ops: see the module docstring; results are
+            identical either way.
+    """
+
+    def __init__(self, map_size: int, *, non_temporal_reset: bool = False,
+                 sparse_host_ops: bool = True, **kwargs) -> None:
+        super().__init__(map_size, **kwargs)
+        self.non_temporal_reset = non_temporal_reset
+        self.sparse_host_ops = sparse_host_ops
+        self.trace = np.zeros(map_size, dtype=np.uint8)
+        self._touched: List[np.ndarray] = []
+        self.log.sweep(Op.INIT, "coverage", map_size, write=True)
+
+    def _touched_unique(self) -> np.ndarray:
+        if not self._touched:
+            return np.empty(0, dtype=np.int64)
+        if len(self._touched) == 1:
+            return self._touched[0]
+        merged = np.unique(np.concatenate(self._touched))
+        self._touched = [merged]
+        return merged
+
+    def reset(self) -> None:
+        if self.sparse_host_ops:
+            touched = self._touched_unique()
+            if touched.size:
+                self.trace[touched] = 0
+            self._touched = []
+        else:
+            self.trace.fill(0)
+            self._touched = []
+        self.log.sweep(Op.RESET, "coverage", self.map_size, write=True,
+                       non_temporal=self.non_temporal_reset)
+
+    def update(self, keys: np.ndarray, counts: np.ndarray) -> int:
+        self._check_keys(keys)
+        unique, summed = aggregate_keys(keys, counts)
+        if unique.size == 0:
+            return 0
+        apply_counts(self.trace, unique, summed, self.counter_mode)
+        self._touched.append(unique)
+        # Scattered read-modify-writes across the full map span: the cache
+        # footprint is governed by the map size, not by how many locations
+        # are live (paper Table I-a).
+        self.log.scatter(Op.UPDATE, "coverage", int(unique.size),
+                         self.map_size, write=True)
+        return int(unique.size)
+
+    def classify(self) -> None:
+        if self.sparse_host_ops:
+            touched = self._touched_unique()
+            if touched.size:
+                self.trace[touched] = classify_counts(self.trace[touched])
+        else:
+            classify_counts(self.trace, out=self.trace)
+        self.log.sweep(Op.CLASSIFY, "coverage", self.map_size, write=True)
+
+    def _merge_virgin(self, virgin: VirginMap) -> CompareResult:
+        if not self.sparse_host_ops:
+            return virgin.merge(self.trace)
+        touched = self._touched_unique()
+        return virgin.merge_sparse(touched, self.trace[touched])
+
+    def compare(self, virgin: VirginMap) -> CompareResult:
+        result = self._merge_virgin(virgin)
+        self.log.sweep(Op.COMPARE, "coverage", self.map_size)
+        self.log.sweep(Op.COMPARE, "virgin", self.map_size,
+                       write=result.interesting)
+        return result
+
+    def classify_and_compare(self, virgin: VirginMap) -> CompareResult:
+        self.classify()
+        result = self._merge_virgin(virgin)
+        # The classify sweep above already accounted a full read-write
+        # pass; under the merged §IV-E optimization the compare rides
+        # along, so only the virgin-side traffic is added here. The
+        # cost model prices the merged sweep explicitly either way.
+        self.log.sweep(Op.COMPARE, "virgin", self.map_size,
+                       write=result.interesting)
+        return result
+
+    def hash(self) -> int:
+        """Path identifier of the classified trace.
+
+        AFL hashes the full map with CRC32. The fast path computes a
+        functionally equivalent identifier from the (location, bucket)
+        pairs — the full map is fully determined by them, so two traces
+        hash equal iff their full maps are byte-identical.
+        """
+        self.log.sweep(Op.HASH, "coverage", self.map_size)
+        if not self.sparse_host_ops:
+            return crc32_full(self.trace)
+        touched = self._touched_unique()
+        live = touched[self.trace[touched] != 0]
+        return zlib.crc32(self.trace[live].tobytes(),
+                          zlib.crc32(live.tobytes()))
+
+    def active_bytes(self) -> int:
+        return self.map_size
+
+    def count_for_key(self, key: int) -> int:
+        return int(self.trace[key])
+
+    def nonzero_locations(self) -> np.ndarray:
+        if self.sparse_host_ops:
+            touched = self._touched_unique()
+            return touched[self.trace[touched] != 0]
+        return np.flatnonzero(self.trace)

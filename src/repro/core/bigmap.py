@@ -1,0 +1,157 @@
+"""BigMap: the adaptive two-level coverage bitmap (paper §IV).
+
+Three pieces of state (Figure 4b):
+
+* ``index``  — maps an edge key to its slot in the condensed coverage
+  bitmap; -1 marks a key never seen in the whole campaign. Written only
+  when a key is first discovered; *read* only during update.
+* ``cov``    — the condensed coverage bitmap. All live counters occupy
+  the prefix ``[0, used_key)``.
+* ``used_key`` — next free slot; grows monotonically over the campaign.
+
+Consequences, which the access accounting makes measurable:
+
+* reset / classify / compare sweep only ``[0, used_key)``;
+* hash covers up to the last non-zero byte (not ``used_key``) so that a
+  path's hash is independent of unrelated discoveries (§IV-D);
+* the index bitmap is never touched outside update, so its cache lines
+  compete for capacity only during execution, not during the sweeps.
+
+The slot assignment — next free slot on first appearance — is what
+condenses scattered keys into a dense prefix. (Within one batched
+update, fresh keys are assigned in sorted order rather than trace
+order; any dense assignment is equivalent because the index persists
+for the whole campaign, so every key keeps one stable slot.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .access import Op
+from .bitmap_base import CoverageMap, aggregate_keys, apply_counts
+from .classify import classify_counts
+from .compare import CompareResult, VirginMap
+from .errors import MapFullError
+from .hashing import crc32_trimmed, last_nonzero_index
+
+
+class BigMapCoverage(CoverageMap):
+    """Two-level condensed coverage bitmap.
+
+    Args:
+        map_size: capacity in keys/bytes (power of two). Can be made
+            arbitrarily large: per-execution cost depends on ``used_key``,
+            i.e. on how many distinct keys the target has produced so far,
+            not on ``map_size``.
+    """
+
+    #: Sentinel marking an unassigned index entry.
+    UNASSIGNED = -1
+
+    def __init__(self, map_size: int, **kwargs) -> None:
+        super().__init__(map_size, **kwargs)
+        self.index = np.full(map_size, self.UNASSIGNED, dtype=np.int64)
+        self.cov = np.zeros(map_size, dtype=np.uint8)
+        self.used_key = 0
+        # One-time full-map touch; the only one in the whole campaign.
+        self.log.sweep(Op.INIT, "index", map_size * 8, write=True,
+                       element_size=8)
+        self.log.sweep(Op.INIT, "coverage", map_size, write=True)
+
+    # -- operations ------------------------------------------------------
+
+    def reset(self) -> None:
+        self.cov[:self.used_key] = 0
+        self.log.sweep(Op.RESET, "coverage", self.used_key, write=True)
+
+    def update(self, keys: np.ndarray, counts: np.ndarray) -> int:
+        self._check_keys(keys)
+        unique, summed = aggregate_keys(keys, counts)
+        if unique.size == 0:
+            return 0
+        slots = self.index[unique]
+        fresh = slots == self.UNASSIGNED
+        n_fresh = int(np.count_nonzero(fresh))
+        if n_fresh:
+            if self.used_key + n_fresh > self.map_size:
+                raise MapFullError(
+                    f"{self.used_key + n_fresh} distinct keys exceed map "
+                    f"size {self.map_size}")
+            new_slots = np.arange(self.used_key,
+                                  self.used_key + n_fresh, dtype=np.int64)
+            self.index[unique[fresh]] = new_slots
+            self.used_key += n_fresh
+            slots = self.index[unique]
+        apply_counts(self.cov, slots, summed, self.counter_mode)
+        # Scattered reads over the index span (same pattern as AFL's
+        # trace accesses) ...
+        self.log.scatter(Op.UPDATE, "index", int(unique.size),
+                         self.map_size * 8, element_size=8,
+                         write=bool(n_fresh))
+        # ... but the counter writes land in the dense prefix.
+        self.log.scatter(Op.UPDATE, "coverage", int(unique.size),
+                         max(self.used_key, 1), write=True)
+        return int(unique.size)
+
+    def classify(self) -> None:
+        region = self.cov[:self.used_key]
+        classify_counts(region, out=region)
+        self.log.sweep(Op.CLASSIFY, "coverage", self.used_key, write=True)
+
+    def compare(self, virgin: VirginMap) -> CompareResult:
+        result = virgin.merge(self.cov, limit=self.used_key)
+        self.log.sweep(Op.COMPARE, "coverage", self.used_key)
+        self.log.sweep(Op.COMPARE, "virgin", self.used_key,
+                       write=result.interesting)
+        return result
+
+    def classify_and_compare(self, virgin: VirginMap) -> CompareResult:
+        region = self.cov[:self.used_key]
+        classify_counts(region, out=region)
+        result = virgin.merge(self.cov, limit=self.used_key)
+        self.log.sweep(Op.COMPARE, "coverage", self.used_key, write=True)
+        self.log.sweep(Op.COMPARE, "virgin", self.used_key,
+                       write=result.interesting)
+        return result
+
+    def hash(self) -> int:
+        last = last_nonzero_index(self.cov, self.used_key)
+        self.log.sweep(Op.HASH, "coverage", last + 1)
+        return crc32_trimmed(self.cov, self.used_key)
+
+    # -- introspection ---------------------------------------------------
+
+    def active_bytes(self) -> int:
+        return self.used_key
+
+    def slot_for_key(self, key: int) -> int:
+        """Condensed slot assigned to ``key``, or -1 if never seen."""
+        return int(self.index[key])
+
+    def count_for_key(self, key: int) -> int:
+        slot = self.index[key]
+        if slot == self.UNASSIGNED:
+            return 0
+        return int(self.cov[slot])
+
+    def nonzero_locations(self) -> np.ndarray:
+        return np.flatnonzero(self.cov[:self.used_key])
+
+    def check_invariants(self) -> None:
+        """Assert the structural invariants; used by property tests.
+
+        * assigned slots are exactly ``0..used_key-1``, each used once;
+        * nothing beyond ``used_key`` is nonzero in the coverage bitmap;
+        * unassigned index entries are the sentinel.
+        """
+        assigned = self.index[self.index != self.UNASSIGNED]
+        if assigned.size != self.used_key:
+            raise AssertionError(
+                f"{assigned.size} assigned slots but used_key="
+                f"{self.used_key}")
+        if assigned.size and (np.sort(assigned) !=
+                              np.arange(self.used_key)).any():
+            raise AssertionError("assigned slots are not a dense prefix")
+        if np.count_nonzero(self.cov[self.used_key:]):
+            raise AssertionError("coverage bytes beyond used_key are dirty")

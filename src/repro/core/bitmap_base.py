@@ -1,0 +1,152 @@
+"""Abstract interface shared by AFL's flat bitmap and BigMap.
+
+A :class:`CoverageMap` is the per-execution ("local") trace store. The
+fuzzing loop drives it through the operation sequence of paper §II-A2:
+
+    reset → (target runs, emitting updates) → classify → compare → [hash]
+
+Both implementations receive the same *keys*: integers in
+``[0, map_size)`` produced by an instrumentation pipeline (plain AFL edge
+hashes, N-gram hashes, ...). The difference is purely in how the backing
+storage is organized and therefore what each operation has to touch —
+which is the whole point of the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .access import AccessLog, NullAccessLog
+from .compare import CompareResult, VirginMap
+from .errors import KeyRangeError, MapSizeError, TraceShapeError
+
+#: Counter overflow policies. AFL's 8-bit counters wrap silently; modern
+#: forks saturate. Both are provided; ``saturate`` is the default.
+COUNTER_SATURATE = "saturate"
+COUNTER_WRAP = "wrap"
+
+
+def _require_power_of_two(map_size: int) -> None:
+    if map_size <= 0 or (map_size & (map_size - 1)) != 0:
+        raise MapSizeError(
+            f"map size must be a positive power of two, got {map_size}")
+
+
+def aggregate_keys(keys: np.ndarray, counts: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Combine duplicate keys, summing their counts.
+
+    Distinct program edges whose IDs collide into the same map key must
+    accumulate into one location — this is exactly the hash-collision
+    aliasing the paper studies, so it must be modeled faithfully.
+
+    Returns:
+        ``(unique_keys, summed_counts)`` with ``unique_keys`` sorted.
+    """
+    if keys.ndim != 1 or counts.ndim != 1 or keys.shape != counts.shape:
+        raise TraceShapeError(
+            f"keys/counts must be equal-length 1-D arrays, got shapes "
+            f"{keys.shape} and {counts.shape}")
+    if keys.size == 0:
+        return keys.astype(np.int64), counts.astype(np.int64)
+    unique, inverse = np.unique(keys, return_inverse=True)
+    summed = np.bincount(inverse, weights=counts).astype(np.int64)
+    return unique.astype(np.int64), summed
+
+
+def apply_counts(store: np.ndarray, slots: np.ndarray, summed: np.ndarray,
+                 mode: str) -> None:
+    """Add ``summed`` hit counts into 8-bit ``store[slots]``.
+
+    ``slots`` must be unique. Saturation clamps at 255 (sticky, like a
+    per-increment saturating counter); wrap reduces mod 256 (like AFL's
+    raw ``u8`` increments).
+    """
+    current = store[slots].astype(np.int64) + summed
+    if mode == COUNTER_SATURATE:
+        store[slots] = np.minimum(current, 255).astype(np.uint8)
+    elif mode == COUNTER_WRAP:
+        store[slots] = (current & 0xFF).astype(np.uint8)
+    else:
+        raise ValueError(f"unknown counter mode {mode!r}")
+
+
+class CoverageMap(ABC):
+    """Per-execution coverage store: the fuzzer's ``trace_bits``."""
+
+    def __init__(self, map_size: int, *,
+                 counter_mode: str = COUNTER_SATURATE,
+                 log: Optional[AccessLog] = None,
+                 validate_keys: bool = True) -> None:
+        _require_power_of_two(map_size)
+        if counter_mode not in (COUNTER_SATURATE, COUNTER_WRAP):
+            raise ValueError(f"unknown counter mode {counter_mode!r}")
+        self.map_size = map_size
+        self.counter_mode = counter_mode
+        self.log = log if log is not None else NullAccessLog()
+        self._validate_keys = validate_keys
+
+    # -- operations ------------------------------------------------------
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Clear per-execution state ahead of the next test case."""
+
+    @abstractmethod
+    def update(self, keys: np.ndarray, counts: np.ndarray) -> int:
+        """Record that each ``keys[i]`` was traversed ``counts[i]`` times.
+
+        Returns:
+            Number of distinct map locations touched (after collision
+            aliasing) — the ``unique_locations`` of the cost model.
+        """
+
+    @abstractmethod
+    def classify(self) -> None:
+        """Bucket the stored hit counts in place."""
+
+    @abstractmethod
+    def compare(self, virgin: VirginMap) -> CompareResult:
+        """Merge the (already classified) trace into ``virgin``."""
+
+    @abstractmethod
+    def hash(self) -> int:
+        """Hash of the classified trace, stable across unrelated growth."""
+
+    def classify_and_compare(self, virgin: VirginMap) -> CompareResult:
+        """Merged classify+compare sweep (paper §IV-E optimization).
+
+        Functionally identical to ``classify(); compare(virgin)`` but
+        performs (and accounts) a single pass over the active region,
+        halving the sweep cost. Subclasses override the accounting; the
+        default implementation simply chains the two steps.
+        """
+        self.classify()
+        return self.compare(virgin)
+
+    # -- introspection ---------------------------------------------------
+
+    @abstractmethod
+    def active_bytes(self) -> int:
+        """Bytes a full-map operation must sweep for this structure."""
+
+    @abstractmethod
+    def count_for_key(self, key: int) -> int:
+        """Current stored (possibly classified) count for a map key."""
+
+    @abstractmethod
+    def nonzero_locations(self) -> np.ndarray:
+        """Storage slots with a nonzero count (structure-native indexing)."""
+
+    # -- shared helpers ---------------------------------------------------
+
+    def _check_keys(self, keys: np.ndarray) -> None:
+        if not self._validate_keys or keys.size == 0:
+            return
+        if int(keys.min()) < 0 or int(keys.max()) >= self.map_size:
+            raise KeyRangeError(
+                f"keys must lie in [0, {self.map_size}), got range "
+                f"[{int(keys.min())}, {int(keys.max())}]")

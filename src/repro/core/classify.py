@@ -1,0 +1,68 @@
+"""AFL hit-count bucketing ("classify").
+
+AFL coarsens exact edge hit counts into power-of-two-ish buckets before
+comparing against the global virgin map (paper §II-A2). A change of count
+*within* a bucket is not an interesting control-flow change; a change
+*across* buckets is. Bucketing also blunts accidental hash collisions.
+
+The buckets, identical to AFL's ``count_class_lookup8``:
+
+    count:   0   1   2   3   4..7  8..15  16..31  32..127  128..255
+    bucket:  0   1   2   4   8     16     32      64       128
+
+Each bucket is encoded as a single distinct bit so the virgin-map compare
+can use bitwise AND/NOT semantics (see :mod:`repro.core.compare`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Lookup table mapping an exact 8-bit hit count to its bucket byte.
+COUNT_CLASS_LOOKUP8 = np.zeros(256, dtype=np.uint8)
+COUNT_CLASS_LOOKUP8[0] = 0
+COUNT_CLASS_LOOKUP8[1] = 1
+COUNT_CLASS_LOOKUP8[2] = 2
+COUNT_CLASS_LOOKUP8[3] = 4
+COUNT_CLASS_LOOKUP8[4:8] = 8
+COUNT_CLASS_LOOKUP8[8:16] = 16
+COUNT_CLASS_LOOKUP8[16:32] = 32
+COUNT_CLASS_LOOKUP8[32:128] = 64
+COUNT_CLASS_LOOKUP8[128:256] = 128
+
+#: The set of byte values a classified map may contain.
+BUCKET_VALUES = frozenset(int(v) for v in np.unique(COUNT_CLASS_LOOKUP8))
+
+
+def classify_counts(counts: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+    """Bucket raw hit counts in place or into ``out``.
+
+    Args:
+        counts: uint8 array of exact hit counts.
+        out: optional destination; defaults to a new array. Passing
+            ``out=counts`` classifies in place, matching AFL which
+            overwrites ``trace_bits``.
+
+    Returns:
+        The bucketed array.
+    """
+    if counts.dtype != np.uint8:
+        raise TypeError(f"classify expects uint8 counts, got {counts.dtype}")
+    return np.take(COUNT_CLASS_LOOKUP8, counts, out=out)
+
+
+def bucket_of(count: int) -> int:
+    """Return the bucket byte for a single exact hit count.
+
+    Counts above 255 saturate into the top bucket, mirroring AFL's 8-bit
+    counters.
+    """
+    if count < 0:
+        raise ValueError(f"hit count must be non-negative, got {count}")
+    return int(COUNT_CLASS_LOOKUP8[min(count, 255)])
+
+
+def is_classified(counts: np.ndarray) -> bool:
+    """True if every byte of ``counts`` is already a valid bucket value."""
+    present = np.unique(counts)
+    return all(int(v) in BUCKET_VALUES for v in present)

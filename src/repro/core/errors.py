@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate on the specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro package."""
+
+
+class MapSizeError(ReproError, ValueError):
+    """An invalid coverage-map size was requested.
+
+    Map sizes must be positive. AFL additionally requires power-of-two sizes
+    because edge keys are reduced with a mask; we enforce the same rule for
+    both data structures so keys are interchangeable between them.
+    """
+
+
+class MapFullError(ReproError, RuntimeError):
+    """BigMap's condensed coverage bitmap ran out of free slots.
+
+    This can only happen when the number of *distinct* keys observed exceeds
+    the map size, i.e. the map is undersized for the target. AFL silently
+    aliases in that situation; BigMap makes the condition explicit.
+    """
+
+
+class KeyRangeError(ReproError, ValueError):
+    """A coverage key fell outside ``[0, map_size)``.
+
+    Instrumentation is responsible for reducing raw hashes into the map
+    range; receiving an out-of-range key indicates a broken metric pipeline.
+    """
+
+
+class TraceShapeError(ReproError, ValueError):
+    """Edge-trace arrays passed to ``update`` were malformed.
+
+    ``keys`` and ``counts`` must be one-dimensional arrays of equal length.
+    """
+
+
+class CalibrationError(ReproError, ValueError):
+    """A memory-model calibration parameter was out of its valid domain."""
+
+
+class CampaignConfigError(ReproError, ValueError):
+    """A fuzzing-campaign configuration was internally inconsistent."""

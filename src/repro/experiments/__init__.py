@@ -1,0 +1,14 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+See DESIGN.md §3 for the experiment-to-module index and
+EXPERIMENTS.md for paper-vs-measured results. The CLI entry point is
+:mod:`repro.experiments.runner` (installed as ``repro-experiments``).
+"""
+
+from .common import (MAP_SIZE_LABELS, MAP_SIZES, PAPER_FIG6_AVG_SPEEDUPS,
+                     PROFILES, BenchmarkCache, Profile, get_profile)
+
+__all__ = [
+    "MAP_SIZE_LABELS", "MAP_SIZES", "PAPER_FIG6_AVG_SPEEDUPS", "PROFILES",
+    "BenchmarkCache", "Profile", "get_profile",
+]

@@ -1,0 +1,147 @@
+"""Shared machinery for the experiment harnesses.
+
+Each ``figN_*.py`` / ``tableN_*.py`` module regenerates one table or
+figure of the paper. They share:
+
+* the paper's four map sizes;
+* run *profiles* — ``full`` approximates the paper's scale (hours of
+  wall time across all experiments), ``quick`` shrinks benchmarks,
+  budgets and exec caps for CI-speed smoke runs (minutes). Profile
+  parameters, and the resulting deviations from the paper's absolute
+  numbers, are documented in EXPERIMENTS.md;
+* a built-benchmark cache, so one program generation serves every
+  configuration of an experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..fuzzer import Campaign, CampaignConfig
+from ..fuzzer.stats import CampaignResult
+from ..target import BuiltBenchmark, get_benchmark
+
+#: The paper's map sizes (§V-B).
+MAP_SIZES: Tuple[int, ...] = (1 << 16, 1 << 18, 1 << 21, 1 << 23)
+MAP_SIZE_LABELS: Dict[int, str] = {
+    1 << 16: "64k", 1 << 18: "256k", 1 << 21: "2M", 1 << 23: "8M"}
+
+#: Paper-reported average speedups for Figure 6 (BigMap over AFL).
+PAPER_FIG6_AVG_SPEEDUPS: Dict[str, float] = {
+    "64k": 0.98, "256k": 1.4, "2M": 4.5, "8M": 33.1}
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Experiment sizing knobs.
+
+    Attributes:
+        name: profile name.
+        scale: benchmark edge-count scaling (1.0 = Table II sizes).
+        seed_scale: seed-corpus scaling.
+        throughput_execs: executions used for a throughput probe.
+        campaign_virtual_seconds: virtual budget for discovery/crash
+            campaigns (the paper's is 86,400 = 24 h).
+        campaign_max_execs: real-execution cap per campaign.
+        composition_scale: extra shrink for the (much larger)
+            laf-intel + N-gram Table III programs.
+        replicas: independent runs averaged per configuration (the
+            paper averages three).
+    """
+
+    name: str
+    scale: float
+    seed_scale: float
+    throughput_execs: int
+    campaign_virtual_seconds: float
+    campaign_max_execs: int
+    composition_scale: float
+    replicas: int
+
+
+PROFILES: Dict[str, Profile] = {
+    "quick": Profile(name="quick", scale=0.05, seed_scale=0.02,
+                     throughput_execs=400,
+                     campaign_virtual_seconds=2.0,
+                     campaign_max_execs=3_000,
+                     composition_scale=0.02, replicas=1),
+    "default": Profile(name="default", scale=0.25, seed_scale=0.10,
+                       throughput_execs=1_500,
+                       campaign_virtual_seconds=20.0,
+                       campaign_max_execs=25_000,
+                       composition_scale=0.20, replicas=1),
+    "full": Profile(name="full", scale=1.0, seed_scale=0.25,
+                    throughput_execs=3_000,
+                    campaign_virtual_seconds=60.0,
+                    campaign_max_execs=60_000,
+                    composition_scale=0.50, replicas=3),
+}
+
+
+def get_profile(name: str) -> Profile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(f"unknown profile {name!r}; known: "
+                         f"{', '.join(PROFILES)}") from None
+
+
+class BenchmarkCache:
+    """Builds each (benchmark, scale, seed_scale) combination once."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, float, float], BuiltBenchmark] = {}
+
+    def get(self, name: str, scale: float,
+            seed_scale: float) -> BuiltBenchmark:
+        key = (name, scale, seed_scale)
+        if key not in self._cache:
+            self._cache[key] = get_benchmark(name).build(
+                scale, seed_scale=seed_scale)
+        return self._cache[key]
+
+
+def throughput_probe(benchmark: str, fuzzer: str, map_size: int,
+                     built: BuiltBenchmark, profile: Profile, *,
+                     metric: str = "afl-edge", lafintel: bool = False,
+                     rng_seed: int = 0,
+                     merged: bool = True) -> CampaignResult:
+    """Short campaign measuring steady-state throughput.
+
+    The probe runs a fixed number of executions (identical for every
+    configuration) under a generous virtual budget; throughput is the
+    model-derived execs per virtual second.
+    """
+    config = CampaignConfig(
+        benchmark=benchmark, fuzzer=fuzzer, map_size=map_size,
+        metric=metric, lafintel=lafintel, scale=profile.scale,
+        seed_scale=profile.seed_scale,
+        virtual_seconds=1e9,  # the exec cap is the binding limit
+        max_real_execs=profile.throughput_execs, rng_seed=rng_seed,
+        merged_classify_compare=merged)
+    return Campaign(config, built=built).run()
+
+
+def discovery_campaign(benchmark: str, fuzzer: str, map_size: int,
+                       built: BuiltBenchmark, profile: Profile, *,
+                       metric: str = "afl-edge", lafintel: bool = False,
+                       rng_seed: int = 0,
+                       compute_true_coverage: bool = False,
+                       virtual_seconds: Optional[float] = None
+                       ) -> CampaignResult:
+    """Budgeted campaign for coverage/crash experiments."""
+    config = CampaignConfig(
+        benchmark=benchmark, fuzzer=fuzzer, map_size=map_size,
+        metric=metric, lafintel=lafintel, scale=profile.scale,
+        seed_scale=profile.seed_scale,
+        virtual_seconds=virtual_seconds or
+        profile.campaign_virtual_seconds,
+        max_real_execs=profile.campaign_max_execs, rng_seed=rng_seed,
+        compute_true_coverage=compute_true_coverage)
+    return Campaign(config, built=built).run()
+
+
+def averaged(values) -> float:
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0

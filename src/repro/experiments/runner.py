@@ -1,0 +1,102 @@
+"""Experiment runner CLI: regenerate any table or figure of the paper.
+
+Usage (installed as ``repro-experiments``)::
+
+    repro-experiments --list
+    repro-experiments fig6 --profile quick
+    repro-experiments all --profile default --out results/
+
+Each experiment prints a paper-layout text report; ``--out`` also
+writes one ``<experiment>.txt`` per report for inclusion in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+from . import (extra_collafl, extra_dedup_bias, extra_ensemble,
+               fig2_collision, fig3_runtime, fig6_throughput,
+               fig7_edge_coverage, fig8_crashes, fig9_scalability,
+               fig10_parallel_crashes, table2_benchmarks,
+               table3_composition)
+from .common import BenchmarkCache, Profile, get_profile
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig2": fig2_collision.run,
+    "fig3": fig3_runtime.run,
+    "table2": table2_benchmarks.run,
+    "fig6": fig6_throughput.run,
+    "fig7": fig7_edge_coverage.run,
+    "fig8": fig8_crashes.run,
+    "table3": table3_composition.run,
+    "fig9": fig9_scalability.run,
+    "fig10": fig10_parallel_crashes.run,
+    # Extensions beyond the paper's evaluation (see each module's doc).
+    "collafl": extra_collafl.run,
+    "dedup-bias": extra_dedup_bias.run,
+    "ensemble": extra_ensemble.run,
+}
+
+#: Paper order for ``all``.
+ORDER = ("fig2", "fig3", "table2", "fig6", "fig7", "fig8", "table3",
+         "fig9", "fig10", "collafl", "dedup-bias", "ensemble")
+
+
+def run_experiment(name: str, profile: Profile,
+                   cache: BenchmarkCache = None) -> str:
+    runner = EXPERIMENTS[name]
+    if name in ("fig2", "table2"):
+        return runner(profile)
+    return runner(profile, cache or BenchmarkCache())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the BigMap paper's tables and figures.")
+    parser.add_argument("experiment", nargs="?", default="all",
+                        help="experiment id (fig2..fig10, table2, "
+                             "table3) or 'all'")
+    parser.add_argument("--profile", default="default",
+                        choices=["quick", "default", "full"],
+                        help="run size: quick (CI smoke), default, full "
+                             "(paper scale)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to write per-experiment reports")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ORDER:
+            print(name)
+        return 0
+
+    profile = get_profile(args.profile)
+    names = list(ORDER) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    cache = BenchmarkCache()
+    for name in names:
+        start = time.time()
+        report = run_experiment(name, profile, cache)
+        elapsed = time.time() - start
+        banner = (f"\n{'=' * 72}\n{name}  (profile={profile.name}, "
+                  f"{elapsed:.1f}s)\n{'=' * 72}")
+        print(banner)
+        print(report)
+        if args.out:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Table III: the laf-intel + N-gram composition (§V-C).
+
+All 13 LLVM harnesses, with laf-intel applied to the target and N-gram
+(N=3) as the coverage metric — *both* configurations use BigMap; the
+comparison is 64 kB vs 2 MB maps. The paper's findings:
+
+* the composed metric pushes collision rates to ~79% on 64 kB and down
+  to ~7.5% on 2 MB;
+* edge coverage is essentially unchanged (insensitive to collisions);
+* unique crashes improve by **33%** on average with the big map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.collision import collision_rate
+from ..analysis.reporting import render_table
+from ..analysis.throughput import arithmetic_mean
+from ..target import TABLE3_BENCHMARKS
+from .common import (BenchmarkCache, Profile, discovery_campaign,
+                     get_profile)
+
+TABLE3_MAP_SIZES = (1 << 16, 1 << 21)
+_LABELS = {1 << 16: "64kB", 1 << 21: "2MB"}
+
+#: Paper's Table III AVERAGE row for reference.
+PAPER_AVERAGE = {"collision_64k": 78.8, "collision_2m": 7.5,
+                 "coverage_64k": 333_217, "coverage_2m": 335_387,
+                 "crash_64k": 264, "crash_2m": 352}
+
+
+def compute(profile: Profile, cache: BenchmarkCache = None,
+            benchmarks=None) -> List[dict]:
+    cache = cache or BenchmarkCache()
+    configs = benchmarks or TABLE3_BENCHMARKS
+    rows: List[dict] = []
+    scale = profile.composition_scale
+    for config in configs:
+        built = cache.get(config.name, scale, profile.seed_scale)
+        row = {"benchmark": config.name}
+        for size in TABLE3_MAP_SIZES:
+            label = _LABELS[size]
+            coverages, crashes, pressures = [], [], []
+            for replica in range(profile.replicas):
+                result = discovery_campaign(
+                    config.name, "bigmap", size, built, profile,
+                    metric="ngram3", lafintel=True, rng_seed=replica,
+                    compute_true_coverage=True)
+                # The paper's coverage column is the *bias-free*
+                # evaluation of the output corpus (it exceeds 64k on a
+                # 64 kB map, which only an independent build can show).
+                coverages.append(float(result.true_edge_coverage))
+                crashes.append(float(result.unique_crashes))
+                pressures.append(result.used_key or 0)
+            row[f"coverage_{label}"] = arithmetic_mean(coverages)
+            row[f"crash_{label}"] = arithmetic_mean(crashes)
+            row[f"used_{label}"] = int(arithmetic_mean(pressures))
+        # Collision rate via Equation 1 from the realized key pressure.
+        # The 2 MB run's used_key is the better pressure estimate: the
+        # 64 kB map saturates and under-counts its own pressure.
+        pressure = row["used_2MB"]
+        for size in TABLE3_MAP_SIZES:
+            row[f"collision_{_LABELS[size]}"] = \
+                100.0 * collision_rate(size, pressure)
+        rows.append(row)
+    return rows
+
+
+def run(profile: Profile, cache: BenchmarkCache = None) -> str:
+    rows = compute(profile, cache)
+    table_rows = []
+    for r in rows:
+        table_rows.append([
+            r["benchmark"],
+            f"{r['collision_64kB']:.1f}", f"{r['collision_2MB']:.1f}",
+            f"{r['coverage_64kB']:,.0f}", f"{r['coverage_2MB']:,.0f}",
+            f"{r['crash_64kB']:.0f}", f"{r['crash_2MB']:.0f}"])
+    avg = {key: arithmetic_mean([r[key] for r in rows])
+           for key in ("collision_64kB", "collision_2MB",
+                       "coverage_64kB", "coverage_2MB",
+                       "crash_64kB", "crash_2MB")}
+    table_rows.append([
+        "AVERAGE", f"{avg['collision_64kB']:.1f}",
+        f"{avg['collision_2MB']:.1f}", f"{avg['coverage_64kB']:,.0f}",
+        f"{avg['coverage_2MB']:,.0f}", f"{avg['crash_64kB']:.0f}",
+        f"{avg['crash_2MB']:.0f}"])
+    report = render_table(
+        ["Benchmark (laf+ngram)", "Coll% 64kB", "Coll% 2MB",
+         "Edges 64kB", "Edges 2MB", "Crash 64kB", "Crash 2MB"],
+        table_rows,
+        title="Table III — laf-intel + N-gram composition "
+              "(both BigMap; scaled targets)")
+    crash_gain = (100.0 * (avg["crash_2MB"] / avg["crash_64kB"] - 1.0)
+                  if avg["crash_64kB"] else 0.0)
+    cov_change = (100.0 * (avg["coverage_2MB"] / avg["coverage_64kB"] - 1)
+                  if avg["coverage_64kB"] else 0.0)
+    report += (f"\n\nUnique-crash improvement with the 2MB map: "
+               f"{crash_gain:+.1f}% (paper: +33%)."
+               f"\nEdge-coverage change: {cov_change:+.1f}% "
+               f"(paper: ~unchanged, +0.7%).")
+    return report
+
+
+def main() -> None:
+    print(run(get_profile("default")))
+
+
+if __name__ == "__main__":
+    main()

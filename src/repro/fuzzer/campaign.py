@@ -1,0 +1,472 @@
+"""The fuzzing campaign loop: AFL's workflow over synthetic targets.
+
+One :class:`Campaign` wires together every substrate in the library —
+target executor, instrumentation pipeline, coverage map (AFL or
+BigMap), virgin-map fitness, scheduler, mutator, crash triage and the
+memory-hierarchy cost model — and runs the paper's Figure 1 workflow
+under a *virtual* time budget: every iteration is charged its modeled
+cycle cost, so configurations with expensive map operations execute
+fewer test cases in the same budget, exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import (AflCoverage, BigMapCoverage, COUNTER_SATURATE,
+                    CoverageMap, VirginMap)
+from ..core.errors import CampaignConfigError
+from ..instrumentation import apply_lafintel, build_instrumentation
+from ..memsim.calibration import model_for_benchmark
+from ..memsim.costmodel import AFL, BIGMAP, BitmapCostModel, ExecShape
+from ..memsim.machine import Machine, XEON_E5645
+from ..target import BuiltBenchmark, Executor, get_benchmark
+from .clock import VirtualClock
+from .mutation import Mutator
+from .pool import SeedPool
+from .scheduling import Scheduler
+from .seed import Seed
+from .stats import CampaignResult, RunningShape
+from .triage import AflCrashTriager, CrashwalkTriager
+
+#: Classic fork-server cost per execution (~250 us at 2.4 GHz).
+FORK_OVERHEAD_CYCLES = 600_000.0
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Configuration of one fuzzing campaign.
+
+    Attributes:
+        benchmark: registry name (:func:`repro.target.get_benchmark`).
+        fuzzer: ``"afl"`` (flat bitmap) or ``"bigmap"``.
+        map_size: coverage bitmap size in bytes (power of two).
+        metric: instrumentation name (``"afl-edge"``, ``"ngram3"``, ...).
+        lafintel: apply the laf-intel transform to the target first.
+        scale: benchmark down-scaling for cheap runs (1.0 = paper size).
+        seed_scale: seed-corpus scaling; defaults to ``scale``.
+        virtual_seconds: modeled time budget (the paper runs 24 h =
+            86,400; experiments use scaled-down budgets, documented in
+            EXPERIMENTS.md).
+        max_real_execs: hard cap on actual executions, as a guard.
+        rng_seed: randomness for scheduling/mutation (campaign replica).
+        counter_mode: 8-bit counter overflow policy.
+        non_temporal_reset: §IV-E option; ``None`` resolves to the
+            paper's setup (auto: enabled for AFL once the map is
+            DRAM-bound, pointless for BigMap).
+        trim_seeds: run AFL's trim stage on every admitted queue entry
+            (trial executions are charged like any others).
+        persistent_mode: feed inputs in a loop without fork() overhead,
+            as the paper's FuzzBench-derived setup does (§V-A1);
+            disabling charges a per-execution fork cost.
+        hang_factor: an execution whose modeled cost exceeds this
+            multiple of the seed-corpus mean is a *hang* (AFL's ``-t``
+            timeout): reported, deduplicated against ``virgin_tmout``,
+            never admitted to the queue. ``None`` disables hang
+            detection.
+        use_dictionary: extract the target's compare operands as an
+            autodictionary and let havoc stamp them in — the *other*
+            road (besides laf-intel) past multi-byte magic compares.
+        anchor_rate: override the Figure 6 calibration anchor.
+        machine: hardware model (defaults to the paper's Xeon).
+        curve_points: number of coverage/crash curve samples.
+        compute_true_coverage: re-run the final corpus through a
+            collision-free evaluator (costs one pass over the corpus).
+    """
+
+    benchmark: str
+    fuzzer: str
+    map_size: int
+    metric: str = "afl-edge"
+    lafintel: bool = False
+    scale: float = 1.0
+    seed_scale: Optional[float] = None
+    virtual_seconds: float = 600.0
+    max_real_execs: int = 200_000
+    rng_seed: int = 0
+    counter_mode: str = COUNTER_SATURATE
+    non_temporal_reset: Optional[bool] = None
+    merged_classify_compare: bool = True
+    trim_seeds: bool = False
+    persistent_mode: bool = True
+    hang_factor: Optional[float] = 20.0
+    use_dictionary: bool = False
+    anchor_rate: Optional[float] = None
+    machine: Machine = XEON_E5645
+    curve_points: int = 60
+    compute_true_coverage: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fuzzer not in (AFL, BIGMAP):
+            raise CampaignConfigError(f"unknown fuzzer {self.fuzzer!r}")
+        if self.virtual_seconds <= 0:
+            raise CampaignConfigError("virtual_seconds must be positive")
+        if self.max_real_execs <= 0:
+            raise CampaignConfigError("max_real_execs must be positive")
+
+
+class Campaign:
+    """A single fuzzing session (one instance, one configuration).
+
+    Args:
+        config: the campaign configuration.
+        built: a pre-built benchmark (program + seeds) to reuse across
+            campaigns; built from ``config`` when omitted.
+    """
+
+    def __init__(self, config: CampaignConfig,
+                 built: Optional[BuiltBenchmark] = None) -> None:
+        self.config = config
+        if built is None:
+            built = get_benchmark(config.benchmark).build(
+                config.scale, seed_scale=config.seed_scale)
+        self.built = built
+
+        program = built.program
+        if config.lafintel and not program.meta.get("laf_applied"):
+            program = apply_lafintel(program)
+        self.program = program
+        self.executor = Executor(program)
+        self.instrumentation = build_instrumentation(
+            config.metric, program, config.map_size, seed=config.rng_seed)
+
+        self.coverage = self._make_coverage_map()
+        self.virgin = VirginMap(config.map_size)
+        self.crashwalk = CrashwalkTriager()
+        self.afl_triage = AflCrashTriager(config.map_size)
+
+        self.rng = np.random.default_rng(
+            np.random.PCG64(config.rng_seed + 0xF0CCA))
+        self.pool = SeedPool()
+        self.scheduler = Scheduler(self.pool, self.rng)
+        dictionary = None
+        if config.use_dictionary:
+            from .dictionary import extract_dictionary
+            dictionary = extract_dictionary(program)
+        self.mutator = Mutator(self.rng,
+                               max_len=max(program.input_len * 4, 64),
+                               dictionary=dictionary)
+        self.clock = VirtualClock(config.machine.frequency_hz)
+        self.shape_stats = RunningShape()
+        self.op_cycles: Dict[str, float] = {
+            "execution": 0.0, "reset": 0.0, "classify": 0.0,
+            "compare": 0.0, "hash": 0.0, "others": 0.0}
+        self.execs = 0
+        self.hangs = 0
+        self.unique_hangs = 0
+        self._next_seed_id = 0
+        self._hang_budget_cycles: Optional[float] = None
+        self.tmout_triage = AflCrashTriager(config.map_size)
+        self.model: Optional[BitmapCostModel] = None
+
+    # ------------------------------------------------------------------
+
+    def _make_coverage_map(self) -> CoverageMap:
+        cfg = self.config
+        if cfg.fuzzer == AFL:
+            # The functional flag only annotates access records; the
+            # cost model resolves None (auto) itself. Mirror the auto
+            # rule so accounting and pricing agree: NT once the flat
+            # map's working set is DRAM-bound.
+            nt = cfg.non_temporal_reset
+            if nt is None:
+                nt = 2 * cfg.map_size > cfg.machine.llc.size_bytes
+            return AflCoverage(cfg.map_size, non_temporal_reset=nt,
+                               counter_mode=cfg.counter_mode,
+                               validate_keys=False)
+        return BigMapCoverage(cfg.map_size, counter_mode=cfg.counter_mode,
+                              validate_keys=False)
+
+    def _resolve_nt(self):
+        """None = auto (resolved inside the calibration factory)."""
+        return self.config.non_temporal_reset
+
+    def _pipeline(self, data: bytes, want_snapshot: bool = False):
+        """Execute one test case through the full coverage pipeline.
+
+        Returns ``(exec_result, compare_result, shape, snapshot)`` where
+        ``snapshot`` is ``(covered_locations, coverage_hash)`` captured
+        while the trace is still in the map (None unless the run is
+        interesting or ``want_snapshot`` is set).
+        """
+        result = self.executor.execute(data)
+        inp = np.frombuffer(data, dtype=np.uint8)
+        keys, counts = self.instrumentation.keys_for(result, inp)
+
+        self.coverage.reset()
+        n_unique = self.coverage.update(keys, counts)
+        compare = self.coverage.classify_and_compare(self.virgin)
+
+        interesting = compare.interesting
+        hash_bytes = 0
+        snapshot = None
+        if interesting or want_snapshot:
+            cov_hash = self.coverage.hash()  # priced via the shape below
+            hash_bytes = self.coverage.active_bytes()
+            snapshot = (self.coverage.nonzero_locations().copy(), cov_hash)
+        shape = ExecShape(
+            traversals=result.traversals,
+            unique_locations=n_unique,
+            used_bytes=self.coverage.active_bytes()
+            if self.config.fuzzer == BIGMAP else 0,
+            interesting=interesting,
+            hash_bytes=hash_bytes)
+        return result, compare, shape, snapshot
+
+    def _charge(self, shape: ExecShape) -> float:
+        ops = self.model.exec_cycles(shape)
+        multiplier = getattr(self, "cycle_multiplier", 1.0)
+        self.clock.charge(ops.total * multiplier)
+        for key, value in ops.as_dict().items():
+            self.op_cycles[key] += value
+        self.shape_stats.absorb(shape)
+        self.execs += 1
+        return ops.total
+
+    def _trace_hash(self, data: bytes) -> int:
+        """Classified-trace hash of one execution, without touching
+        the virgin map (the trim oracle). Charged like a normal run."""
+        result = self.executor.execute(data)
+        inp = np.frombuffer(data, dtype=np.uint8)
+        keys, counts = self.instrumentation.keys_for(result, inp)
+        self.coverage.reset()
+        n_unique = self.coverage.update(keys, counts)
+        self.coverage.classify()
+        value = self.coverage.hash()
+        self._charge(ExecShape(
+            traversals=result.traversals, unique_locations=n_unique,
+            used_bytes=self.coverage.active_bytes()
+            if self.config.fuzzer == BIGMAP else 0,
+            interesting=True,
+            hash_bytes=self.coverage.active_bytes()))
+        return value
+
+    def _admit(self, data: bytes, exec_cycles: float, depth: int,
+               parent_id: Optional[int], snapshot) -> None:
+        if self.config.trim_seeds and self.model is not None:
+            from .trim import trim_input
+            data = trim_input(data, self._trace_hash).data
+        locations, cov_hash = snapshot
+        seed = Seed(
+            seed_id=self._next_seed_id, data=data,
+            exec_cycles=exec_cycles, coverage_hash=cov_hash,
+            covered_locations=locations, depth=depth,
+            found_at=self.clock.seconds, parent_id=parent_id)
+        self._next_seed_id += 1
+        self.pool.add(seed)
+
+    def _is_hang(self, cycles: float) -> bool:
+        """AFL's timeout rule on the modeled execution cost.
+
+        Loop-heavy inputs (huge traversal counts) can exceed any wall
+        budget on a real target; the virtual equivalent is a cycle
+        budget derived from the calibrated per-benchmark mean.
+        """
+        return (self._hang_budget_cycles is not None and
+                cycles > self._hang_budget_cycles)
+
+    def _handle_hang(self) -> None:
+        self.hangs += 1
+        if self.config.fuzzer == AFL:
+            locations = self.coverage.nonzero_locations()
+            new = self.tmout_triage.observe_sparse(
+                locations, self.coverage.trace[locations])
+        else:
+            new = self.tmout_triage.observe(
+                self.coverage.cov, limit=self.coverage.used_key)
+        if new:
+            self.unique_hangs += 1
+
+    def _handle_crash(self, result, limit: Optional[int]) -> None:
+        self.crashwalk.observe(result.crash, self.clock.seconds)
+        if self.config.fuzzer == AFL:
+            # Sparse merge: equivalent to the full-map merge, without
+            # sweeping a multi-MB array on the host per crash.
+            locations = self.coverage.nonzero_locations()
+            self.afl_triage.observe_sparse(
+                locations, self.coverage.trace[locations])
+        else:
+            self.afl_triage.observe(self.coverage.cov, limit=limit)
+
+    # ------------------------------------------------------------------
+
+    def _dry_run_and_calibrate(self) -> List[Tuple]:
+        """Execute the seed corpus, then calibrate the cost model.
+
+        The model needs a representative execution shape, which only
+        exists after running the seeds — so seed executions are recorded
+        first and charged retroactively once the model exists.
+        """
+        pending = []
+        for data in self.built.seeds:
+            result, compare, shape, snapshot = self._pipeline(
+                data, want_snapshot=True)
+            pending.append((data, result, compare, shape, snapshot))
+
+        shapes = [p[3] for p in pending]
+        reference = ExecShape(
+            traversals=int(np.mean([s.traversals for s in shapes])),
+            unique_locations=int(np.mean([s.unique_locations
+                                          for s in shapes])),
+            used_bytes=shapes[-1].used_bytes)
+        self.model = model_for_benchmark(
+            self.config.benchmark, self.config.fuzzer,
+            self.config.map_size, reference,
+            n_edges=self.program.n_edges, machine=self.config.machine,
+            anchor_rate=self.config.anchor_rate,
+            non_temporal_reset=self._resolve_nt(),
+            fork_overhead_cycles=0.0 if self.config.persistent_mode
+            else FORK_OVERHEAD_CYCLES,
+            merged_classify_compare=self.config.merged_classify_compare)
+
+        if self.config.hang_factor is not None:
+            mean_cycles = float(np.mean(
+                [self.model.exec_cycles(s).total
+                 for s in shapes])) if shapes else 0.0
+            self._hang_budget_cycles = \
+                self.config.hang_factor * max(mean_cycles, 1.0)
+
+        for data, result, compare, shape, snapshot in pending:
+            cycles = self._charge(shape)
+            if result.crash is not None:
+                self._handle_crash(result, self._compare_limit())
+            else:
+                # User seeds are always admitted, as in AFL.
+                self._admit(data, cycles, depth=0, parent_id=None,
+                            snapshot=snapshot)
+        return pending
+
+    def _compare_limit(self) -> Optional[int]:
+        return (self.coverage.used_key
+                if self.config.fuzzer == BIGMAP else None)
+
+    def start(self) -> None:
+        """Dry-run the seeds and calibrate; idempotent."""
+        if self.model is not None:
+            return
+        self._dry_run_and_calibrate()
+        self._curve_step = (self.config.virtual_seconds /
+                            self.config.curve_points)
+        self._next_sample = self._curve_step
+        self.coverage_curve: List[Tuple[float, int]] = []
+        self.stopped_by = "budget"
+        #: Contention multiplier on charged cycles (set by parallel
+        #: sessions; 1.0 when running alone).
+        self.cycle_multiplier = 1.0
+
+    def _record_curve(self) -> None:
+        while self.clock.seconds >= self._next_sample:
+            self.coverage_curve.append(
+                (self._next_sample, self.virgin.count_discovered()))
+            self._next_sample += self._curve_step
+
+    def _exhausted(self, deadline: float) -> bool:
+        if self.execs >= self.config.max_real_execs:
+            self.stopped_by = "execs"
+            return True
+        return not self.clock.before(deadline)
+
+    def step_until(self, deadline_seconds: float) -> None:
+        """Fuzz until the virtual clock reaches ``deadline_seconds``."""
+        if self.model is None:
+            raise RuntimeError("call start() before step_until()")
+        deadline = min(deadline_seconds, self.config.virtual_seconds)
+        while not self._exhausted(deadline):
+            if not self.pool.seeds:
+                # Every seed crashed: fuzz from a random input.
+                filler = self.rng.integers(
+                    0, 256, size=self.program.input_len,
+                    dtype=np.uint8).tobytes()
+                result, compare, shape, snapshot = self._pipeline(
+                    filler, want_snapshot=True)
+                cycles = self._charge(shape)
+                if result.crash is None:
+                    self._admit(filler, cycles, 0, None, snapshot)
+                continue
+
+            seed = self.scheduler.next_seed()
+            energy = self.scheduler.energy_for(seed)
+            seed.fuzzed = True
+            partner = self.pool.pick_splice_partner(self.rng, seed.seed_id)
+            for _ in range(energy):
+                if self._exhausted(deadline):
+                    break
+                mutant = self.mutator.havoc(
+                    seed.data,
+                    splice_with=partner.data if partner else None)
+                result, compare, shape, snapshot = self._pipeline(mutant)
+                cycles = self._charge(shape)
+                if result.crash is not None:
+                    self._handle_crash(result, self._compare_limit())
+                elif self._is_hang(cycles):
+                    # Hanging inputs are reported, never queued (AFL
+                    # drops them from the fuzzing flow the same way).
+                    self._handle_hang()
+                elif compare.interesting:
+                    self._admit(mutant, cycles, seed.depth + 1,
+                                seed.seed_id, snapshot)
+                self._record_curve()
+
+    def import_input(self, data: bytes) -> bool:
+        """Run a peer's queue entry; admit it if it covers new ground.
+
+        This is AFL's ``-M``/``-S`` corpus synchronization: imported
+        entries are executed (and charged) like any test case.
+        """
+        result, compare, shape, snapshot = self._pipeline(data)
+        cycles = self._charge(shape)
+        if result.crash is not None:
+            self._handle_crash(result, self._compare_limit())
+            return False
+        if compare.interesting:
+            self._admit(data, cycles, 0, None, snapshot)
+            return True
+        return False
+
+    def finish(self) -> CampaignResult:
+        """Close curves and assemble the result record."""
+        self.coverage_curve.append((self.clock.seconds,
+                                    self.virgin.count_discovered()))
+        true_coverage = None
+        if self.config.compute_true_coverage:
+            from ..analysis.coverage_eval import evaluate_corpus
+            true_coverage = evaluate_corpus(
+                self.program, [s.data for s in self.pool.seeds],
+                executor=self.executor)
+        config = self.config
+        virtual = max(self.clock.seconds, 1e-9)
+        return CampaignResult(
+            benchmark=config.benchmark, fuzzer=config.fuzzer,
+            map_size=config.map_size, metric=config.metric,
+            lafintel=config.lafintel, execs=self.execs,
+            virtual_seconds=virtual,
+            throughput=self.execs / virtual,
+            discovered_locations=self.virgin.count_discovered(),
+            used_key=(self.coverage.used_key
+                      if config.fuzzer == BIGMAP else None),
+            unique_crashes=self.crashwalk.unique_crashes,
+            afl_unique_crashes=self.afl_triage.unique_crashes,
+            corpus=[s.data for s in self.pool.seeds],
+            coverage_curve=self.coverage_curve,
+            crash_curve=self.crashwalk.curve(),
+            op_cycles=dict(self.op_cycles),
+            interesting_execs=self.shape_stats.interesting,
+            stopped_by=self.stopped_by,
+            mean_shape=self.shape_stats.mean_shape(),
+            true_edge_coverage=true_coverage,
+            hangs=self.hangs, unique_hangs=self.unique_hangs)
+
+    def run(self) -> CampaignResult:
+        """Run the campaign to its virtual deadline (or exec cap)."""
+        self.start()
+        self.step_until(self.config.virtual_seconds)
+        return self.finish()
+
+
+def run_campaign(config: CampaignConfig,
+                 built: Optional[BuiltBenchmark] = None) -> CampaignResult:
+    """Convenience wrapper: construct and run a campaign."""
+    return Campaign(config, built=built).run()

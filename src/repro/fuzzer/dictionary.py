@@ -1,0 +1,81 @@
+"""Fuzzing dictionaries: user tokens and compare-operand extraction.
+
+AFL accepts a dictionary (``-x``) of magic tokens that havoc splices
+into inputs; AFL++'s *autodictionary* extracts the operands of
+comparison instructions at instrumentation time. Both matter to the
+BigMap story: a dictionary is the *other* way (besides laf-intel) that
+multi-byte magic compares become reachable, and reaching them is what
+creates the map pressure BigMap exists to absorb.
+
+:func:`extract_dictionary` is the autodictionary analogue for our
+synthetic targets: it collects the magic operands of ``EQ_MULTI``
+guards (deduplicated, deterministic order).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..target.cfg import Guard, Program
+
+#: Keep dictionaries bounded, as AFL does (MAX_AUTO_EXTRAS analogue).
+MAX_TOKENS = 512
+
+
+def extract_dictionary(program: Program, *,
+                       max_tokens: int = MAX_TOKENS) -> List[bytes]:
+    """Compare-operand tokens of ``program`` (autodictionary).
+
+    Returns the distinct multi-byte magic values the target compares
+    against, in deterministic (sorted) order, capped at ``max_tokens``.
+    """
+    multi = np.flatnonzero(program.kind == np.uint8(Guard.EQ_MULTI))
+    tokens = set()
+    for edge in multi.tolist():
+        width = int(program.width[edge])
+        tokens.add(bytes(program.magic[edge, :width]))
+    return sorted(tokens)[:max_tokens]
+
+
+class DictionaryMixer:
+    """Applies dictionary tokens during havoc.
+
+    Used by :class:`~repro.fuzzer.mutation.Mutator` when a dictionary
+    is supplied: with probability ``use_probability`` per havoc mutant,
+    one token is overwritten into (or inserted at) a random position —
+    AFL's ``EXTRAS`` havoc cases.
+    """
+
+    def __init__(self, tokens: Sequence[bytes], *,
+                 use_probability: float = 0.25) -> None:
+        if not 0 <= use_probability <= 1:
+            raise ValueError(f"use_probability must be in [0, 1], got "
+                             f"{use_probability}")
+        self.tokens = [t for t in tokens if t]
+        self.use_probability = use_probability
+
+    def __bool__(self) -> bool:
+        return bool(self.tokens)
+
+    def maybe_apply(self, buf: np.ndarray,
+                    rng: np.random.Generator) -> np.ndarray:
+        """Possibly stamp one token into ``buf``; returns the buffer."""
+        if not self.tokens or rng.random() >= self.use_probability:
+            return buf
+        token = np.frombuffer(
+            self.tokens[int(rng.integers(0, len(self.tokens)))],
+            dtype=np.uint8)
+        if buf.size == 0:
+            return token.copy()
+        if rng.random() < 0.75 or buf.size <= token.size:
+            # Overwrite at a random position (clamped to fit).
+            if token.size >= buf.size:
+                return token[:buf.size].copy()
+            pos = int(rng.integers(0, buf.size - token.size + 1))
+            buf[pos:pos + token.size] = token
+            return buf
+        # Insert.
+        pos = int(rng.integers(0, buf.size + 1))
+        return np.concatenate([buf[:pos], token, buf[pos:]])

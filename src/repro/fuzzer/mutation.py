@@ -1,0 +1,210 @@
+"""Mutation engine: AFL's deterministic stages and havoc.
+
+The deterministic stage (walking bitflips, arithmetic, interesting
+values) is implemented for completeness and for the master instance of
+parallel sessions, but — exactly as in the paper's evaluation setup
+(§V-A1) — campaigns skip it by default for short runs and go straight
+to stacked random "havoc" mutations with occasional splicing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from .dictionary import DictionaryMixer
+
+#: AFL's interesting values (8/16/32-bit), as unsigned patterns.
+INTERESTING_8 = np.array([128, 255, 0, 1, 16, 32, 64, 100, 127],
+                         dtype=np.uint8)
+INTERESTING_16 = np.array([0x8000, 0xFFFF, 0, 1, 16, 32, 64, 100, 127,
+                           0x7FFF, 128, 255, 256, 512, 1000, 1024, 4096],
+                          dtype=np.uint16)
+INTERESTING_32 = np.array([0x80000000, 0xFFFFFFFF, 0, 1, 16, 32, 64, 100,
+                           0x7FFFFFFF, 32768, 65535, 65536, 100663045],
+                          dtype=np.uint32)
+
+#: Havoc stacking: 2^1 .. 2^HAVOC_STACK_POW2 operations per mutant.
+HAVOC_STACK_POW2 = 7
+
+#: Arithmetic mutation magnitude (AFL's ARITH_MAX).
+ARITH_MAX = 35
+
+#: Havoc block-operation size cap, as a fraction of the input.
+_BLOCK_FRACTION = 0.25
+
+
+class Mutator:
+    """Stateful random mutator (one per campaign instance).
+
+    Args:
+        rng: the campaign's random stream.
+        max_len: hard cap on mutant length (AFL's MAX_FILE analogue).
+        min_len: mutants are never shrunk below this.
+        dictionary: optional tokens (AFL ``-x`` / autodictionary);
+            havoc occasionally stamps one into the mutant.
+    """
+
+    def __init__(self, rng: np.random.Generator, *,
+                 max_len: int = 8192, min_len: int = 4,
+                 dictionary: Optional[Sequence[bytes]] = None) -> None:
+        if min_len < 1 or max_len < min_len:
+            raise ValueError(f"invalid length bounds [{min_len}, "
+                             f"{max_len}]")
+        self.rng = rng
+        self.max_len = max_len
+        self.min_len = min_len
+        self.dictionary = DictionaryMixer(dictionary) \
+            if dictionary else None
+
+    # -- havoc ------------------------------------------------------------
+
+    def havoc(self, data: bytes,
+              splice_with: Optional[bytes] = None) -> bytes:
+        """One stacked-random mutant of ``data``.
+
+        With a splice partner, the mutant may first be spliced (cut both
+        inputs at random points and join), as AFL does after queue
+        cycles without new finds.
+        """
+        rng = self.rng
+        buf = np.frombuffer(data, dtype=np.uint8).copy()
+        if splice_with is not None and len(splice_with) > 2 and \
+                buf.size > 2 and rng.random() < 0.5:
+            buf = self._splice(buf, np.frombuffer(splice_with,
+                                                  dtype=np.uint8))
+        n_ops = 1 << int(rng.integers(1, HAVOC_STACK_POW2 + 1))
+        for _ in range(n_ops):
+            buf = self._one_havoc_op(buf)
+        if self.dictionary:
+            buf = self.dictionary.maybe_apply(buf, rng)
+        if buf.size > self.max_len:
+            buf = buf[:self.max_len]
+        return buf.tobytes()
+
+    def _splice(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        cut_a = int(self.rng.integers(1, a.size))
+        cut_b = int(self.rng.integers(1, b.size))
+        return np.concatenate([a[:cut_a], b[cut_b:]])
+
+    def _one_havoc_op(self, buf: np.ndarray) -> np.ndarray:
+        rng = self.rng
+        n = buf.size
+        if n == 0:
+            return rng.integers(0, 256, size=self.min_len, dtype=np.uint8)
+        op = int(rng.integers(0, 10))
+        if op == 0:  # flip one bit
+            pos = int(rng.integers(0, n))
+            buf[pos] ^= np.uint8(1 << int(rng.integers(0, 8)))
+        elif op == 1:  # interesting byte
+            buf[int(rng.integers(0, n))] = INTERESTING_8[
+                int(rng.integers(0, INTERESTING_8.size))]
+        elif op == 2 and n >= 2:  # interesting word
+            pos = int(rng.integers(0, n - 1))
+            value = INTERESTING_16[int(rng.integers(0,
+                                                    INTERESTING_16.size))]
+            if rng.random() < 0.5:
+                value = value.byteswap()
+            buf[pos:pos + 2] = np.frombuffer(value.tobytes(),
+                                             dtype=np.uint8)
+        elif op == 3 and n >= 4:  # interesting dword
+            pos = int(rng.integers(0, n - 3))
+            value = INTERESTING_32[int(rng.integers(0,
+                                                    INTERESTING_32.size))]
+            if rng.random() < 0.5:
+                value = value.byteswap()
+            buf[pos:pos + 4] = np.frombuffer(value.tobytes(),
+                                             dtype=np.uint8)
+        elif op == 4:  # arithmetic +/-
+            pos = int(rng.integers(0, n))
+            delta = int(rng.integers(1, ARITH_MAX + 1))
+            if rng.random() < 0.5:
+                delta = -delta
+            buf[pos] = np.uint8((int(buf[pos]) + delta) & 0xFF)
+        elif op == 5:  # random byte
+            buf[int(rng.integers(0, n))] = rng.integers(0, 256,
+                                                        dtype=np.uint8)
+        elif op == 6 and n > self.min_len:  # delete block
+            length = self._block_len(n)
+            start = int(rng.integers(0, n - length + 1))
+            keep = max(self.min_len, n - length)
+            buf = np.concatenate([buf[:start],
+                                  buf[start + length:]])[:None]
+            if buf.size < self.min_len:
+                buf = np.pad(buf, (0, self.min_len - buf.size))
+        elif op == 7 and n < self.max_len:  # clone / insert block
+            length = self._block_len(n)
+            src = int(rng.integers(0, n - length + 1))
+            dst = int(rng.integers(0, n + 1))
+            if rng.random() < 0.75:
+                block = buf[src:src + length]
+            else:  # constant-byte insertion
+                block = np.full(length, rng.integers(0, 256,
+                                                     dtype=np.uint8))
+            buf = np.concatenate([buf[:dst], block, buf[dst:]])
+        elif op == 8:  # overwrite block from elsewhere
+            length = self._block_len(n)
+            src = int(rng.integers(0, n - length + 1))
+            dst = int(rng.integers(0, n - length + 1))
+            buf[dst:dst + length] = buf[src:src + length].copy()
+        else:  # overwrite block with constant byte
+            length = self._block_len(n)
+            dst = int(rng.integers(0, n - length + 1))
+            buf[dst:dst + length] = rng.integers(0, 256, dtype=np.uint8)
+        return buf
+
+    def _block_len(self, n: int) -> int:
+        cap = max(1, int(n * _BLOCK_FRACTION))
+        return int(self.rng.integers(1, cap + 1))
+
+    # -- deterministic stage ----------------------------------------------
+
+    def deterministic(self, data: bytes, *,
+                      max_mutants: Optional[int] = None) -> Iterator[bytes]:
+        """AFL's deterministic mutants of ``data``, in stage order.
+
+        Stages: walking 1/2/4-bit flips, walking byte flips, byte
+        arithmetic, interesting bytes. ``max_mutants`` truncates the
+        stream (the full stream is O(len × 100)).
+        """
+        base = np.frombuffer(data, dtype=np.uint8)
+        produced = 0
+
+        def emit(buf: np.ndarray):
+            nonlocal produced
+            produced += 1
+            return buf.tobytes()
+
+        n_bits = base.size * 8
+        for width in (1, 2, 4):
+            for bit in range(n_bits - width + 1):
+                buf = base.copy()
+                for w in range(width):
+                    pos, off = divmod(bit + w, 8)
+                    buf[pos] ^= np.uint8(1 << off)
+                yield emit(buf)
+                if max_mutants is not None and produced >= max_mutants:
+                    return
+        for pos in range(base.size):
+            buf = base.copy()
+            buf[pos] ^= np.uint8(0xFF)
+            yield emit(buf)
+            if max_mutants is not None and produced >= max_mutants:
+                return
+        for pos in range(base.size):
+            for delta in range(1, ARITH_MAX + 1):
+                for signed in (delta, -delta):
+                    buf = base.copy()
+                    buf[pos] = np.uint8((int(buf[pos]) + signed) & 0xFF)
+                    yield emit(buf)
+                    if max_mutants is not None and \
+                            produced >= max_mutants:
+                        return
+        for pos in range(base.size):
+            for value in INTERESTING_8:
+                buf = base.copy()
+                buf[pos] = value
+                yield emit(buf)
+                if max_mutants is not None and produced >= max_mutants:
+                    return

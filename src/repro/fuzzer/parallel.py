@@ -1,0 +1,204 @@
+"""Parallel fuzzing sessions: master–secondary with corpus sync (§V-D).
+
+Runs *k* campaign instances of the same configuration in interleaved
+virtual-time slices. Between slices:
+
+* **corpus synchronization** — each instance imports the queue entries
+  its peers found since the last sync (executing them through its own
+  pipeline, as AFL's ``-M``/``-S`` sync does);
+* **contention update** — the shared-LLC + DRAM-bandwidth model
+  (:func:`repro.memsim.contention.solve_parallel`) recomputes each
+  instance's slowdown from its current mean execution shape, and the
+  slowdown scales every cycle charge in the next slice.
+
+The paper runs one master (which would perform the deterministic stage)
+and k−1 secondaries; since the evaluation skips the deterministic stage
+(§V-A1), master and secondaries behave identically here apart from
+their random streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from ..core.errors import CampaignConfigError
+from ..memsim.contention import InstanceLoad, solve_parallel
+from ..target import BuiltBenchmark, get_benchmark
+from .campaign import Campaign, CampaignConfig
+from .stats import CampaignResult
+
+
+@dataclass
+class ParallelResultSummary:
+    """Aggregate outcome of a k-instance session.
+
+    Attributes:
+        n_instances: number of co-running campaigns.
+        per_instance: each instance's :class:`CampaignResult`.
+        total_execs: executions across all instances.
+        total_throughput: aggregate execs per virtual second.
+        unique_crashes: Crashwalk-unique crashes across the session
+            (union over instances).
+        discovered_locations: max over instances after final sync (all
+            instances converge once synced).
+        mean_slowdown: average contention multiplier over the session.
+    """
+
+    n_instances: int
+    per_instance: List[CampaignResult]
+    total_execs: int
+    total_throughput: float
+    unique_crashes: int
+    discovered_locations: int
+    mean_slowdown: float
+
+
+class ParallelSession:
+    """k interleaved campaign instances with sync and contention.
+
+    Instances are homogeneous by default (the paper's §V-D setup: the
+    same configuration replicated, differing only in random streams).
+    Passing a *list* of configurations instead builds an **ensemble**
+    session — e.g. one instance per coverage metric, cross-pollinating
+    through the corpus sync, the alternative to metric *stacking* that
+    the paper's related-work section contrasts BigMap against.
+    """
+
+    def __init__(self, config, n_instances: int = None, *,
+                 built: Optional[BuiltBenchmark] = None,
+                 sync_interval: float = None) -> None:
+        if isinstance(config, CampaignConfig):
+            if n_instances is None or n_instances < 1:
+                raise CampaignConfigError(
+                    f"need at least one instance, got {n_instances}")
+            configs = [replace(config,
+                               rng_seed=config.rng_seed + 1000 * i)
+                       for i in range(n_instances)]
+        else:
+            configs = list(config)
+            if not configs:
+                raise CampaignConfigError("need at least one instance")
+            if n_instances is not None and n_instances != len(configs):
+                raise CampaignConfigError(
+                    f"{len(configs)} configs but n_instances="
+                    f"{n_instances}")
+            first = configs[0]
+            for other in configs[1:]:
+                if other.benchmark != first.benchmark or                         other.scale != first.scale:
+                    raise CampaignConfigError(
+                        "ensemble instances must share one target")
+        self.config = configs[0]
+        self.n_instances = len(configs)
+        if self.n_instances > self.config.machine.n_cores:
+            raise CampaignConfigError(
+                f"{self.n_instances} instances exceed the machine's "
+                f"{self.config.machine.n_cores} cores")
+        if built is None:
+            built = get_benchmark(self.config.benchmark).build(
+                self.config.scale, seed_scale=self.config.seed_scale)
+        self.built = built
+        self.instances = [Campaign(c, built=built) for c in configs]
+        self.sync_interval = sync_interval or max(
+            self.config.virtual_seconds / 20.0, 1.0)
+        self._import_cursors: Dict[tuple, int] = {}
+        self._slowdown_samples: List[float] = []
+
+    # ------------------------------------------------------------------
+
+    def _update_contention(self) -> None:
+        loads = [InstanceLoad(inst.model, inst.shape_stats.mean_shape())
+                 for inst in self.instances]
+        solved = solve_parallel(loads, machine=self.config.machine)
+        slowdowns = []
+        for inst, load, contended in zip(self.instances, loads,
+                                         solved.per_instance_rate):
+            solo = inst.model.throughput(load.shape)
+            multiplier = max(1.0, solo / max(contended, 1e-9))
+            inst.cycle_multiplier = multiplier
+            slowdowns.append(multiplier)
+        self._slowdown_samples.append(sum(slowdowns) / len(slowdowns))
+
+    def _sync_corpora(self) -> None:
+        for i, dst in enumerate(self.instances):
+            for j, src in enumerate(self.instances):
+                if i == j:
+                    continue
+                cursor = self._import_cursors.get((i, j), 0)
+                fresh = src.pool.seeds[cursor:]
+                self._import_cursors[(i, j)] = len(src.pool.seeds)
+                for seed in fresh:
+                    # Skip entries that originated from an import of
+                    # ours (parent None + depth 0 duplicates are cheap
+                    # to re-check anyway).
+                    dst.import_input(seed.data)
+            for j, src in enumerate(self.instances):
+                if i != j:
+                    dst.crashwalk.merge_from(src.crashwalk)
+
+    def run(self) -> ParallelResultSummary:
+        """Run all instances to the virtual deadline."""
+        budget = self.config.virtual_seconds
+        for inst in self.instances:
+            inst.start()
+        self._update_contention()
+
+        deadline = self.sync_interval
+        while any(inst.clock.before(budget) and
+                  inst.execs < inst.config.max_real_execs
+                  for inst in self.instances):
+            for inst in self.instances:
+                inst.step_until(min(deadline, budget))
+            if self.n_instances > 1:
+                self._sync_corpora()
+                self._update_contention()
+            if deadline >= budget:
+                break
+            deadline += self.sync_interval
+
+        results = [inst.finish() for inst in self.instances]
+        total_execs = sum(r.execs for r in results)
+        virtual = max(max(r.virtual_seconds for r in results), 1e-9)
+        crashes = CampaignsCrashUnion(self.instances).unique_crashes
+        return ParallelResultSummary(
+            n_instances=self.n_instances,
+            per_instance=results,
+            total_execs=total_execs,
+            total_throughput=total_execs / virtual,
+            unique_crashes=crashes,
+            discovered_locations=max(r.discovered_locations
+                                     for r in results),
+            mean_slowdown=(sum(self._slowdown_samples) /
+                           len(self._slowdown_samples))
+            if self._slowdown_samples else 1.0)
+
+
+class CampaignsCrashUnion:
+    """Unions Crashwalk records across instances (final dedup)."""
+
+    def __init__(self, instances: List[Campaign]) -> None:
+        keys = set()
+        for inst in instances:
+            keys.update(inst.crashwalk.records.keys())
+        self.unique_crashes = len(keys)
+
+
+def run_parallel(config, n_instances: int = None, *,
+                 built: Optional[BuiltBenchmark] = None,
+                 sync_interval: float = None) -> ParallelResultSummary:
+    """Convenience wrapper: construct and run a parallel session."""
+    return ParallelSession(config, n_instances, built=built,
+                           sync_interval=sync_interval).run()
+
+
+def run_ensemble(configs, *, built: Optional[BuiltBenchmark] = None,
+                 sync_interval: float = None) -> ParallelResultSummary:
+    """Run a heterogeneous (one-config-per-instance) ensemble session.
+
+    The corpus sync cross-pollinates inputs between metrics, as in
+    ensemble fuzzing [Wang et al., RAID'19]; contrast with stacking the
+    metrics into one instance (``metric='ngram3', lafintel=True``),
+    which is what BigMap makes affordable (§V-C).
+    """
+    return ParallelSession(list(configs), built=built,
+                           sync_interval=sync_interval).run()

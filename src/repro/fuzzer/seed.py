@@ -1,0 +1,56 @@
+"""Queue entries: the seeds a campaign mutates.
+
+Mirrors the fields AFL keeps per queue entry that matter for
+scheduling: execution cost and input length (the favored computation
+minimizes their product), generational depth (handicap), coverage
+footprint, and the fuzzed/favored flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class Seed:
+    """One queue entry.
+
+    Attributes:
+        seed_id: queue position at admission (stable identifier).
+        data: the input bytes.
+        exec_cycles: modeled execution cost (scheduling prefers fast).
+        coverage_hash: hash of the classified trace (duplicate check).
+        covered_locations: map locations (structure-native indices) the
+            seed's classified trace touches; feeds the favored cull.
+        n_locations: convenience count of ``covered_locations``.
+        depth: generational depth (0 for user seeds).
+        found_at: virtual time of admission, seconds.
+        favored: marked by the cull as a coverage winner.
+        fuzzed: has been selected and mutated at least once.
+        parent_id: queue id of the seed it was mutated from, or None.
+    """
+
+    seed_id: int
+    data: bytes
+    exec_cycles: float
+    coverage_hash: int
+    covered_locations: np.ndarray
+    depth: int = 0
+    found_at: float = 0.0
+    favored: bool = False
+    fuzzed: bool = False
+    parent_id: Optional[int] = None
+
+    @property
+    def n_locations(self) -> int:
+        return int(self.covered_locations.size)
+
+    def cull_score(self) -> float:
+        """AFL's top-rated metric: ``exec_cycles × len(data)``, lower wins.
+
+        Short, fast seeds make cheaper mutation fodder (paper §II-A1).
+        """
+        return self.exec_cycles * max(len(self.data), 1)

@@ -1,0 +1,104 @@
+"""Campaign statistics: counters, curves and result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..memsim.costmodel import ExecShape
+
+
+@dataclass
+class RunningShape:
+    """Accumulates per-execution shape quantities for averaging."""
+
+    execs: int = 0
+    traversals: int = 0
+    unique_locations: int = 0
+    used_bytes_last: int = 0
+    interesting: int = 0
+
+    def absorb(self, shape: ExecShape) -> None:
+        self.execs += 1
+        self.traversals += shape.traversals
+        self.unique_locations += shape.unique_locations
+        self.used_bytes_last = shape.used_bytes
+        if shape.interesting:
+            self.interesting += 1
+
+    def mean_shape(self) -> ExecShape:
+        """Representative steady-state shape (for the contention model)."""
+        n = max(self.execs, 1)
+        return ExecShape(
+            traversals=self.traversals // n,
+            unique_locations=self.unique_locations // n,
+            used_bytes=self.used_bytes_last,
+            interesting=False)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign reports.
+
+    Attributes:
+        benchmark / fuzzer / map_size / metric / lafintel: configuration
+            echo for reporting.
+        execs: test cases executed (including the seed dry-run).
+        virtual_seconds: modeled campaign duration consumed.
+        throughput: execs per virtual second.
+        discovered_locations: distinct map locations ever lit (the
+            campaign's map-space coverage).
+        true_edge_coverage: distinct *program* edges covered by the final
+            corpus under a collision-free independent evaluation, or
+            None if not computed (paper §V-A3's "bias-free coverage
+            build").
+        used_key: BigMap slot high-water mark (None for AFL).
+        unique_crashes: Crashwalk-deduplicated crash count.
+        afl_unique_crashes: AFL's map-based dedup count (biased; kept
+            for comparison).
+        corpus: final queue inputs (seeds + interesting finds).
+        coverage_curve: (virtual seconds, discovered locations) samples.
+        crash_curve: (virtual seconds, cumulative unique crashes).
+        op_cycles: total modeled cycles per operation category.
+        interesting_execs: how many runs were deemed interesting.
+        stopped_by: ``"budget"`` (virtual deadline) or ``"execs"`` (real
+            execution cap).
+        mean_shape: average execution shape (drives Figure 9's
+            contention model).
+        hangs: executions exceeding the timeout budget.
+        unique_hangs: hangs deduplicated against ``virgin_tmout``.
+    """
+
+    benchmark: str
+    fuzzer: str
+    map_size: int
+    metric: str
+    lafintel: bool
+    execs: int
+    virtual_seconds: float
+    throughput: float
+    discovered_locations: int
+    used_key: Optional[int]
+    unique_crashes: int
+    afl_unique_crashes: int
+    corpus: List[bytes]
+    coverage_curve: List[Tuple[float, int]]
+    crash_curve: List[Tuple[float, int]]
+    op_cycles: Dict[str, float]
+    interesting_execs: int
+    stopped_by: str
+    mean_shape: ExecShape
+    true_edge_coverage: Optional[int] = None
+    hangs: int = 0
+    unique_hangs: int = 0
+
+    @property
+    def corpus_size(self) -> int:
+        return len(self.corpus)
+
+    def op_time_share(self) -> Dict[str, float]:
+        """Fraction of modeled time per operation category."""
+        total = sum(self.op_cycles.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.op_cycles}
+        return {k: v / total for k, v in self.op_cycles.items()}

@@ -1,0 +1,83 @@
+"""Seed trimming (AFL's ``trim_case``).
+
+Before fuzzing a newly admitted queue entry, AFL tries to shorten it:
+remove chunks (starting at 1/16 of the file, halving down to 1/1024)
+and keep each removal whose execution produces the *same classified
+trace hash*. Shorter seeds mutate better — a havoc byte-op is more
+likely to land on control structure (paper §II-A1).
+
+The trimmer operates above the executor/instrumentation layer and uses
+the coverage map's own hash as the equivalence oracle, exactly like
+AFL; every trial execution is charged to the campaign like any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+#: AFL's trim geometry.
+TRIM_START_STEPS = 16
+TRIM_END_STEPS = 1024
+TRIM_MIN_BYTES = 4
+
+
+@dataclass
+class TrimResult:
+    """Outcome of trimming one input.
+
+    Attributes:
+        data: the (possibly shortened) input.
+        executions: trial executions spent.
+        removed_bytes: how much was cut.
+    """
+
+    data: bytes
+    executions: int
+    removed_bytes: int
+
+
+def trim_input(data: bytes,
+               trace_hash_of: Callable[[bytes], int],
+               *, max_executions: int = 256) -> TrimResult:
+    """Shorten ``data`` while its classified trace hash is unchanged.
+
+    Args:
+        data: the input to trim.
+        trace_hash_of: runs an input through the full coverage pipeline
+            and returns the classified-trace hash (the campaign wires
+            this to its pipeline so costs are charged).
+        max_executions: budget cap for pathological inputs.
+
+    Returns:
+        :class:`TrimResult` with the final input.
+    """
+    if len(data) <= TRIM_MIN_BYTES:
+        return TrimResult(data=data, executions=0, removed_bytes=0)
+
+    target_hash = trace_hash_of(data)
+    executions = 1
+    current = data
+    steps = TRIM_START_STEPS
+    while steps <= TRIM_END_STEPS and len(current) > TRIM_MIN_BYTES:
+        chunk = max(len(current) // steps, 1)
+        pos = 0
+        progress = False
+        while pos < len(current) and len(current) - chunk >= \
+                TRIM_MIN_BYTES:
+            if executions >= max_executions:
+                return TrimResult(current, executions,
+                                  len(data) - len(current))
+            candidate = current[:pos] + current[pos + chunk:]
+            executions += 1
+            if trace_hash_of(candidate) == target_hash:
+                current = candidate
+                progress = True
+                # Do not advance: the next chunk slid into place.
+            else:
+                pos += chunk
+        if not progress:
+            steps *= 2
+    return TrimResult(current, executions, len(data) - len(current))

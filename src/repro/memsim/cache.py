@@ -1,0 +1,116 @@
+"""Set-associative cache simulator.
+
+A small, exact LRU cache simulator used to *validate* the analytical
+cost model's assumptions in tests (e.g. "a full-map sweep of a region
+larger than the cache evicts everything", "a condensed region survives
+across executions"), and available for fine-grained studies. Campaign
+pricing uses the analytical model — simulating every access of millions
+of executions would be absurd — but the two must agree on the
+qualitative behaviours, and the test suite checks that they do.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache over byte addresses.
+
+    Args:
+        size_bytes: total capacity.
+        assoc: ways per set.
+        line_size: line size in bytes (power of two).
+    """
+
+    def __init__(self, size_bytes: int, assoc: int = 8,
+                 line_size: int = 64) -> None:
+        if line_size & (line_size - 1):
+            raise ValueError(f"line size must be a power of two, got "
+                             f"{line_size}")
+        n_lines = size_bytes // line_size
+        if n_lines % assoc:
+            raise ValueError(
+                f"{size_bytes} bytes / {line_size}B lines is not "
+                f"divisible into {assoc}-way sets")
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_size = line_size
+        self.n_sets = n_lines // assoc
+        # tags[set][way]; lru[set][way] = age counter (higher = newer)
+        self._tags = np.full((self.n_sets, assoc), -1, dtype=np.int64)
+        self._age = np.zeros((self.n_sets, assoc), dtype=np.int64)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int):
+        line = addr // self.line_size
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, addr: int) -> bool:
+        """Touch one address; returns True on hit. Fills on miss (LRU)."""
+        set_idx, tag = self._locate(addr)
+        self._clock += 1
+        ways = self._tags[set_idx]
+        hit = np.flatnonzero(ways == tag)
+        if hit.size:
+            self._age[set_idx, hit[0]] = self._clock
+            self.hits += 1
+            return True
+        victim = int(np.argmin(self._age[set_idx]))
+        self._tags[set_idx, victim] = tag
+        self._age[set_idx, victim] = self._clock
+        self.misses += 1
+        return False
+
+    def access_many(self, addrs: Iterable[int]) -> int:
+        """Touch a sequence of addresses; returns the number of hits."""
+        return sum(1 for a in addrs if self.access(a))
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr``'s line is currently resident (no side effect)."""
+        set_idx, tag = self._locate(addr)
+        return bool((self._tags[set_idx] == tag).any())
+
+    def resident_lines(self) -> int:
+        return int(np.count_nonzero(self._tags >= 0))
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheHierarchy:
+    """A chain of inclusive caches; reports which level served an access.
+
+    Level 0 is fastest; an access missing every level is served by
+    "memory" (level index ``len(levels)``).
+    """
+
+    def __init__(self, caches: List[SetAssociativeCache]) -> None:
+        if not caches:
+            raise ValueError("need at least one cache level")
+        self.caches = caches
+        self.level_hits = [0] * (len(caches) + 1)
+
+    def access(self, addr: int) -> int:
+        """Touch ``addr``; returns the level index that served it."""
+        served: Optional[int] = None
+        for i, cache in enumerate(self.caches):
+            if cache.access(addr) and served is None:
+                served = i
+        if served is None:
+            served = len(self.caches)
+        self.level_hits[served] += 1
+        return served
+
+    def access_many(self, addrs: Iterable[int]) -> List[int]:
+        return [self.access(a) for a in addrs]

@@ -1,0 +1,152 @@
+"""Calibration of per-benchmark execution costs against the paper.
+
+The *shapes* of Figures 3/6/9 come from the cost model's mechanics; the
+one thing our synthetic targets cannot know is how expensive a real
+target's execution is per edge traversal (block sizes, I/O, allocator
+behaviour). That scalar is calibrated once per benchmark against an
+anchor: the paper's Figure 6 throughput of **AFL with the default 64 kB
+map** — the configuration the paper itself calls carefully tuned. All
+other (fuzzer, map size, instance count) combinations are then model
+*predictions*, not fits; EXPERIMENTS.md records how they land.
+
+Anchors were read off Figure 6's 64 kB AFL bars (approximate — the
+figure has no numeric labels); their mean is ~4,400/s, matching the
+paper's stated AFL 64 kB average.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.errors import CalibrationError
+from .costmodel import (AFL, BitmapCostModel, ExecShape, MapCostConfig)
+from .machine import Machine, XEON_E5645
+
+#: Figure 6 anchor: AFL, 64 kB map, execs/sec (approximate bar heights;
+#: mean ≈ 4,400/s as the paper states).
+PAPER_THROUGHPUT_64K: Dict[str, float] = {
+    "zlib": 11_700.0,
+    "libpng": 9_400.0,
+    "systemd": 7_000.0,
+    "libjpeg": 7_800.0,
+    "mbedtls": 6_200.0,
+    "proj4": 7_000.0,
+    "harfbuzz": 5_100.0,
+    "libxml2": 4_700.0,
+    "openssl": 4_300.0,
+    "bloaty": 3_900.0,
+    "curl": 3_500.0,
+    "php": 2_700.0,
+    "sqlite3": 2_000.0,
+    "licm": 1_700.0,
+    "gvn": 1_650.0,
+    "strength-reduce": 1_500.0,
+    "indvars": 1_400.0,
+    "loop-vectorize": 1_200.0,
+    "instcombine": 950.0,
+    # Table III-only harnesses: no Figure 6 bar; plausible values in the
+    # LLVM cluster's range.
+    "loop-unswitch": 2_100.0,
+    "sccp": 2_050.0,
+    "earlycase": 1_950.0,
+    "loop-prediction": 1_900.0,
+    "loop-rotate": 1_900.0,
+    "irce": 1_950.0,
+    "simplifycfg": 1_800.0,
+}
+
+#: Fraction of the calibrated execution budget charged per traversal
+#: (the rest is the fixed per-exec base: process setup, input parsing).
+_TRAVERSAL_SHARE = 0.75
+
+#: Map-op options the paper applies to both fuzzers in §V (§IV-E).
+PAPER_OPTIONS = {"merged_classify_compare": True, "huge_pages": True}
+
+
+def target_working_set_bytes(n_edges: int) -> int:
+    """Heuristic for a target's own hot working set.
+
+    Real targets keep parse state, allocator arenas and read-only
+    tables warm; bigger programs keep more. Clamped so small targets
+    still have *some* footprint and huge ones do not swamp the model.
+    """
+    return int(min(max(32 * 1024 + n_edges * 8, 48 * 1024),
+                   4 * 1024 * 1024))
+
+
+def calibrate_execution_cost(
+        anchor_rate: float, reference_shape: ExecShape, *,
+        machine: Machine = XEON_E5645, target_ws_bytes: int = 65_536,
+        others_cycles: float = 15_000.0) -> Dict[str, float]:
+    """Solve (base, per-traversal) cycles from a 64 kB AFL anchor.
+
+    Prices the map operations of the anchor configuration with the
+    execution cost zeroed, then splits the leftover cycle budget
+    between the fixed base and the per-traversal cost.
+
+    Returns:
+        dict with ``exec_base_cycles`` and ``per_traversal_cycles``.
+    """
+    if anchor_rate <= 0:
+        raise CalibrationError(f"anchor rate must be positive, got "
+                               f"{anchor_rate}")
+    probe = BitmapCostModel(
+        MapCostConfig(AFL, 65_536, **PAPER_OPTIONS), machine=machine,
+        exec_base_cycles=0.0, per_traversal_cycles=0.0,
+        target_ws_bytes=target_ws_bytes, others_cycles=others_cycles)
+    map_cost = probe.exec_cycles(reference_shape).total
+    budget = machine.frequency_hz / anchor_rate - map_cost
+    if budget <= 0:
+        raise CalibrationError(
+            f"anchor rate {anchor_rate}/s is unachievable: map "
+            f"operations alone cost {map_cost:.0f} cycles")
+    traversals = max(reference_shape.traversals, 1)
+    return {
+        "exec_base_cycles": budget * (1.0 - _TRAVERSAL_SHARE),
+        "per_traversal_cycles": budget * _TRAVERSAL_SHARE / traversals,
+    }
+
+
+def model_for_benchmark(
+        benchmark: str, kind: str, map_size: int,
+        reference_shape: ExecShape, *, n_edges: int,
+        machine: Machine = XEON_E5645,
+        anchor_rate: Optional[float] = None,
+        fork_overhead_cycles: float = 0.0,
+        **config_overrides) -> BitmapCostModel:
+    """Build a calibrated cost model for one (benchmark, fuzzer, size).
+
+    Args:
+        benchmark: paper benchmark name (anchor lookup), unless
+            ``anchor_rate`` overrides.
+        kind: ``"afl"`` or ``"bigmap"``.
+        map_size: coverage bitmap size.
+        reference_shape: a representative execution shape measured on
+            the seed corpus (traversals / unique locations / used).
+        n_edges: target program size, for the working-set heuristic.
+        anchor_rate: explicit 64 kB AFL anchor, for custom targets.
+        **config_overrides: :class:`MapCostConfig` options.
+    """
+    if anchor_rate is None:
+        try:
+            anchor_rate = PAPER_THROUGHPUT_64K[benchmark]
+        except KeyError:
+            raise CalibrationError(
+                f"no throughput anchor for benchmark {benchmark!r}; "
+                f"pass anchor_rate explicitly") from None
+    ws = target_working_set_bytes(n_edges)
+    options = dict(PAPER_OPTIONS)
+    options.update(config_overrides)
+    if options.get("non_temporal_reset") is None:
+        # Auto (the sensible deployment the paper implies): non-temporal
+        # stores always bypass the cache, so they only help once the
+        # sweep is DRAM-bound anyway — enable NT reset exactly when the
+        # flat map's working set no longer fits the LLC.
+        options["non_temporal_reset"] = (
+            kind == AFL and 2 * map_size + ws > machine.llc.size_bytes)
+    costs = calibrate_execution_cost(anchor_rate, reference_shape,
+                                     machine=machine, target_ws_bytes=ws)
+    return BitmapCostModel(
+        MapCostConfig(kind, map_size, **options), machine=machine,
+        target_ws_bytes=ws, fork_overhead_cycles=fork_overhead_cycles,
+        **costs)

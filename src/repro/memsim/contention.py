@@ -1,0 +1,140 @@
+"""Shared-resource contention between parallel fuzzing instances (§V-D).
+
+Two mechanisms couple co-running instances on one socket:
+
+1. **LLC capacity sharing** — *k* instances split the shared last-level
+   cache; each effectively sees ``LLC/k``. An instance whose working
+   set fit in 12 MB alone may stop fitting at 4 instances — at which
+   point its sweeps and counter updates start streaming from DRAM,
+   *increasing* its memory traffic exactly when the bus gets busier.
+2. **DRAM bandwidth saturation** — aggregate traffic beyond the socket
+   bandwidth queues; service time grows super-linearly
+   (``(demand/capacity)^alpha``), so total throughput can *decrease*
+   with more instances — the paper's negative-slope AFL curve in
+   Figure 9(a).
+
+The fixpoint solver alternates between instance execution rates and the
+bandwidth slowdown they imply until stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .costmodel import BitmapCostModel, ExecShape, MapCostConfig
+from .machine import Machine
+
+
+@dataclass(frozen=True)
+class InstanceLoad:
+    """One fuzzing instance's model and steady-state execution shape."""
+
+    model: BitmapCostModel
+    shape: ExecShape
+
+
+@dataclass(frozen=True)
+class ParallelResult:
+    """Solved steady state for k co-running instances.
+
+    Attributes:
+        per_instance_rate: execs/sec of each instance under contention.
+        total_rate: aggregate execs/sec.
+        slowdown: converged DRAM service-time multiplier (1.0 = no
+            saturation).
+        demand_bytes_per_sec: aggregate DRAM traffic at the solution.
+    """
+
+    per_instance_rate: List[float]
+    total_rate: float
+    slowdown: float
+    demand_bytes_per_sec: float
+
+
+def _shared_model(instance: InstanceLoad, machine: Machine,
+                  n_instances: int) -> BitmapCostModel:
+    # Instances spread across sockets: each LLC is shared only by the
+    # instances pinned to that package.
+    per_socket = -(-n_instances // max(machine.n_sockets, 1))  # ceil
+    shared = machine.with_llc_bytes(
+        max(machine.line_size,
+            machine.llc.size_bytes // per_socket))
+    model = instance.model
+    return BitmapCostModel(
+        model.config, machine=shared,
+        exec_base_cycles=model.exec_base_cycles,
+        per_traversal_cycles=model.per_traversal_cycles,
+        indirection_cycles=model.indirection_cycles,
+        target_ws_bytes=model.target_ws_bytes,
+        others_cycles=model.others_cycles,
+        fork_overhead_cycles=model.fork_overhead_cycles)
+
+
+def solve_parallel(instances: Sequence[InstanceLoad], *,
+                   machine: Machine = None, iterations: int = 60,
+                   damping: float = 0.5) -> ParallelResult:
+    """Solve the contended steady state for co-running instances.
+
+    Args:
+        instances: per-instance cost models and execution shapes; all
+            are assumed pinned to distinct physical cores.
+        machine: shared machine; defaults to the first instance's.
+        iterations: fixpoint iterations (converges in far fewer).
+        damping: update damping for stability.
+    """
+    if not instances:
+        raise ValueError("need at least one instance")
+    machine = machine or instances[0].model.machine
+    k = len(instances)
+    if k > machine.n_cores:
+        raise ValueError(f"{k} instances exceed the machine's "
+                         f"{machine.n_cores} physical cores")
+
+    base_cycles: List[float] = []
+    dram_cycles: List[float] = []
+    dram_bytes: List[float] = []
+    for inst in instances:
+        model = _shared_model(inst, machine, k)
+        total = model.exec_cycles(inst.shape).total
+        traffic = model.dram_bytes_per_exec(inst.shape)
+        mem_cycles = traffic * machine.dram_seq_cycles_per_byte
+        mem_cycles = min(mem_cycles, total)  # traffic estimate guard
+        base_cycles.append(total - mem_cycles)
+        dram_cycles.append(mem_cycles)
+        dram_bytes.append(traffic)
+
+    frequency = machine.frequency_hz
+    # Each socket has its own memory controller; the most loaded socket
+    # (ceil(k / sockets) instances) sets the saturation point. For the
+    # homogeneous case this equals scaling capacity by k / per_socket.
+    per_socket = -(-k // max(machine.n_sockets, 1))
+    capacity = machine.dram_bandwidth_bytes_per_sec * \
+        (k / per_socket if k else 1.0)
+    # Generic multi-instance efficiency loss (sync, kernel, I/O).
+    efficiency = 1.0 / (1.0 + machine.parallel_overhead * (k - 1))
+    slowdown = 1.0
+    rates = [0.0] * k
+    demand = 0.0
+    for _ in range(iterations):
+        rates = [efficiency * frequency /
+                 (base_cycles[i] + slowdown * dram_cycles[i])
+                 for i in range(k)]
+        demand = sum(rates[i] * dram_bytes[i] for i in range(k))
+        target = max(1.0, (demand / capacity) ** machine.contention_alpha) \
+            if demand > 0 else 1.0
+        slowdown += damping * (target - slowdown)
+    return ParallelResult(per_instance_rate=rates, total_rate=sum(rates),
+                          slowdown=slowdown,
+                          demand_bytes_per_sec=demand)
+
+
+def scaling_curve(instance: InstanceLoad, counts: Sequence[int], *,
+                  machine: Machine = None) -> List[ParallelResult]:
+    """Homogeneous scaling: the same instance replicated 1..k times.
+
+    This is the paper's Figure 9(a) setup — every instance fuzzes the
+    same benchmark with the same configuration.
+    """
+    return [solve_parallel([instance] * k, machine=machine)
+            for k in counts]

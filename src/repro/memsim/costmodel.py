@@ -1,0 +1,305 @@
+"""Analytical per-execution cost model for bitmap operations.
+
+This module prices one fuzzing iteration (target execution + bitmap
+reset/update/classify/compare/hash) in cycles on a
+:class:`~repro.memsim.machine.Machine`, reproducing the paper's
+throughput phenomena without its Xeon testbed.
+
+The model rests on one residency rule, validated against the exact
+cache simulator in the test suite:
+
+    **Everything an iteration touches competes for cache.** The
+    iteration's working set W is the sum of the target's own hot data
+    and every map structure the iteration references. An operation's
+    data is served by the smallest cache level that holds W; if W
+    exceeds the LLC, it is served by DRAM.
+
+What goes into W is where AFL and BigMap differ — and is the entire
+point of the paper:
+
+* AFL streams its full local map *and* the full virgin map every
+  iteration (reset/classify/compare sweeps), so
+  ``W_afl = 2 × map_size + target_ws``. An 8 MB map means a 16 MB+
+  working set: nothing survives in a 12 MB LLC, every sweep and every
+  scattered counter update goes to memory, and thousands of 4 kB pages
+  thrash the DTLB.
+* BigMap touches only the condensed prefix (``used_key`` bytes, a few
+  times over) plus the cache lines of the index entries its edges hit:
+  ``W_bigmap = 2 × used + unique × line + target_ws`` — independent of
+  ``map_size``, which is the adaptivity claim of §IV-A.
+
+Sequential sweeps are priced per byte at the residency level's
+streaming rate (writes at DRAM pay read-for-ownership; non-temporal
+stores bypass it, §IV-E). Scattered accesses pay the residency level's
+load latency plus a DTLB walk fraction (huge pages eliminate it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.errors import CalibrationError
+from .machine import Machine, XEON_E5645
+from .tlb import scattered_walk_fraction, sweep_walk_cycles
+
+#: Map-structure kinds.
+AFL = "afl"
+BIGMAP = "bigmap"
+
+#: Extra DRAM cost factor for cached→memory write sweeps (RFO + WB).
+DRAM_WRITE_FACTOR = 1.6
+#: Streaming rate for non-temporal stores (cycles/byte), level-independent.
+NON_TEMPORAL_RATE = 0.40
+
+
+@dataclass(frozen=True)
+class MapCostConfig:
+    """Which data structure, at what size, with which §IV-E options."""
+
+    kind: str
+    map_size: int
+    merged_classify_compare: bool = True
+    non_temporal_reset: bool = False
+    huge_pages: bool = True
+    index_entry_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in (AFL, BIGMAP):
+            raise CalibrationError(f"unknown map kind {self.kind!r}")
+        if self.map_size <= 0:
+            raise CalibrationError(f"map_size must be positive, got "
+                                   f"{self.map_size}")
+
+
+@dataclass(frozen=True)
+class ExecShape:
+    """Per-execution quantities reported by the campaign loop.
+
+    Attributes:
+        traversals: total edge traversals (instrumentation executions).
+        unique_locations: distinct map locations touched.
+        used_bytes: BigMap's ``used_key`` at this point (ignored for AFL).
+        interesting: whether the test case triggers the hash operation.
+        hash_bytes: bytes the hash covers (BigMap: up to last non-zero).
+    """
+
+    traversals: int
+    unique_locations: int
+    used_bytes: int = 0
+    interesting: bool = False
+    hash_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class OpCycles:
+    """Cycle breakdown of one fuzzing iteration (Figure 3's categories)."""
+
+    execution: float
+    reset: float
+    classify: float
+    compare: float
+    hash: float
+    others: float
+
+    @property
+    def total(self) -> float:
+        return (self.execution + self.reset + self.classify +
+                self.compare + self.hash + self.others)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"execution": self.execution, "reset": self.reset,
+                "classify": self.classify, "compare": self.compare,
+                "hash": self.hash, "others": self.others}
+
+
+class BitmapCostModel:
+    """Prices fuzzing iterations for one (machine, map config, target).
+
+    Args:
+        config: map structure and options.
+        machine: hardware parameters (default: the paper's Xeon).
+        exec_base_cycles: fixed per-execution target cost (setup, I/O).
+        per_traversal_cycles: target cost per edge traversal.
+        indirection_cycles: BigMap's extra per-traversal cost for the
+            index load + predicted branch (Listing 2 lines 3–5).
+        target_ws_bytes: the target program's own hot working set.
+        others_cycles: scheduling/bookkeeping constant ("Others").
+        fork_overhead_cycles: per-execution process-creation cost. Zero
+            models the paper's persistent mode (§V-A1: "does not have
+            any fork() call or initialization overheads"); classic
+            fork-server AFL pays a few hundred microseconds per run.
+    """
+
+    def __init__(self, config: MapCostConfig, *,
+                 machine: Machine = XEON_E5645,
+                 exec_base_cycles: float = 60_000.0,
+                 per_traversal_cycles: float = 110.0,
+                 indirection_cycles: float = 2.0,
+                 target_ws_bytes: int = 65_536,
+                 others_cycles: float = 15_000.0,
+                 fork_overhead_cycles: float = 0.0) -> None:
+        for name, value in (("exec_base_cycles", exec_base_cycles),
+                            ("per_traversal_cycles", per_traversal_cycles),
+                            ("indirection_cycles", indirection_cycles),
+                            ("others_cycles", others_cycles)):
+            if value < 0:
+                raise CalibrationError(f"{name} must be >= 0, got {value}")
+        self.config = config
+        self.machine = machine
+        self.exec_base_cycles = exec_base_cycles
+        self.per_traversal_cycles = per_traversal_cycles
+        self.indirection_cycles = indirection_cycles
+        self.target_ws_bytes = target_ws_bytes
+        self.others_cycles = others_cycles
+        if fork_overhead_cycles < 0:
+            raise CalibrationError(
+                f"fork_overhead_cycles must be >= 0, got "
+                f"{fork_overhead_cycles}")
+        self.fork_overhead_cycles = fork_overhead_cycles
+
+    # -- residency -------------------------------------------------------
+
+    def working_set_bytes(self, shape: ExecShape) -> int:
+        """Total bytes one iteration touches (the W of the module doc)."""
+        if self.config.kind == AFL:
+            return 2 * self.config.map_size + self.target_ws_bytes
+        index_lines = shape.unique_locations * self.machine.line_size
+        return (2 * shape.used_bytes + index_lines + self.target_ws_bytes)
+
+    def _level_index(self, footprint: int) -> int:
+        """Smallest level holding ``footprint``; len(levels) = DRAM."""
+        for i, level in enumerate(self.machine.levels):
+            if footprint <= level.size_bytes:
+                return i
+        return len(self.machine.levels)
+
+    def _seq_rate(self, level_idx: int, *, write: bool) -> float:
+        if level_idx >= len(self.machine.levels):
+            rate = self.machine.dram_seq_cycles_per_byte
+            return rate * DRAM_WRITE_FACTOR if write else rate
+        return self.machine.levels[level_idx].seq_cycles_per_byte
+
+    def _scat_latency(self, level_idx: int) -> float:
+        if level_idx >= len(self.machine.levels):
+            return self.machine.dram_latency_cycles
+        return self.machine.levels[level_idx].latency_cycles
+
+    # -- per-operation pricing -------------------------------------------
+
+    def _sweep(self, region_bytes: int, level_idx: int, *,
+               write: bool = False, read_write: bool = False,
+               non_temporal: bool = False) -> float:
+        """Cycles for one sequential pass over ``region_bytes``."""
+        if region_bytes <= 0:
+            return 0.0
+        if non_temporal:
+            cycles = region_bytes * NON_TEMPORAL_RATE
+        else:
+            rate = self._seq_rate(level_idx, write=write or read_write)
+            passes = 2.0 if read_write else 1.0
+            cycles = region_bytes * rate * passes
+        return cycles + sweep_walk_cycles(region_bytes, self.machine,
+                                          self.config.huge_pages)
+
+    def _scatter(self, n_accesses: int, region_bytes: int,
+                 level_idx: int) -> float:
+        """Cycles for data-dependent accesses within ``region_bytes``."""
+        if n_accesses <= 0:
+            return 0.0
+        walk = scattered_walk_fraction(region_bytes, self.machine,
+                                       self.config.huge_pages)
+        per_access = self._scat_latency(level_idx) + \
+            walk * self.machine.walk_cycles
+        return n_accesses * per_access
+
+    # -- iteration pricing -------------------------------------------------
+
+    def exec_cycles(self, shape: ExecShape) -> OpCycles:
+        """Cycle breakdown of one fuzzing iteration."""
+        cfg = self.config
+        level_w = self._level_index(self.working_set_bytes(shape))
+
+        execution = (self.exec_base_cycles +
+                     self.fork_overhead_cycles +
+                     shape.traversals * self.per_traversal_cycles)
+        if cfg.kind == AFL:
+            active = cfg.map_size
+            # Counter updates scatter over the full map span.
+            execution += self._scatter(shape.unique_locations,
+                                       cfg.map_size, level_w)
+            reset_level = level_w
+            hash_bytes = cfg.map_size
+        else:
+            active = shape.used_bytes
+            # Index lookup per traversal (cheap: predicted branch + load
+            # from a hot line) plus scattered index access per distinct
+            # edge, plus dense counter writes into the condensed prefix.
+            execution += shape.traversals * self.indirection_cycles
+            index_region = cfg.map_size * cfg.index_entry_bytes
+            execution += self._scatter(shape.unique_locations,
+                                       index_region, level_w)
+            # Hot-set rule: the condensed prefix is touched several
+            # times per iteration and nothing streams over it, so it
+            # stays resident at whatever level holds it — regardless of
+            # the index lines and target data around it.
+            dense_level = self._level_index(2 * shape.used_bytes)
+            execution += self._scatter(shape.unique_locations,
+                                       max(shape.used_bytes, 1),
+                                       dense_level)
+            reset_level = dense_level
+            hash_bytes = shape.hash_bytes or shape.used_bytes
+
+        sweep_level = level_w if cfg.kind == AFL else reset_level
+        reset = self._sweep(active, reset_level, write=True,
+                            non_temporal=cfg.non_temporal_reset)
+        if cfg.merged_classify_compare:
+            classify = 0.0
+            compare = (self._sweep(active, sweep_level, read_write=True) +
+                       self._sweep(active, sweep_level))
+        else:
+            classify = self._sweep(active, sweep_level, read_write=True)
+            compare = (self._sweep(active, sweep_level) +
+                       self._sweep(active, sweep_level))
+        hash_cycles = self._sweep(hash_bytes, sweep_level) \
+            if shape.interesting else 0.0
+
+        return OpCycles(execution=execution, reset=reset,
+                        classify=classify, compare=compare,
+                        hash=hash_cycles, others=self.others_cycles)
+
+    def throughput(self, shape: ExecShape) -> float:
+        """Executions per second for a steady stream of ``shape`` execs."""
+        return self.machine.frequency_hz / self.exec_cycles(shape).total
+
+    def dram_bytes_per_exec(self, shape: ExecShape) -> float:
+        """Approximate DRAM traffic per iteration (drives contention).
+
+        Sweeps whose residency level is DRAM stream their full region;
+        scattered DRAM accesses move one line each. Zero when the
+        working set fits in the LLC. The smaller the cache share
+        relative to the working set, the *more* traffic each iteration
+        moves (the target's own data misses too, and dirty map lines
+        are written back mid-sweep) — this thrash amplification is what
+        bends AFL's total throughput downward past the socket knee in
+        Figure 9(a).
+        """
+        working_set = self.working_set_bytes(shape)
+        level_w = self._level_index(working_set)
+        if level_w < len(self.machine.levels):
+            return 0.0
+        cfg = self.config
+        if cfg.kind == AFL:
+            active = cfg.map_size
+            sweep_passes = 4.0  # reset + classify/compare rw + virgin
+            scattered = shape.unique_locations
+        else:
+            active = shape.used_bytes
+            sweep_passes = 4.0
+            scattered = 2 * shape.unique_locations
+        base_traffic = (active * sweep_passes +
+                        scattered * self.machine.line_size +
+                        self.target_ws_bytes)
+        overflow = 1.0 - min(1.0, self.machine.llc.size_bytes /
+                             working_set)
+        return base_traffic * (1.0 + 0.8 * overflow)

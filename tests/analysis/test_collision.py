@@ -1,0 +1,121 @@
+"""Unit tests for collision-rate math (Equation 1, birthday bounds)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.collision import (collision_probability,
+                                      collision_rate,
+                                      collision_rate_table,
+                                      expected_distinct_keys,
+                                      keys_for_collision_probability)
+
+
+class TestEquation1:
+    def test_zero_keys(self):
+        assert collision_rate(1 << 16, 0) == 0.0
+
+    def test_one_key_never_collides(self):
+        assert collision_rate(1 << 16, 1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_paper_table2_values(self):
+        """Table II footnote 2 derives its column from Equation 1."""
+        assert 100 * collision_rate(1 << 16, 40_948) == \
+            pytest.approx(25.64, abs=0.05)
+        assert 100 * collision_rate(1 << 16, 131_677) == \
+            pytest.approx(56.90, abs=0.05)
+        assert 100 * collision_rate(1 << 16, 722) == \
+            pytest.approx(0.55, abs=0.02)
+
+    def test_paper_section3_50k_at_64k(self):
+        """§III: 'a 64kB map is subjected to ~30% collision rate' for
+        real-world applications (up to 50k edges)."""
+        assert 0.25 < collision_rate(1 << 16, 50_000) < 0.35
+
+    def test_paper_composition_pressure(self):
+        """§V-C: 212k-603k keys on 64 kB gives ~87% collisions; Table
+        III's 2 MB column averages ~7.5%."""
+        assert collision_rate(1 << 16, 400_000) > 0.80
+        assert 100 * collision_rate(1 << 21, 300_000) == \
+            pytest.approx(7.0, abs=1.5)
+
+    @given(st.integers(10, 1 << 22), st.integers(1, 1 << 18))
+    @settings(max_examples=100)
+    def test_bounds(self, space, keys):
+        rate = collision_rate(space, keys)
+        assert 0.0 <= rate <= 1.0
+
+    def test_monotone_in_keys(self):
+        rates = [collision_rate(1 << 16, n)
+                 for n in (100, 1_000, 10_000, 100_000)]
+        assert rates == sorted(rates)
+
+    def test_monotone_in_space(self):
+        rates = [collision_rate(size, 50_000)
+                 for size in (1 << 16, 1 << 18, 1 << 21, 1 << 23)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            collision_rate(0, 5)
+        with pytest.raises(ValueError):
+            collision_rate(10, -1)
+
+    def test_monte_carlo_agreement(self):
+        """Equation 1 against an actual uniform-draw simulation."""
+        space, keys, trials = 4_096, 2_000, 40
+        rng = np.random.default_rng(7)
+        rates = []
+        for _ in range(trials):
+            draws = rng.integers(0, space, size=keys)
+            distinct = np.unique(draws).size
+            rates.append((keys - distinct) / keys)
+        assert np.mean(rates) == pytest.approx(
+            collision_rate(space, keys), abs=0.01)
+
+
+class TestExpectedDistinct:
+    def test_matches_used_key_simulation(self):
+        """BigMap's used_key converges to H(1-(1-1/H)^n)."""
+        space, keys = 1 << 12, 3_000
+        rng = np.random.default_rng(1)
+        measured = np.mean([
+            np.unique(rng.integers(0, space, size=keys)).size
+            for _ in range(30)])
+        assert measured == pytest.approx(
+            expected_distinct_keys(space, keys), rel=0.01)
+
+    def test_relationship_to_collision_rate(self):
+        space, keys = 1 << 16, 30_000
+        distinct = expected_distinct_keys(space, keys)
+        rate = collision_rate(space, keys)
+        assert distinct / keys == pytest.approx(1 - rate, rel=1e-9)
+
+
+class TestBirthday:
+    def test_paper_300_ids_at_64k(self):
+        """§III: '~50% after assigning only 300 IDs' to a 64 kB map."""
+        n = keys_for_collision_probability(1 << 16, 0.5)
+        assert 295 <= n <= 310
+        assert collision_probability(1 << 16, 300) == \
+            pytest.approx(0.5, abs=0.01)
+
+    def test_certain_collision_beyond_space(self):
+        assert collision_probability(8, 9) == 1.0
+
+    def test_trivial_cases(self):
+        assert collision_probability(100, 0) == 0.0
+        assert collision_probability(100, 1) == 0.0
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            keys_for_collision_probability(100, 1.5)
+
+
+class TestFigureGrid:
+    def test_table_shape(self):
+        grid = collision_rate_table([1 << 16, 1 << 20], [1_000, 10_000])
+        assert len(grid) == 2 and len(grid[0]) == 2
+        assert grid[0][0] > grid[0][1], "bigger map, lower rate"
+        assert grid[1][0] > grid[0][0], "more keys, higher rate"

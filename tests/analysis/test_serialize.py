@@ -1,0 +1,79 @@
+"""Unit tests for result/corpus persistence."""
+
+import json
+
+import pytest
+
+from repro.analysis import (load_corpus, load_result, result_from_dict,
+                            result_to_dict, save_corpus, save_result)
+from repro.fuzzer import CampaignConfig, run_campaign
+from repro.target import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def result():
+    built = get_benchmark("libpng").build(scale=0.15, seed_scale=1.0)
+    return run_campaign(CampaignConfig(
+        benchmark="libpng", fuzzer="bigmap", map_size=1 << 16,
+        scale=0.15, seed_scale=1.0, virtual_seconds=0.2,
+        max_real_execs=500, rng_seed=1), built=built)
+
+
+class TestResultRoundTrip:
+    def test_dict_round_trip_without_corpus(self, result):
+        record = result_to_dict(result)
+        clone = result_from_dict(record)
+        assert clone.benchmark == result.benchmark
+        assert clone.execs == result.execs
+        assert clone.throughput == result.throughput
+        assert clone.coverage_curve == result.coverage_curve
+        assert clone.op_cycles == result.op_cycles
+        assert clone.corpus == []
+
+    def test_dict_round_trip_with_corpus(self, result):
+        record = result_to_dict(result, include_corpus=True)
+        clone = result_from_dict(record)
+        assert clone.corpus == result.corpus
+
+    def test_record_is_json_serializable(self, result):
+        text = json.dumps(result_to_dict(result, include_corpus=True))
+        assert "libpng" in text
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(result, path, include_corpus=True)
+        clone = load_result(path)
+        assert clone.discovered_locations == \
+            result.discovered_locations
+        assert clone.corpus == result.corpus
+
+    def test_version_checked(self, result):
+        record = result_to_dict(result)
+        record["format_version"] = 999
+        with pytest.raises(ValueError):
+            result_from_dict(record)
+
+    def test_mean_shape_preserved(self, result):
+        clone = result_from_dict(result_to_dict(result))
+        assert clone.mean_shape.traversals == \
+            result.mean_shape.traversals
+        assert clone.mean_shape.used_bytes == \
+            result.mean_shape.used_bytes
+
+
+class TestCorpusExport:
+    def test_afl_queue_layout(self, result, tmp_path):
+        paths = save_corpus(result.corpus, tmp_path / "queue")
+        assert len(paths) == result.corpus_size
+        assert paths[0].name == "id:000000"
+        loaded = load_corpus(tmp_path / "queue")
+        assert loaded == list(result.corpus)
+
+    def test_empty_corpus(self, tmp_path):
+        assert save_corpus([], tmp_path / "queue") == []
+        assert load_corpus(tmp_path / "queue") == []
+
+    def test_order_preserved(self, tmp_path):
+        corpus = [bytes([i]) * 4 for i in range(15)]
+        save_corpus(corpus, tmp_path / "q")
+        assert load_corpus(tmp_path / "q") == corpus

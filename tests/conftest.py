@@ -1,0 +1,33 @@
+"""Shared fixtures: tiny deterministic programs and benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.target import (Executor, ProgramSpec, generate_program,
+                          generate_seed_corpus)
+
+
+@pytest.fixture(scope="session")
+def tiny_program():
+    """A small program with every guard kind and a few crash sites."""
+    spec = ProgramSpec(
+        name="tiny", n_core_edges=400, input_len=128, seed=7,
+        magic_subtree_edges=120, magic_subtree_count=3,
+        magic_leaf_edges=10, never_leaf_edges=5,
+        n_crash_sites=6, n_magic_crash_sites=3)
+    return generate_program(spec)
+
+
+@pytest.fixture(scope="session")
+def tiny_executor(tiny_program):
+    return Executor(tiny_program)
+
+
+@pytest.fixture(scope="session")
+def tiny_seeds(tiny_program):
+    return generate_seed_corpus(tiny_program, 10, seed=3)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(np.random.PCG64(1234))

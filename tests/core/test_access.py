@@ -1,0 +1,132 @@
+"""Unit tests for access-stream accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import (AccessLog, AflCoverage, BigMapCoverage,
+                        NullAccessLog, Op, Pattern, VirginMap)
+
+
+def arr(values):
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestAccessLog:
+    def test_sweep_recorded(self):
+        log = AccessLog(keep_records=True)
+        log.sweep(Op.RESET, "coverage", 1024, write=True)
+        (record,) = log.records
+        assert record.op == Op.RESET
+        assert record.pattern == Pattern.SEQUENTIAL
+        assert record.bytes_touched == 1024
+        assert record.write
+
+    def test_zero_byte_sweep_ignored(self):
+        log = AccessLog(keep_records=True)
+        log.sweep(Op.RESET, "coverage", 0)
+        assert not log.records
+
+    def test_scatter_recorded(self):
+        log = AccessLog(keep_records=True)
+        log.scatter(Op.UPDATE, "index", 10, 4096, element_size=8)
+        (record,) = log.records
+        assert record.pattern == Pattern.SCATTERED
+        assert record.n_accesses == 10
+        assert record.bytes_touched == 80
+        assert record.region_bytes == 4096
+
+    def test_aggregation(self):
+        log = AccessLog()
+        log.sweep(Op.COMPARE, "coverage", 100)
+        log.sweep(Op.COMPARE, "coverage", 100)
+        per_op = log.stats.per_op()
+        assert per_op[Op.COMPARE].calls == 2
+        assert per_op[Op.COMPARE].bytes_touched == 200
+
+    def test_clear(self):
+        log = AccessLog(keep_records=True)
+        log.sweep(Op.HASH, "coverage", 10)
+        log.clear()
+        assert not log.records
+        assert log.stats.total_bytes() == 0
+
+    def test_null_log_discards(self):
+        log = NullAccessLog()
+        log.sweep(Op.RESET, "coverage", 1024)
+        assert log.stats.total_bytes() == 0
+
+
+class TestMapAccounting:
+    """The paper's Table I access patterns, verified on the real maps."""
+
+    def test_afl_sweeps_full_map_regardless_of_usage(self):
+        log = AccessLog()
+        cov = AflCoverage(1 << 12, log=log)
+        virgin = VirginMap(1 << 12)
+        cov.update(arr([1]), arr([1]))
+        cov.reset()
+        cov.classify()
+        cov.compare(virgin)
+        per_op = log.stats.per_op()
+        assert per_op[Op.RESET].bytes_touched == 1 << 12
+        assert per_op[Op.CLASSIFY].bytes_touched == 1 << 12
+        assert per_op[Op.COMPARE].bytes_touched == 2 * (1 << 12)
+
+    def test_bigmap_sweeps_only_used_region(self):
+        log = AccessLog()
+        cov = BigMapCoverage(1 << 12, log=log)
+        virgin = VirginMap(1 << 12)
+        cov.update(arr([1, 500, 900]), arr([1, 1, 1]))
+        log.clear()
+        cov.reset()
+        cov.classify()
+        cov.compare(virgin)
+        per_op = log.stats.per_op()
+        assert per_op[Op.RESET].bytes_touched == 3
+        assert per_op[Op.CLASSIFY].bytes_touched == 3
+        assert per_op[Op.COMPARE].bytes_touched == 6
+
+    def test_bigmap_index_touched_only_during_update(self):
+        """Paper §IV-B: the index bitmap is not accessed at any other
+        phase, including reset."""
+        log = AccessLog(keep_records=True)
+        cov = BigMapCoverage(1 << 12, log=log)
+        virgin = VirginMap(1 << 12)
+        cov.update(arr([7]), arr([1]))
+        log.clear()
+        cov.reset()
+        cov.classify()
+        cov.compare(virgin)
+        cov.hash()
+        index_records = [r for r in log.records if r.array == "index"]
+        assert not index_records
+
+    def test_bigmap_init_is_the_only_full_map_touch(self):
+        log = AccessLog(keep_records=True)
+        cov = BigMapCoverage(1 << 12, log=log)
+        init_bytes = [r.bytes_touched for r in log.records
+                      if r.op == Op.INIT]
+        assert sum(init_bytes) == (1 << 12) * 8 + (1 << 12)
+        log.clear()
+        cov.update(arr([5]), arr([1]))
+        cov.reset()
+        for record in log.records:
+            assert record.op != Op.INIT
+
+    def test_nonzero_region_hash_accounting(self):
+        log = AccessLog(keep_records=True)
+        cov = BigMapCoverage(1 << 12, log=log)
+        cov.update(arr([3, 4, 5]), arr([1, 1, 1]))
+        cov.reset()
+        cov.update(arr([3]), arr([1]))  # only slot 0 nonzero
+        log.clear()
+        cov.hash()
+        (record,) = [r for r in log.records if r.op == Op.HASH]
+        assert record.bytes_touched == 1  # up to last nonzero, not used
+
+    def test_non_temporal_flag_propagates(self):
+        log = AccessLog(keep_records=True)
+        cov = AflCoverage(1 << 12, log=log, non_temporal_reset=True)
+        cov.reset()
+        (record,) = [r for r in log.records if r.op == Op.RESET]
+        assert record.non_temporal

@@ -1,0 +1,87 @@
+"""Unit/property tests for shared bitmap helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (COUNTER_SATURATE, COUNTER_WRAP, aggregate_keys,
+                        apply_counts)
+from repro.core.errors import TraceShapeError
+
+
+class TestAggregateKeys:
+    def test_combines_duplicates(self):
+        keys = np.array([5, 2, 5, 2, 5], dtype=np.int64)
+        counts = np.array([1, 2, 3, 4, 5], dtype=np.int64)
+        unique, summed = aggregate_keys(keys, counts)
+        assert unique.tolist() == [2, 5]
+        assert summed.tolist() == [6, 9]
+
+    def test_empty(self):
+        unique, summed = aggregate_keys(np.empty(0, dtype=np.int64),
+                                        np.empty(0, dtype=np.int64))
+        assert unique.size == 0 and summed.size == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TraceShapeError):
+            aggregate_keys(np.array([1, 2]), np.array([1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(TraceShapeError):
+            aggregate_keys(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(1, 100)),
+                    max_size=60))
+    def test_total_count_preserved(self, pairs):
+        keys = np.array([k for k, _ in pairs], dtype=np.int64)
+        counts = np.array([c for _, c in pairs], dtype=np.int64)
+        _, summed = aggregate_keys(keys, counts)
+        assert summed.sum() == counts.sum()
+
+    @given(st.lists(st.integers(0, 63), max_size=60))
+    def test_unique_sorted(self, raw):
+        keys = np.array(raw, dtype=np.int64)
+        unique, _ = aggregate_keys(keys, np.ones_like(keys))
+        assert (np.diff(unique) > 0).all()
+
+
+class TestApplyCounts:
+    def test_saturate_is_sticky(self):
+        store = np.array([250], dtype=np.uint8)
+        apply_counts(store, np.array([0]), np.array([10]),
+                     COUNTER_SATURATE)
+        assert store[0] == 255
+        apply_counts(store, np.array([0]), np.array([10]),
+                     COUNTER_SATURATE)
+        assert store[0] == 255
+
+    def test_wrap_matches_modular_arithmetic(self):
+        store = np.array([250], dtype=np.uint8)
+        apply_counts(store, np.array([0]), np.array([10]), COUNTER_WRAP)
+        assert store[0] == (250 + 10) % 256
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            apply_counts(np.zeros(1, dtype=np.uint8), np.array([0]),
+                         np.array([1]), "overflow")
+
+    @given(st.integers(0, 255), st.integers(0, 1000))
+    def test_wrap_equals_per_increment_wrap(self, start, add):
+        """Summed-then-wrapped equals incrementing one at a time."""
+        store = np.array([start], dtype=np.uint8)
+        apply_counts(store, np.array([0]), np.array([add]), COUNTER_WRAP)
+        expected = start
+        for _ in range(add):
+            expected = (expected + 1) & 0xFF
+        assert store[0] == expected
+
+    @given(st.integers(0, 255), st.integers(0, 1000))
+    def test_saturate_equals_per_increment_saturate(self, start, add):
+        store = np.array([start], dtype=np.uint8)
+        apply_counts(store, np.array([0]), np.array([add]),
+                     COUNTER_SATURATE)
+        expected = start
+        for _ in range(add):
+            expected = min(expected + 1, 255)
+        assert store[0] == expected

@@ -1,0 +1,99 @@
+"""Unit tests for AFL hit-count bucketing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.classify import (BUCKET_VALUES, COUNT_CLASS_LOOKUP8,
+                                 bucket_of, classify_counts, is_classified)
+
+
+class TestBucketBoundaries:
+    """The exact AFL bucket table from paper §II-A2."""
+
+    @pytest.mark.parametrize("count,bucket", [
+        (0, 0), (1, 1), (2, 2), (3, 4),
+        (4, 8), (5, 8), (7, 8),
+        (8, 16), (15, 16),
+        (16, 32), (31, 32),
+        (32, 64), (127, 64),
+        (128, 128), (255, 128),
+    ])
+    def test_boundary(self, count, bucket):
+        assert bucket_of(count) == bucket
+        assert int(COUNT_CLASS_LOOKUP8[count]) == bucket
+
+    def test_counts_above_255_saturate(self):
+        assert bucket_of(256) == 128
+        assert bucket_of(10**9) == 128
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_of(-1)
+
+    def test_bucket_values_are_distinct_bits(self):
+        nonzero = sorted(v for v in BUCKET_VALUES if v)
+        assert nonzero == [1, 2, 4, 8, 16, 32, 64, 128]
+        for v in nonzero:
+            assert v & (v - 1) == 0, "each bucket must be a single bit"
+
+
+class TestClassifyCounts:
+    def test_classifies_into_new_array(self):
+        counts = np.array([0, 1, 3, 9, 200], dtype=np.uint8)
+        out = classify_counts(counts)
+        assert out.tolist() == [0, 1, 4, 16, 128]
+        assert counts.tolist() == [0, 1, 3, 9, 200], "input untouched"
+
+    def test_classifies_in_place(self):
+        counts = np.array([5, 40], dtype=np.uint8)
+        result = classify_counts(counts, out=counts)
+        assert result is counts
+        assert counts.tolist() == [8, 64]
+
+    def test_rejects_non_uint8(self):
+        with pytest.raises(TypeError):
+            classify_counts(np.array([1, 2], dtype=np.int32))
+
+    def test_empty(self):
+        assert classify_counts(np.empty(0, dtype=np.uint8)).size == 0
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_constant_on_buckets(self, a, b):
+        """classify is constant exactly on AFL's buckets. (It is *not*
+        idempotent — count 3 maps to bit 4, whose raw value lies in the
+        next bucket — which is fine because AFL classifies a trace
+        exactly once per execution.)"""
+        buckets = [(0, 0), (1, 1), (2, 2), (3, 3), (4, 7), (8, 15),
+                   (16, 31), (32, 127), (128, 255)]
+
+        def bucket_index(v):
+            return next(i for i, (lo, hi) in enumerate(buckets)
+                        if lo <= v <= hi)
+
+        same_bucket = bucket_index(a) == bucket_index(b)
+        assert (bucket_of(a) == bucket_of(b)) == same_bucket
+
+    @given(st.lists(st.integers(0, 255), max_size=128))
+    def test_output_only_bucket_values(self, values):
+        arr = np.array(values, dtype=np.uint8)
+        assert is_classified(classify_counts(arr))
+
+    @given(st.integers(0, 254))
+    def test_monotone(self, count):
+        """Buckets never decrease as counts increase."""
+        assert bucket_of(count + 1) >= bucket_of(count)
+
+    @given(st.integers(1, 255))
+    def test_nonzero_count_nonzero_bucket(self, count):
+        assert bucket_of(count) > 0
+
+
+class TestIsClassified:
+    def test_accepts_classified(self):
+        assert is_classified(np.array([0, 1, 2, 4, 8, 16, 32, 64, 128],
+                                      dtype=np.uint8))
+
+    def test_rejects_raw_counts(self):
+        assert not is_classified(np.array([3], dtype=np.uint8))

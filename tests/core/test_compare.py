@@ -1,0 +1,149 @@
+"""Unit tests for virgin-map compare (has_new_bits semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.classify import classify_counts
+from repro.core.compare import (NEW_EDGE, NEW_HIT_COUNT, NO_NEW_COVERAGE,
+                                VirginMap)
+from repro.core.errors import MapSizeError
+
+MAP = 256
+
+
+def classified(pairs, size=MAP):
+    trace = np.zeros(size, dtype=np.uint8)
+    for idx, count in pairs:
+        trace[idx] = count
+    return classify_counts(trace)
+
+
+class TestMergeLevels:
+    def test_fresh_map_new_edge(self):
+        virgin = VirginMap(MAP)
+        result = virgin.merge(classified([(3, 1)]))
+        assert result.level == NEW_EDGE
+        assert result.new_edges == 1
+        assert result.new_buckets == 0
+
+    def test_same_trace_second_time_is_nothing(self):
+        virgin = VirginMap(MAP)
+        trace = classified([(3, 1), (7, 5)])
+        assert virgin.merge(trace).level == NEW_EDGE
+        assert virgin.merge(trace).level == NO_NEW_COVERAGE
+
+    def test_new_bucket_on_known_edge(self):
+        virgin = VirginMap(MAP)
+        virgin.merge(classified([(3, 1)]))
+        result = virgin.merge(classified([(3, 10)]))
+        assert result.level == NEW_HIT_COUNT
+        assert result.new_buckets == 1
+        assert result.new_edges == 0
+
+    def test_same_bucket_different_count_is_nothing(self):
+        """Counts 4 and 7 share the [4-7] bucket (paper §II-A2)."""
+        virgin = VirginMap(MAP)
+        virgin.merge(classified([(3, 4)]))
+        assert virgin.merge(classified([(3, 7)])).level == NO_NEW_COVERAGE
+
+    def test_new_edge_wins_over_new_bucket(self):
+        virgin = VirginMap(MAP)
+        virgin.merge(classified([(3, 1)]))
+        result = virgin.merge(classified([(3, 10), (9, 1)]))
+        assert result.level == NEW_EDGE
+        assert result.new_edges == 1
+        assert result.new_buckets == 1
+
+    def test_empty_trace(self):
+        virgin = VirginMap(MAP)
+        assert virgin.merge(np.zeros(MAP, dtype=np.uint8)).level == \
+            NO_NEW_COVERAGE
+
+    def test_limit_restricts_compare(self):
+        virgin = VirginMap(MAP)
+        trace = classified([(100, 1)])
+        assert virgin.merge(trace, limit=50).level == NO_NEW_COVERAGE
+        assert virgin.merge(trace, limit=101).level == NEW_EDGE
+
+
+class TestWouldBeNew:
+    def test_does_not_mutate(self):
+        virgin = VirginMap(MAP)
+        trace = classified([(5, 1)])
+        assert virgin.would_be_new(trace) == NEW_EDGE
+        assert virgin.count_discovered() == 0
+        assert virgin.merge(trace).level == NEW_EDGE
+
+    def test_levels_match_merge(self):
+        virgin = VirginMap(MAP)
+        virgin.merge(classified([(5, 1)]))
+        assert virgin.would_be_new(classified([(5, 100)])) == \
+            NEW_HIT_COUNT
+        assert virgin.would_be_new(classified([(5, 1)])) == \
+            NO_NEW_COVERAGE
+
+
+class TestMergeSparse:
+    @given(st.lists(st.tuples(st.integers(0, MAP - 1),
+                              st.integers(1, 255)),
+                    min_size=0, max_size=40),
+           st.lists(st.tuples(st.integers(0, MAP - 1),
+                              st.integers(1, 255)),
+                    min_size=0, max_size=40))
+    def test_equivalent_to_full_merge(self, first, second):
+        """Sparse and full merges agree on any pair of traces."""
+        dense, sparse = VirginMap(MAP), VirginMap(MAP)
+        for pairs in (first, second):
+            trace = classified(dict(pairs).items())
+            indices = np.flatnonzero(trace)
+            full = dense.merge(trace)
+            spr = sparse.merge_sparse(indices, trace[indices])
+            assert (full.level, full.new_edges, full.new_buckets) == \
+                (spr.level, spr.new_edges, spr.new_buckets)
+        assert np.array_equal(dense.virgin, sparse.virgin)
+
+    def test_empty_indices(self):
+        virgin = VirginMap(MAP)
+        result = virgin.merge_sparse(np.empty(0, dtype=np.int64),
+                                     np.empty(0, dtype=np.uint8))
+        assert result.level == NO_NEW_COVERAGE
+
+
+class TestDiscoveredAndMergeFrom:
+    def test_count_discovered(self):
+        virgin = VirginMap(MAP)
+        assert virgin.count_discovered() == 0
+        virgin.merge(classified([(1, 1), (2, 1)]))
+        assert virgin.count_discovered() == 2
+
+    def test_reset(self):
+        virgin = VirginMap(MAP)
+        virgin.merge(classified([(1, 1)]))
+        virgin.reset()
+        assert virgin.count_discovered() == 0
+
+    def test_merge_from_unions_discoveries(self):
+        a, b = VirginMap(MAP), VirginMap(MAP)
+        a.merge(classified([(1, 1)]))
+        b.merge(classified([(2, 1), (3, 1)]))
+        newly = a.merge_from(b)
+        assert newly == 2
+        assert a.count_discovered() == 3
+
+    def test_merge_from_size_mismatch(self):
+        with pytest.raises(MapSizeError):
+            VirginMap(MAP).merge_from(VirginMap(MAP * 2))
+
+    def test_copy_is_independent(self):
+        a = VirginMap(MAP)
+        a.merge(classified([(1, 1)]))
+        b = a.copy()
+        b.merge(classified([(2, 1)]))
+        assert a.count_discovered() == 1
+        assert b.count_discovered() == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(MapSizeError):
+            VirginMap(0)

@@ -1,0 +1,90 @@
+"""The central functional claim: BigMap is a drop-in replacement.
+
+For any sequence of key traces, AFL's flat bitmap and BigMap must make
+*identical fitness decisions* — same compare level at every step, same
+number of distinct discoveries over the campaign. (Their virgin maps
+index different spaces — map keys vs condensed slots — but the
+discovery structure must be isomorphic.)
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AflCoverage, BigMapCoverage, VirginMap
+
+MAP = 1 << 10
+
+
+def arr(values):
+    return np.asarray(values, dtype=np.int64)
+
+
+traces_strategy = st.lists(
+    st.lists(st.tuples(st.integers(0, MAP - 1), st.integers(1, 300)),
+             min_size=0, max_size=25),
+    min_size=1, max_size=15)
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces_strategy)
+def test_identical_fitness_decisions(traces):
+    afl, big = AflCoverage(MAP), BigMapCoverage(MAP)
+    virgin_a, virgin_b = VirginMap(MAP), VirginMap(MAP)
+    for trace in traces:
+        afl.reset()
+        big.reset()
+        if trace:
+            keys, counts = zip(*trace)
+            afl.update(arr(keys), arr(counts))
+            big.update(arr(keys), arr(counts))
+        r_a = afl.classify_and_compare(virgin_a)
+        r_b = big.classify_and_compare(virgin_b)
+        assert (r_a.level, r_a.new_edges, r_a.new_buckets) == \
+            (r_b.level, r_b.new_edges, r_b.new_buckets), \
+            "AFL and BigMap disagreed on a fitness decision"
+    assert virgin_a.count_discovered() == virgin_b.count_discovered()
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces_strategy)
+def test_identical_stored_counts(traces):
+    """After every update, per-key counts must agree exactly."""
+    afl, big = AflCoverage(MAP), BigMapCoverage(MAP)
+    seen = set()
+    for trace in traces:
+        afl.reset()
+        big.reset()
+        if trace:
+            keys, counts = zip(*trace)
+            afl.update(arr(keys), arr(counts))
+            big.update(arr(keys), arr(counts))
+            seen.update(keys)
+        for key in seen:
+            assert afl.count_for_key(key) == big.count_for_key(key)
+
+
+@settings(max_examples=40, deadline=None)
+@given(traces_strategy)
+def test_hash_equivalence_classes_match(traces):
+    """Two executions hash equal under AFL iff they hash equal under
+    BigMap (the hash functions differ, but the induced partition of
+    executions must be the same)."""
+    afl, big = AflCoverage(MAP), BigMapCoverage(MAP)
+    afl_hashes, big_hashes = [], []
+    for trace in traces:
+        afl.reset()
+        big.reset()
+        if trace:
+            keys, counts = zip(*trace)
+            afl.update(arr(keys), arr(counts))
+            big.update(arr(keys), arr(counts))
+        afl.classify()
+        big.classify()
+        afl_hashes.append(afl.hash())
+        big_hashes.append(big.hash())
+    for i in range(len(traces)):
+        for j in range(i + 1, len(traces)):
+            assert (afl_hashes[i] == afl_hashes[j]) == \
+                (big_hashes[i] == big_hashes[j]), \
+                f"hash partition mismatch between traces {i} and {j}"

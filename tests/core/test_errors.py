@@ -1,0 +1,31 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.errors import (CalibrationError, CampaignConfigError,
+                               KeyRangeError, MapFullError, MapSizeError,
+                               ReproError, TraceShapeError)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        MapSizeError, MapFullError, KeyRangeError, TraceShapeError,
+        CalibrationError, CampaignConfigError])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_catchable_as_such(self):
+        """Callers using plain ``except ValueError`` still work for the
+        validation errors."""
+        for exc in (MapSizeError, KeyRangeError, TraceShapeError,
+                    CalibrationError, CampaignConfigError):
+            assert issubclass(exc, ValueError)
+
+    def test_map_full_is_runtime_error(self):
+        assert issubclass(MapFullError, RuntimeError)
+
+    def test_one_except_clause_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise KeyRangeError("x")
+        with pytest.raises(ReproError):
+            raise MapFullError("y")

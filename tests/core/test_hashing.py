@@ -1,0 +1,68 @@
+"""Unit tests for bitmap hashing helpers."""
+
+import zlib
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hashing import (crc32_full, crc32_trimmed,
+                                last_nonzero_index)
+
+
+class TestLastNonzero:
+    def test_empty(self):
+        assert last_nonzero_index(np.zeros(8, dtype=np.uint8)) == -1
+
+    def test_finds_last(self):
+        arr = np.array([0, 3, 0, 7, 0], dtype=np.uint8)
+        assert last_nonzero_index(arr) == 3
+
+    def test_search_limit(self):
+        arr = np.array([0, 3, 0, 7, 0], dtype=np.uint8)
+        assert last_nonzero_index(arr, search_limit=3) == 1
+        assert last_nonzero_index(arr, search_limit=1) == -1
+
+
+class TestCrc32Trimmed:
+    def test_matches_manual_crc(self):
+        arr = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert crc32_trimmed(arr) == zlib.crc32(bytes([1, 1]))
+
+    def test_paper_discrepancy_example(self):
+        """§IV-D: crc32({1,1}) != crc32({1,1,0}) — trimming fixes it."""
+        p1 = np.array([1, 1, 0, 0], dtype=np.uint8)
+        p3 = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert crc32_full(np.array([1, 1], dtype=np.uint8)) != \
+            crc32_full(np.array([1, 1, 0], dtype=np.uint8))
+        assert crc32_trimmed(p1, 2) == crc32_trimmed(p3, 3)
+
+    def test_all_zero(self):
+        assert crc32_trimmed(np.zeros(16, dtype=np.uint8)) == \
+            zlib.crc32(b"")
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=64),
+           st.integers(0, 32))
+    def test_zero_padding_invariant(self, values, padding):
+        """Appending zeros never changes the trimmed hash."""
+        base = np.array(values, dtype=np.uint8)
+        padded = np.concatenate([base,
+                                 np.zeros(padding, dtype=np.uint8)])
+        assert crc32_trimmed(base) == crc32_trimmed(padded)
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=64))
+    def test_trimmed_equals_full_up_to_last_nonzero(self, values):
+        arr = np.array(values, dtype=np.uint8)
+        last = last_nonzero_index(arr)
+        assert crc32_trimmed(arr) == crc32_full(arr[:last + 1])
+
+
+class TestCrc32Full:
+    def test_is_plain_crc32(self):
+        arr = np.array([9, 8, 7], dtype=np.uint8)
+        assert crc32_full(arr) == zlib.crc32(bytes([9, 8, 7]))
+
+    def test_length_sensitive(self):
+        a = np.array([1, 1], dtype=np.uint8)
+        b = np.array([1, 1, 0], dtype=np.uint8)
+        assert crc32_full(a) != crc32_full(b)

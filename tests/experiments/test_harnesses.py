@@ -1,0 +1,141 @@
+"""Smoke and shape tests for the experiment harnesses.
+
+Each harness runs at a micro profile (far below ``quick``) on a reduced
+benchmark subset — the goal is to verify the plumbing end-to-end and
+the qualitative shapes, not the paper's magnitudes (see EXPERIMENTS.md
+for those).
+"""
+
+import pytest
+
+from repro.experiments.common import (MAP_SIZE_LABELS, BenchmarkCache,
+                                      Profile, get_profile,
+                                      throughput_probe)
+
+MICRO = Profile(name="micro", scale=0.04, seed_scale=0.02,
+                throughput_execs=150, campaign_virtual_seconds=0.8,
+                campaign_max_execs=1_200, composition_scale=0.02,
+                replicas=1)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return BenchmarkCache()
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        for name in ("quick", "default", "full"):
+            profile = get_profile(name)
+            assert profile.scale > 0
+        with pytest.raises(ValueError):
+            get_profile("warp")
+
+    def test_cache_reuses_builds(self, cache):
+        a = cache.get("zlib", 0.1, 0.1)
+        b = cache.get("zlib", 0.1, 0.1)
+        assert a is b
+        c = cache.get("zlib", 0.2, 0.1)
+        assert c is not a
+
+
+class TestFig2:
+    def test_exact_math_and_report(self):
+        from repro.experiments.fig2_collision import compute, run
+        grid = compute()
+        assert len(grid) == 8 and len(grid[0]) == 10
+        # Rates fall along each row (bigger maps).
+        for row in grid:
+            assert row == sorted(row, reverse=True)
+        report = run()
+        assert "Figure 2" in report and "64k" in report
+
+
+class TestTable2:
+    def test_rows_and_checkpoints(self):
+        from repro.experiments.table2_benchmarks import compute, run
+        rows = compute(MICRO)
+        assert len(rows) == 19
+        by_name = {r["benchmark"]: r for r in rows}
+        assert by_name["sqlite3"]["collision_rate_64k"] == \
+            pytest.approx(25.64, abs=0.1)
+        assert "Table II" in run(MICRO)
+
+
+class TestFig3:
+    def test_composition_shape(self, cache):
+        from repro.experiments.fig3_runtime import compute
+        data = compute(MICRO, cache)
+        assert set(data) == {"libpng", "sqlite3", "gvn", "bloaty",
+                             "openssl", "php"}
+        for name, sizes in data.items():
+            small = sizes["64k"]
+            big = sizes["8M"]
+            map_small = (small["classify"] + small["compare"] +
+                         small["reset"])
+            map_big = big["classify"] + big["compare"] + big["reset"]
+            assert map_big > map_small * 10, name
+            # At 64k, execution dominates.
+            assert small["execution"] > map_small, name
+
+
+class TestFig6:
+    def test_speedups_monotone_in_map_size(self, cache):
+        from repro.experiments.fig6_throughput import (compute,
+                                                       speedup_summary)
+        data = compute(MICRO, cache, benchmarks=["libpng", "sqlite3"])
+        speeds = speedup_summary(data)
+        ordered = [speeds[lbl] for lbl in ("64k", "256k", "2M", "8M")]
+        assert ordered == sorted(ordered)
+        assert ordered[-1] > 5.0
+
+
+class TestFig7:
+    def test_true_coverage_reported(self, cache):
+        from repro.experiments.fig7_edge_coverage import compute
+        data = compute(MICRO, cache, benchmarks=["libpng"])
+        values = data["libpng"]
+        for fuzzer in ("afl", "bigmap"):
+            for label in MAP_SIZE_LABELS.values():
+                assert values[fuzzer][label] > 0
+
+
+class TestFig9:
+    def test_scaling_shapes(self, cache):
+        from repro.experiments.fig9_scalability import compute
+        data = compute(MICRO, cache, benchmarks=["sqlite3"])
+        rates = data["sqlite3"]
+        assert rates["bigmap"][12] > rates["bigmap"][1] * 8
+        assert rates["afl"][12] < rates["afl"][1] * 6
+        # Speedup grows with k.
+        s4 = rates["bigmap"][4] / rates["afl"][4]
+        s12 = rates["bigmap"][12] / rates["afl"][12]
+        assert s12 > s4
+
+
+class TestFig10:
+    def test_parallel_crash_pipeline(self, cache):
+        from repro.experiments.fig10_parallel_crashes import compute
+        data = compute(MICRO, cache, benchmarks=["licm"],
+                       instance_counts=(1, 2))
+        assert set(data["licm"]) == {"afl", "bigmap"}
+        for fuzzer in ("afl", "bigmap"):
+            assert set(data["licm"][fuzzer]) == {1, 2}
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table3" in out
+
+    def test_unknown_experiment(self):
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_fig2_via_cli(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["fig2", "--profile", "quick"]) == 0
+        assert "Figure 2" in capsys.readouterr().out

@@ -1,0 +1,28 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.core.errors import CampaignConfigError
+from repro.fuzzer import VirtualClock
+
+
+class TestVirtualClock:
+    def test_accumulates(self):
+        clock = VirtualClock(2.4e9)
+        clock.charge(2.4e9)
+        clock.charge(1.2e9)
+        assert clock.seconds == pytest.approx(1.5)
+
+    def test_before_deadline(self):
+        clock = VirtualClock(1e9)
+        assert clock.before(1.0)
+        clock.charge(1e9)
+        assert not clock.before(1.0)
+
+    def test_rejects_negative_charge(self):
+        with pytest.raises(CampaignConfigError):
+            VirtualClock(1e9).charge(-1)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(CampaignConfigError):
+            VirtualClock(0)

@@ -1,0 +1,100 @@
+"""Unit tests for the mutation engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzer import Mutator
+from repro.fuzzer.mutation import ARITH_MAX, INTERESTING_8
+
+
+def make_mutator(seed=0, **kwargs):
+    return Mutator(np.random.default_rng(np.random.PCG64(seed)),
+                   **kwargs)
+
+
+class TestHavoc:
+    def test_deterministic_for_same_stream(self):
+        a, b = make_mutator(7), make_mutator(7)
+        data = bytes(range(64))
+        for _ in range(20):
+            assert a.havoc(data) == b.havoc(data)
+
+    def test_usually_changes_input(self):
+        mutator = make_mutator(1)
+        data = bytes(64)
+        changed = sum(mutator.havoc(data) != data for _ in range(50))
+        assert changed >= 45
+
+    def test_length_bounds(self):
+        mutator = make_mutator(2, max_len=128, min_len=4)
+        data = bytes(100)
+        for _ in range(300):
+            mutant = mutator.havoc(data)
+            assert 4 <= len(mutant) <= 128
+
+    def test_empty_input_handled(self):
+        mutator = make_mutator(3)
+        mutant = mutator.havoc(b"")
+        assert len(mutant) >= 1
+
+    def test_splice_mixes_partners(self):
+        mutator = make_mutator(4)
+        a = bytes([0xAA]) * 64
+        b = bytes([0xBB]) * 64
+        spliced_bytes = set()
+        for _ in range(40):
+            spliced_bytes.update(mutator.havoc(a, splice_with=b))
+        assert 0xBB in spliced_bytes, "splice partner bytes never appear"
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            make_mutator(max_len=2, min_len=4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=1, max_size=256), st.integers(0, 1000))
+    def test_never_crashes_on_arbitrary_input(self, data, seed):
+        """min_len only guards deletions — inputs that are already
+        shorter may stay short, but mutants are never empty and never
+        exceed the cap."""
+        mutator = make_mutator(seed)
+        mutant = mutator.havoc(data)
+        assert isinstance(mutant, bytes)
+        assert 1 <= len(mutant) <= max(mutator.max_len, len(data))
+
+
+class TestDeterministicStage:
+    def test_first_mutants_are_walking_bitflips(self):
+        mutator = make_mutator(5)
+        data = bytes([0x00, 0x00])
+        mutants = []
+        for i, m in enumerate(mutator.deterministic(data)):
+            mutants.append(m)
+            if i >= 15:
+                break
+        assert mutants[0] == bytes([0x01, 0x00])
+        assert mutants[1] == bytes([0x02, 0x00])
+        assert mutants[7] == bytes([0x80, 0x00])
+        assert mutants[8] == bytes([0x00, 0x01])
+
+    def test_max_mutants_truncates(self):
+        mutator = make_mutator(5)
+        stream = list(mutator.deterministic(bytes(8), max_mutants=10))
+        assert len(stream) == 10
+
+    def test_covers_arithmetic_and_interesting(self):
+        mutator = make_mutator(5)
+        data = bytes([50])
+        mutants = set(mutator.deterministic(data))
+        assert bytes([50 + 1]) in mutants
+        assert bytes([(50 - ARITH_MAX) & 0xFF]) in mutants
+        for value in INTERESTING_8.tolist():
+            assert bytes([value]) in mutants
+
+    def test_every_mutant_same_length_in_early_stages(self):
+        """Bitflips and arithmetic never change the input length."""
+        mutator = make_mutator(6)
+        data = bytes(16)
+        for m in mutator.deterministic(data, max_mutants=500):
+            assert len(m) == 16

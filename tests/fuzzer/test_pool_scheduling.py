@@ -1,0 +1,125 @@
+"""Unit tests for the seed pool, favored culling, and scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.fuzzer import EnergyPolicy, Scheduler, Seed, SeedPool
+
+
+def make_seed(seed_id, locations, exec_cycles=1000.0, data=b"xxxx",
+              **kwargs):
+    return Seed(seed_id=seed_id, data=data, exec_cycles=exec_cycles,
+                coverage_hash=seed_id,
+                covered_locations=np.asarray(locations, dtype=np.int64),
+                **kwargs)
+
+
+class TestSeedPool:
+    def test_cull_favors_minimal_cover(self):
+        pool = SeedPool()
+        pool.add(make_seed(0, [1, 2, 3], exec_cycles=100))
+        pool.add(make_seed(1, [3], exec_cycles=50))
+        pool.add(make_seed(2, [4], exec_cycles=100))
+        pool.cull()
+        favored = {s.seed_id for s in pool if s.favored}
+        # Seed 0 covers 1,2; seed 1 is the cheaper cover for 3; seed 2
+        # uniquely covers 4.
+        assert 0 in favored and 2 in favored
+
+    def test_cheaper_seed_takes_over_location(self):
+        pool = SeedPool()
+        pool.add(make_seed(0, [7], exec_cycles=1000, data=b"A" * 64))
+        pool.add(make_seed(1, [7], exec_cycles=10, data=b"B"))
+        pool.cull()
+        favored = {s.seed_id for s in pool if s.favored}
+        assert favored == {1}
+
+    def test_pending_favored_counts_unfuzzed(self):
+        pool = SeedPool()
+        pool.add(make_seed(0, [1]))
+        assert pool.pending_favored() == 1
+        pool.seeds[0].fuzzed = True
+        pool._cull_pending = True
+        assert pool.pending_favored() == 0
+
+    def test_splice_partner_excludes_self(self):
+        pool = SeedPool()
+        pool.add(make_seed(0, [1]))
+        rng = np.random.default_rng(0)
+        assert pool.pick_splice_partner(rng, 0) is None
+        pool.add(make_seed(1, [2]))
+        partner = pool.pick_splice_partner(rng, 0)
+        assert partner.seed_id == 1
+
+    def test_cull_score_prefers_short_fast(self):
+        fast_short = make_seed(0, [1], exec_cycles=10, data=b"ab")
+        slow_long = make_seed(1, [1], exec_cycles=100, data=b"ab" * 50)
+        assert fast_short.cull_score() < slow_long.cull_score()
+
+
+class TestScheduler:
+    def _pool(self, n_favored=1, n_plain=5):
+        pool = SeedPool()
+        for i in range(n_favored):
+            pool.add(make_seed(i, [i]))
+        for i in range(n_plain):
+            # Same location: only the first (cheaper) stays favored.
+            pool.add(make_seed(100 + i, [0], exec_cycles=10_000.0,
+                               data=b"y" * 200))
+        pool.cull()
+        return pool
+
+    def test_empty_pool_rejected(self):
+        scheduler = Scheduler(SeedPool(), np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            scheduler.next_seed()
+
+    def test_favored_strongly_preferred(self):
+        pool = self._pool(n_favored=1, n_plain=8)
+        scheduler = Scheduler(pool, np.random.default_rng(1))
+        picks = [scheduler.next_seed().favored for _ in range(50)]
+        assert sum(picks) > 40
+
+    def test_always_terminates(self):
+        pool = SeedPool()
+        pool.add(make_seed(0, [1]))
+        pool.seeds[0].favored = False
+        pool._cull_pending = False
+        scheduler = Scheduler(pool, np.random.default_rng(2))
+        # A single non-favored seed must still be schedulable.
+        assert scheduler.next_seed() is pool.seeds[0]
+
+    def test_energy_bounds(self):
+        policy = EnergyPolicy()
+        pool = self._pool()
+        scheduler = Scheduler(pool, np.random.default_rng(3),
+                              policy=policy)
+        for seed in pool:
+            energy = scheduler.energy_for(seed)
+            assert policy.min_energy <= energy <= policy.max_energy
+
+    def test_fast_seed_gets_more_energy(self):
+        policy = EnergyPolicy()
+        fast = make_seed(0, [1, 2, 3], exec_cycles=100)
+        slow = make_seed(1, [1, 2, 3], exec_cycles=10_000)
+        e_fast = policy.energy_for(fast, pool_mean_cycles=1_000,
+                                   max_locations=3)
+        e_slow = policy.energy_for(slow, pool_mean_cycles=1_000,
+                                   max_locations=3)
+        assert e_fast > e_slow
+
+    def test_broad_coverage_gets_more_energy(self):
+        policy = EnergyPolicy()
+        broad = make_seed(0, list(range(100)))
+        narrow = make_seed(1, [1])
+        e_broad = policy.energy_for(broad, 1_000, 100)
+        e_narrow = policy.energy_for(narrow, 1_000, 100)
+        assert e_broad > e_narrow
+
+    def test_iterate_yields_pairs(self):
+        pool = self._pool()
+        scheduler = Scheduler(pool, np.random.default_rng(4))
+        stream = scheduler.iterate()
+        seed, energy = next(stream)
+        assert isinstance(energy, int)
+        assert seed in pool.seeds

@@ -1,0 +1,39 @@
+"""Unit tests for the Seed queue-entry model."""
+
+import numpy as np
+
+from repro.fuzzer import Seed
+
+
+def make(seed_id=0, data=b"abcd", exec_cycles=100.0, locations=(1, 2)):
+    return Seed(seed_id=seed_id, data=data, exec_cycles=exec_cycles,
+                coverage_hash=0,
+                covered_locations=np.asarray(locations, dtype=np.int64))
+
+
+class TestSeed:
+    def test_n_locations(self):
+        assert make(locations=(1, 2, 3)).n_locations == 3
+
+    def test_cull_score_product(self):
+        seed = make(data=b"x" * 10, exec_cycles=50.0)
+        assert seed.cull_score() == 500.0
+
+    def test_cull_score_empty_data_guard(self):
+        seed = make(data=b"", exec_cycles=50.0)
+        assert seed.cull_score() == 50.0
+
+    def test_defaults(self):
+        seed = make()
+        assert seed.depth == 0
+        assert not seed.favored
+        assert not seed.fuzzed
+        assert seed.parent_id is None
+
+    def test_score_orders_preference(self):
+        """Shorter-and-faster always wins the cull (paper §II-A1)."""
+        good = make(data=b"ab", exec_cycles=10.0)
+        bad = make(data=b"ab" * 100, exec_cycles=10.0)
+        slow = make(data=b"ab", exec_cycles=1000.0)
+        assert good.cull_score() < bad.cull_score()
+        assert good.cull_score() < slow.cull_score()

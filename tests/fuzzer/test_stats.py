@@ -1,0 +1,26 @@
+"""Unit tests for campaign statistics records."""
+
+import pytest
+
+from repro.fuzzer import RunningShape
+from repro.memsim import ExecShape
+
+
+class TestRunningShape:
+    def test_absorbs_and_averages(self):
+        stats = RunningShape()
+        stats.absorb(ExecShape(traversals=100, unique_locations=10,
+                               used_bytes=50))
+        stats.absorb(ExecShape(traversals=300, unique_locations=30,
+                               used_bytes=80, interesting=True))
+        mean = stats.mean_shape()
+        assert mean.traversals == 200
+        assert mean.unique_locations == 20
+        assert mean.used_bytes == 80, "used is a high-water mark"
+        assert stats.interesting == 1
+        assert stats.execs == 2
+
+    def test_empty_mean(self):
+        mean = RunningShape().mean_shape()
+        assert mean.traversals == 0
+        assert mean.unique_locations == 0

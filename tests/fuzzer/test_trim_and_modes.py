@@ -1,0 +1,141 @@
+"""Unit tests for seed trimming, persistent/fork modes, and ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.fuzzer import CampaignConfig, run_campaign, run_ensemble
+from repro.fuzzer.trim import TRIM_MIN_BYTES, trim_input
+from repro.target import get_benchmark
+
+
+class TestTrimInput:
+    def test_redundant_tail_removed(self):
+        """A hash that only looks at the first 8 bytes: everything
+        after must be trimmed away."""
+        def oracle(data):
+            return hash(data[:8])
+
+        data = bytes(range(8)) + bytes(100)
+        result = trim_input(data, oracle, max_executions=4_000)
+        assert result.data[:8] == data[:8]
+        assert len(result.data) < len(data)
+        assert result.removed_bytes == len(data) - len(result.data)
+
+    def test_essential_input_untouched(self):
+        """A hash over the whole input: nothing can be removed."""
+        result = trim_input(bytes(range(64)), hash)
+        assert result.data == bytes(range(64))
+        assert result.removed_bytes == 0
+
+    def test_tiny_input_skipped(self):
+        result = trim_input(b"ab", hash)
+        assert result.executions == 0
+        assert result.data == b"ab"
+
+    def test_never_below_minimum(self):
+        result = trim_input(bytes(64), lambda d: 0)  # everything equal
+        assert len(result.data) >= TRIM_MIN_BYTES
+
+    def test_execution_budget_respected(self):
+        calls = []
+
+        def oracle(data):
+            calls.append(1)
+            return hash(data)
+
+        trim_input(bytes(512), oracle, max_executions=50)
+        assert len(calls) <= 50
+
+    def test_preserves_oracle_value(self):
+        def oracle(data):
+            return hash(bytes(b for b in data if b))
+
+        data = bytes([1, 0, 0, 2, 0, 3] * 10)
+        result = trim_input(data, oracle, max_executions=2_000)
+        assert oracle(result.data) == oracle(data)
+
+
+class TestCampaignTrim:
+    def test_trimmed_corpus_is_shorter(self):
+        built = get_benchmark("libpng").build(scale=0.2, seed_scale=1.0)
+        base = dict(benchmark="libpng", fuzzer="bigmap",
+                    map_size=1 << 16, scale=0.2, seed_scale=1.0,
+                    virtual_seconds=0.3, max_real_execs=1_000,
+                    rng_seed=4)
+        plain = run_campaign(CampaignConfig(**base), built=built)
+        trimmed = run_campaign(CampaignConfig(trim_seeds=True, **base),
+                               built=built)
+        mean_plain = np.mean([len(d) for d in plain.corpus])
+        mean_trim = np.mean([len(d) for d in trimmed.corpus])
+        assert mean_trim < mean_plain
+
+    def test_trimmed_corpus_preserves_coverage(self):
+        """Trimming must not lose the coverage the corpus encodes."""
+        from repro.analysis import evaluate_corpus
+        built = get_benchmark("libpng").build(scale=0.2, seed_scale=1.0)
+        trimmed = run_campaign(CampaignConfig(
+            benchmark="libpng", fuzzer="bigmap", map_size=1 << 16,
+            scale=0.2, seed_scale=1.0, virtual_seconds=0.3,
+            max_real_execs=1_000, rng_seed=4, trim_seeds=True),
+            built=built)
+        # Each corpus entry still executes to a nonzero trace.
+        coverage = evaluate_corpus(built.program, trimmed.corpus)
+        assert coverage > 0
+
+
+class TestPersistentMode:
+    def test_fork_mode_is_slower(self):
+        built = get_benchmark("zlib").build(scale=1.0, seed_scale=0.2)
+        base = dict(benchmark="zlib", fuzzer="bigmap", map_size=1 << 16,
+                    seed_scale=0.2, virtual_seconds=0.3,
+                    max_real_execs=600, rng_seed=1)
+        persistent = run_campaign(CampaignConfig(**base), built=built)
+        fork = run_campaign(CampaignConfig(persistent_mode=False,
+                                           **base), built=built)
+        assert fork.throughput < persistent.throughput / 2
+
+
+class TestEnsemble:
+    @pytest.fixture(scope="class")
+    def built(self):
+        return get_benchmark("libpng").build(scale=0.2, seed_scale=1.0)
+
+    def _configs(self, metrics, **overrides):
+        base = dict(benchmark="libpng", fuzzer="bigmap",
+                    map_size=1 << 18, scale=0.2, seed_scale=1.0,
+                    virtual_seconds=0.4, max_real_execs=600)
+        base.update(overrides)
+        return [CampaignConfig(metric=m, rng_seed=i * 11, **base)
+                for i, m in enumerate(metrics)]
+
+    def test_heterogeneous_metrics_run(self, built):
+        summary = run_ensemble(
+            self._configs(["afl-edge", "ngram3"]), built=built)
+        assert summary.n_instances == 2
+        metrics = {r.metric for r in summary.per_instance}
+        assert metrics == {"afl-edge", "ngram3"}
+
+    def test_mismatched_targets_rejected(self, built):
+        configs = self._configs(["afl-edge", "afl-edge"])
+        from dataclasses import replace
+        from repro.core.errors import CampaignConfigError
+        bad = [configs[0], replace(configs[1], benchmark="zlib")]
+        with pytest.raises(CampaignConfigError):
+            run_ensemble(bad, built=built)
+
+    def test_instance_count_consistency_checked(self, built):
+        from repro.core.errors import CampaignConfigError
+        from repro.fuzzer import ParallelSession
+        with pytest.raises(CampaignConfigError):
+            ParallelSession(self._configs(["afl-edge", "ngram3"]),
+                            n_instances=3, built=built)
+
+    def test_cross_pollination(self, built):
+        """Members see coverage found by other metrics via the sync."""
+        summary = run_ensemble(
+            self._configs(["afl-edge", "ngram3"],
+                          virtual_seconds=0.8), built=built)
+        discovered = [r.discovered_locations
+                      for r in summary.per_instance]
+        # Both members end with substantial coverage (syncs worked).
+        assert min(discovered) > 0.5 * max(discovered)

@@ -1,0 +1,97 @@
+"""Unit tests for AFL edge hashing and trace-pc-guard IDs."""
+
+import numpy as np
+import pytest
+
+from repro.instrumentation import (AflEdgeInstrumentation,
+                                   TracePCGuardInstrumentation,
+                                   afl_edge_keys, assign_block_ids)
+from repro.target import Executor
+
+
+class TestBlockIds:
+    def test_uniform_range(self):
+        ids = assign_block_ids(10_000, 1 << 16, seed=1)
+        assert ids.min() >= 0 and ids.max() < (1 << 16)
+        # Roughly uniform: mean near the middle.
+        assert abs(ids.mean() - (1 << 15)) < (1 << 12)
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(assign_block_ids(100, 1 << 16, 7),
+                              assign_block_ids(100, 1 << 16, 7))
+        assert not np.array_equal(assign_block_ids(100, 1 << 16, 7),
+                                  assign_block_ids(100, 1 << 16, 8))
+
+
+class TestAflEdgeKeys:
+    def test_listing1_formula(self, tiny_program):
+        """E_XY = (B_X >> 1) ^ B_Y, exactly (paper Listing 1)."""
+        map_size = 1 << 16
+        keys = afl_edge_keys(tiny_program, map_size, seed=3)
+        blocks = assign_block_ids(tiny_program.n_blocks, map_size, seed=3)
+        e = 5
+        expected = (int(blocks[tiny_program.src_block[e]]) >> 1) ^ \
+            int(blocks[tiny_program.dst_block[e]])
+        assert int(keys[e]) == expected
+
+    def test_keys_in_range_without_masking(self, tiny_program):
+        for size in (1 << 12, 1 << 16, 1 << 21):
+            keys = afl_edge_keys(tiny_program, size, seed=1)
+            assert keys.min() >= 0 and keys.max() < size
+
+    def test_direction_preserved(self):
+        """E_XY != E_YX thanks to the shift (paper §II-A2) — check on
+        the raw formula with explicit block ids."""
+        bx, by = 100, 200
+        exy = (bx >> 1) ^ by
+        eyx = (by >> 1) ^ bx
+        assert exy != eyx
+
+    def test_collisions_shrink_with_map_size(self, tiny_program):
+        small = afl_edge_keys(tiny_program, 1 << 8, seed=1)
+        big = afl_edge_keys(tiny_program, 1 << 20, seed=1)
+        assert np.unique(small).size <= np.unique(big).size
+
+    def test_keys_for_maps_trace(self, tiny_program, tiny_seeds):
+        inst = AflEdgeInstrumentation(tiny_program, 1 << 16, seed=2)
+        result = Executor(tiny_program).execute(tiny_seeds[0])
+        keys, counts = inst.keys_for(
+            result, np.frombuffer(tiny_seeds[0], dtype=np.uint8))
+        assert keys.shape == result.edges.shape
+        assert counts is result.counts
+
+    def test_distinct_keys_possible(self, tiny_program):
+        inst = AflEdgeInstrumentation(tiny_program, 1 << 16, seed=2)
+        assert 0 < inst.distinct_keys_possible() <= tiny_program.n_edges
+
+    def test_invalid_map_size(self, tiny_program):
+        with pytest.raises(ValueError):
+            AflEdgeInstrumentation(tiny_program, 1000)
+
+
+class TestTracePCGuard:
+    def test_direct_edges_sequential(self, tiny_program):
+        inst = TracePCGuardInstrumentation(tiny_program, 1 << 16,
+                                           indirect_fraction=0.0)
+        expected = np.arange(tiny_program.n_edges) % (1 << 16)
+        assert np.array_equal(inst.edge_keys, expected)
+
+    def test_no_collisions_when_map_large_enough(self, tiny_program):
+        inst = TracePCGuardInstrumentation(tiny_program, 1 << 16,
+                                           indirect_fraction=0.0)
+        assert inst.distinct_keys_possible() == tiny_program.n_edges
+
+    def test_indirect_edges_hashed(self, tiny_program):
+        inst = TracePCGuardInstrumentation(tiny_program, 1 << 16,
+                                           indirect_fraction=0.5)
+        n_indirect = int(inst.indirect_mask.sum())
+        assert n_indirect > 0
+        direct = ~inst.indirect_mask
+        assert np.array_equal(
+            inst.edge_keys[direct],
+            (np.arange(tiny_program.n_edges) % (1 << 16))[direct])
+
+    def test_indirect_fraction_validated(self, tiny_program):
+        with pytest.raises(ValueError):
+            TracePCGuardInstrumentation(tiny_program, 1 << 16,
+                                        indirect_fraction=1.5)

@@ -1,0 +1,122 @@
+"""Unit tests for the laf-intel transform."""
+
+import numpy as np
+import pytest
+
+from repro.instrumentation import apply_lafintel
+from repro.instrumentation.lafintel import DEFAULT_STATIC_EXPANSION
+from repro.target import Executor, Guard, ProgramSpec, generate_program
+
+
+@pytest.fixture(scope="module")
+def magic_program():
+    return generate_program(ProgramSpec(
+        name="laf-test", n_core_edges=300, input_len=96, seed=21,
+        magic_subtree_edges=120, magic_subtree_count=4,
+        magic_leaf_edges=8, n_crash_sites=3, n_magic_crash_sites=4))
+
+
+@pytest.fixture(scope="module")
+def transformed(magic_program):
+    return apply_lafintel(magic_program)
+
+
+class TestStructure:
+    def test_valid_program(self, transformed):
+        transformed.validate()
+
+    def test_no_multi_byte_compares_remain(self, transformed):
+        assert not (transformed.kind ==
+                    np.uint8(Guard.EQ_MULTI)).any()
+
+    def test_expansion_matches_widths(self, magic_program, transformed):
+        multi = magic_program.kind == np.uint8(Guard.EQ_MULTI)
+        extra = int((magic_program.width[multi] - 1).sum())
+        assert transformed.n_edges == magic_program.n_edges + extra
+
+    def test_static_edges_inflated(self, magic_program, transformed):
+        assert transformed.static_edges == \
+            round(magic_program.static_edges * DEFAULT_STATIC_EXPANSION)
+
+    def test_crash_sites_preserved(self, magic_program, transformed):
+        assert transformed.n_crash_sites == magic_program.n_crash_sites
+
+    def test_noop_without_multibyte_compares(self):
+        plain = generate_program(ProgramSpec(
+            name="plain", n_core_edges=100, seed=1))
+        assert apply_lafintel(plain) is plain
+
+    def test_discoverability_unlocked(self, magic_program, transformed):
+        """The whole point: magic subtrees become practically
+        discoverable once gates split into byte compares."""
+        before = int(magic_program.practically_discoverable_mask().sum())
+        after = int(transformed.practically_discoverable_mask().sum())
+        assert after > before
+        # Everything satisfiable should now be byte-discoverable.
+        assert after == int(transformed.discoverable_mask().sum())
+
+
+class TestSemanticEquivalence:
+    """An input satisfies a magic gate iff it traverses the whole
+    chain; coverage of non-magic edges must be preserved exactly."""
+
+    def _surviving_edges(self, program, data):
+        return set(Executor(program).execute(data).edges.tolist())
+
+    def test_magic_satisfying_input_reaches_chain_end(self,
+                                                      magic_program,
+                                                      transformed):
+        multi = np.flatnonzero(magic_program.kind ==
+                               np.uint8(Guard.EQ_MULTI))
+        # Build an input satisfying the first gate's magic directly.
+        edge = int(multi[0])
+        off = int(magic_program.off[edge])
+        w = int(magic_program.width[edge])
+        data = np.zeros(magic_program.input_len, dtype=np.uint8)
+        data[off:off + w] = magic_program.magic[edge, :w]
+        base_covers = edge in self._surviving_edges(
+            magic_program, data.tobytes())
+        # Reachability of the gate also needs its ancestors; if the
+        # original program covers it, the transform must too (chain of
+        # w edges all satisfied).
+        if base_covers:
+            trans_edges = Executor(transformed).execute(
+                data.tobytes()).edges
+            # The final chain edge for this gate exists and is covered.
+            widths = np.where(
+                magic_program.kind == np.uint8(Guard.EQ_MULTI),
+                magic_program.width, 1).astype(np.int64)
+            final_new = int(np.cumsum(widths)[edge] - 1)
+            assert final_new in set(trans_edges.tolist())
+
+    def test_partial_magic_covers_chain_prefix_only(self):
+        """laf's gradual-progress property: matching k of w magic bytes
+        covers exactly k chain edges."""
+        from tests.target.test_executor import build_program
+        base = build_program([
+            {"kind": Guard.ALWAYS},
+            {"kind": Guard.EQ_MULTI, "parent": 0, "off": 0, "width": 4,
+             "magic": [10, 20, 30, 40]},
+            {"kind": Guard.ALWAYS, "parent": 1},
+        ], input_len=16)
+        laf = apply_lafintel(base)
+        ex = Executor(laf)
+        assert ex.execute(bytes([10, 20, 99, 99])).n_edges == 1 + 2
+        assert ex.execute(bytes([10, 20, 30, 99])).n_edges == 1 + 3
+        assert ex.execute(bytes([10, 20, 30, 40])).n_edges == 1 + 4 + 1
+        assert ex.execute(bytes([99, 0, 0, 0])).n_edges == 1
+
+    def test_loop_and_crash_on_final_chain_edge(self):
+        from tests.target.test_executor import build_program
+        base = build_program([
+            {"kind": Guard.EQ_MULTI, "off": 0, "width": 2,
+             "magic": [1, 2], "loop_off": 3, "loop_cap": 4, "crash": 9},
+        ], input_len=8)
+        laf = apply_lafintel(base)
+        ex = Executor(laf)
+        r = ex.execute(bytes([1, 2, 0, 7]))
+        assert r.crash is not None and r.crash.site_id == 9
+        # Crash truncation keeps the chain; final edge carries the loop.
+        assert r.counts[-1] == 1 + 7 % 4
+        partial = ex.execute(bytes([1, 9, 0, 7]))
+        assert partial.crash is None

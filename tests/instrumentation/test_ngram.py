@@ -1,0 +1,106 @@
+"""Unit tests for N-gram and context-sensitive coverage metrics."""
+
+import numpy as np
+import pytest
+
+from repro.instrumentation import (ContextSensitiveInstrumentation,
+                                   NGramInstrumentation, ngram_base_keys)
+from repro.target import Executor
+
+MAP = 1 << 16
+
+
+class TestNGramBaseKeys:
+    def test_keys_in_range(self, tiny_program):
+        for n in (1, 2, 3, 4):
+            keys = ngram_base_keys(tiny_program, n, MAP, seed=1)
+            assert keys.min() >= 0 and keys.max() < MAP
+
+    def test_n1_is_block_hash_only(self, tiny_program):
+        """N=1 keys depend only on the destination block."""
+        keys = ngram_base_keys(tiny_program, 1, MAP, seed=1)
+        assert np.unique(keys).size <= tiny_program.n_edges
+
+    def test_deeper_history_changes_keys(self, tiny_program):
+        k2 = ngram_base_keys(tiny_program, 2, MAP, seed=1)
+        k3 = ngram_base_keys(tiny_program, 3, MAP, seed=1)
+        assert not np.array_equal(k2, k3)
+
+    def test_invalid_n(self, tiny_program):
+        with pytest.raises(ValueError):
+            ngram_base_keys(tiny_program, 0, MAP, seed=1)
+
+
+class TestNGramInstrumentation:
+    def test_same_input_same_keys(self, tiny_program, tiny_seeds):
+        inst = NGramInstrumentation(tiny_program, MAP, n=3, seed=2)
+        ex = Executor(tiny_program)
+        result = ex.execute(tiny_seeds[0])
+        inp = np.frombuffer(tiny_seeds[0], dtype=np.uint8)
+        k1, _ = inst.keys_for(result, inp)
+        k2, _ = inst.keys_for(result, inp)
+        assert np.array_equal(k1, k2)
+
+    def test_context_variants_amplify_pressure(self, tiny_program):
+        inst = NGramInstrumentation(tiny_program, MAP, n=3, seed=2,
+                                    mean_contexts=2.0)
+        possible = inst.distinct_keys_possible()
+        assert possible == int(inst.n_contexts.sum())
+        mean = possible / tiny_program.n_edges
+        assert 1.6 < mean < 2.4, f"mean contexts {mean} off target"
+
+    def test_single_context_mode(self, tiny_program):
+        inst = NGramInstrumentation(tiny_program, MAP, n=3, seed=2,
+                                    max_contexts=1, mean_contexts=1.0)
+        assert inst.distinct_keys_possible() == tiny_program.n_edges
+
+    def test_different_inputs_may_emit_different_variants(
+            self, tiny_program, tiny_seeds):
+        inst = NGramInstrumentation(tiny_program, MAP, n=3, seed=2)
+        ex = Executor(tiny_program)
+        r1, r2 = ex.execute(tiny_seeds[0]), ex.execute(tiny_seeds[1])
+        shared = np.intersect1d(r1.edges, r2.edges)
+        if shared.size == 0:
+            pytest.skip("no shared edges between these seeds")
+        k1, _ = inst.keys_for(
+            r1, np.frombuffer(tiny_seeds[0], dtype=np.uint8))
+        k2, _ = inst.keys_for(
+            r2, np.frombuffer(tiny_seeds[1], dtype=np.uint8))
+        map1 = dict(zip(r1.edges.tolist(), k1.tolist()))
+        map2 = dict(zip(r2.edges.tolist(), k2.tolist()))
+        multi_ctx = [e for e in shared.tolist()
+                     if inst.n_contexts[e] > 1]
+        differing = [e for e in multi_ctx if map1[e] != map2[e]]
+        # With dozens of shared multi-context edges, at least one
+        # should pick a different variant for different checksums.
+        if len(multi_ctx) >= 10:
+            assert differing, "context variants never varied"
+
+    def test_parameter_validation(self, tiny_program):
+        with pytest.raises(ValueError):
+            NGramInstrumentation(tiny_program, MAP, max_contexts=0)
+        with pytest.raises(ValueError):
+            NGramInstrumentation(tiny_program, MAP, mean_contexts=9.0)
+
+
+class TestContextSensitive:
+    def test_keys_in_range(self, tiny_program, tiny_seeds):
+        inst = ContextSensitiveInstrumentation(tiny_program, MAP, seed=4)
+        result = Executor(tiny_program).execute(tiny_seeds[0])
+        keys, _ = inst.keys_for(
+            result, np.frombuffer(tiny_seeds[0], dtype=np.uint8))
+        assert keys.min() >= 0 and keys.max() < MAP
+
+    def test_pressure_bounded_by_max_contexts(self, tiny_program):
+        inst = ContextSensitiveInstrumentation(tiny_program, MAP, seed=4,
+                                               max_contexts=8)
+        assert inst.n_contexts.max() <= 8
+        assert inst.distinct_keys_possible() >= tiny_program.n_edges
+
+    def test_parameter_validation(self, tiny_program):
+        with pytest.raises(ValueError):
+            ContextSensitiveInstrumentation(tiny_program, MAP,
+                                            max_contexts=0)
+        with pytest.raises(ValueError):
+            ContextSensitiveInstrumentation(tiny_program, MAP,
+                                            context_weight=1.5)

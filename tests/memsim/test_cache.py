@@ -1,0 +1,115 @@
+"""Unit tests for the exact cache simulator, and model validation."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import CacheHierarchy, SetAssociativeCache
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(1024, assoc=2, line_size=64)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63), "same line"
+        assert not cache.access(64), "next line"
+
+    def test_lru_eviction_within_set(self):
+        # 2-way, 2 sets: lines 0,2,4 map to set 0 (line idx mod 2).
+        cache = SetAssociativeCache(256, assoc=2, line_size=64)
+        cache.access(0)        # set 0
+        cache.access(128)      # set 0 (line 2)
+        cache.access(256)      # set 0 (line 4) -> evicts line 0
+        assert not cache.contains(0)
+        assert cache.contains(128)
+        assert cache.contains(256)
+
+    def test_lru_order_updated_on_hit(self):
+        cache = SetAssociativeCache(256, assoc=2, line_size=64)
+        cache.access(0)
+        cache.access(128)
+        cache.access(0)        # refresh line 0
+        cache.access(256)      # evicts 128, not 0
+        assert cache.contains(0)
+        assert not cache.contains(128)
+
+    def test_hit_rate(self):
+        cache = SetAssociativeCache(1024, assoc=4, line_size=64)
+        cache.access_many([0, 0, 0, 0])
+        assert cache.hit_rate == pytest.approx(0.75)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(100, assoc=3, line_size=63)
+
+    def test_resident_lines(self):
+        cache = SetAssociativeCache(1024, assoc=4, line_size=64)
+        cache.access_many(range(0, 512, 64))
+        assert cache.resident_lines() == 8
+
+
+class TestHierarchy:
+    def test_levels_report_server(self):
+        hierarchy = CacheHierarchy([
+            SetAssociativeCache(256, assoc=2, line_size=64),
+            SetAssociativeCache(1024, assoc=4, line_size=64)])
+        assert hierarchy.access(0) == 2      # memory
+        assert hierarchy.access(0) == 0      # L1
+        # Evict from tiny L1 but not from L2.
+        hierarchy.access_many(range(64, 2048, 64))
+        level = hierarchy.access(0)
+        assert level in (1, 2)
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+
+class TestModelValidation:
+    """The analytical rules of the cost model, checked against the
+    exact simulator (DESIGN.md §4, validation requirement)."""
+
+    def test_full_sweep_evicts_hot_data(self):
+        """AFL's pathology: streaming a region larger than the cache
+        evicts previously hot lines (the paper's cache pollution)."""
+        cache = SetAssociativeCache(4096, assoc=8, line_size=64)
+        hot = list(range(0, 1024, 64))          # 1 kB hot set
+        cache.access_many(hot)
+        base = 1 << 20
+        sweep = range(base, base + 8192, 64)     # 8 kB > 4 kB cache
+        cache.access_many(sweep)
+        cache.reset_stats()
+        cache.access_many(hot)
+        assert cache.hit_rate < 0.5, \
+            "hot lines should have been evicted by the big sweep"
+
+    def test_small_condensed_region_survives_sweeps(self):
+        """BigMap's win: when the per-iteration footprint fits, the hot
+        region stays resident across iterations."""
+        cache = SetAssociativeCache(4096, assoc=8, line_size=64)
+        hot = list(range(0, 512, 64))            # 512 B condensed map
+        small_sweep = list(range(1 << 20, (1 << 20) + 1024, 64))
+        cache.access_many(hot)
+        for _ in range(5):                        # five iterations
+            cache.access_many(small_sweep)
+            cache.reset_stats()
+            cache.access_many(hot)
+            assert cache.hit_rate == 1.0, \
+                "condensed region must stay resident"
+
+    def test_working_set_boundary(self):
+        """Hit rate collapses right where the working set crosses the
+        capacity — the residency rule the analytical model uses."""
+        cache_bytes = 8192
+        for ws_bytes, expect_resident in ((4096, True), (32768, False)):
+            cache = SetAssociativeCache(cache_bytes, assoc=8,
+                                        line_size=64)
+            lines = list(range(0, ws_bytes, 64))
+            for _ in range(3):  # warm + steady state
+                cache.access_many(lines)
+            cache.reset_stats()
+            cache.access_many(lines)
+            if expect_resident:
+                assert cache.hit_rate == 1.0
+            else:
+                assert cache.hit_rate < 0.2

@@ -1,0 +1,92 @@
+"""Unit tests for the paper-anchor calibration."""
+
+import pytest
+
+from repro.core.errors import CalibrationError
+from repro.memsim import (AFL, BIGMAP, ExecShape, PAPER_THROUGHPUT_64K,
+                          calibrate_execution_cost, model_for_benchmark,
+                          target_working_set_bytes)
+
+SHAPE = ExecShape(traversals=5_000, unique_locations=3_000,
+                  used_bytes=12_000)
+
+
+class TestAnchors:
+    def test_anchor_table_mean_matches_paper(self):
+        """The paper states an AFL 64 kB average of ~4,400/s over the
+        19 Table II benchmarks."""
+        table2 = [v for k, v in PAPER_THROUGHPUT_64K.items()
+                  if k not in ("loop-unswitch", "sccp", "earlycase",
+                               "loop-prediction", "loop-rotate", "irce",
+                               "simplifycfg")]
+        assert len(table2) == 19
+        mean = sum(table2) / len(table2)
+        assert mean == pytest.approx(4_400, rel=0.05)
+
+    def test_every_registry_benchmark_has_an_anchor(self):
+        from repro.target import benchmark_names
+        for name in benchmark_names("all"):
+            assert name in PAPER_THROUGHPUT_64K
+
+
+class TestCalibration:
+    def test_model_reproduces_anchor_at_64k(self):
+        for name in ("zlib", "sqlite3", "instcombine"):
+            model = model_for_benchmark(name, AFL, 1 << 16, SHAPE,
+                                        n_edges=10_000)
+            assert model.throughput(SHAPE) == pytest.approx(
+                PAPER_THROUGHPUT_64K[name], rel=0.01)
+
+    def test_anchor_override(self):
+        model = model_for_benchmark("whatever", AFL, 1 << 16, SHAPE,
+                                    n_edges=5_000, anchor_rate=3_000.0)
+        assert model.throughput(SHAPE) == pytest.approx(3_000, rel=0.01)
+
+    def test_unknown_benchmark_without_anchor(self):
+        with pytest.raises(CalibrationError):
+            model_for_benchmark("doom", AFL, 1 << 16, SHAPE,
+                                n_edges=100)
+
+    def test_unachievable_anchor_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_execution_cost(1e9, SHAPE)
+
+    def test_costs_positive(self):
+        costs = calibrate_execution_cost(2_000.0, SHAPE)
+        assert costs["exec_base_cycles"] > 0
+        assert costs["per_traversal_cycles"] > 0
+
+    def test_bigmap_model_uses_same_execution_budget(self):
+        """Calibration charges the same target-execution cost to both
+        fuzzers; only the map structure differs."""
+        afl = model_for_benchmark("zlib", AFL, 1 << 16, SHAPE,
+                                  n_edges=722)
+        big = model_for_benchmark("zlib", BIGMAP, 1 << 16, SHAPE,
+                                  n_edges=722)
+        assert afl.exec_base_cycles == big.exec_base_cycles
+        assert afl.per_traversal_cycles == big.per_traversal_cycles
+
+    def test_auto_non_temporal_reset(self):
+        small = model_for_benchmark("zlib", AFL, 1 << 16, SHAPE,
+                                    n_edges=722)
+        large = model_for_benchmark("zlib", AFL, 1 << 23, SHAPE,
+                                    n_edges=722)
+        assert not small.config.non_temporal_reset
+        assert large.config.non_temporal_reset
+
+    def test_explicit_nt_respected(self):
+        model = model_for_benchmark("zlib", AFL, 1 << 23, SHAPE,
+                                    n_edges=722,
+                                    non_temporal_reset=False)
+        assert not model.config.non_temporal_reset
+
+
+class TestWorkingSetHeuristic:
+    def test_clamped(self):
+        assert target_working_set_bytes(0) == 48 * 1024
+        assert target_working_set_bytes(10**9) == 4 * 1024 * 1024
+
+    def test_monotone(self):
+        sizes = [target_working_set_bytes(n)
+                 for n in (1_000, 10_000, 100_000)]
+        assert sizes == sorted(sizes)

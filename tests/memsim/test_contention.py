@@ -1,0 +1,87 @@
+"""Unit tests for the parallel-contention model (Figure 9's physics)."""
+
+import pytest
+
+from repro.memsim import (AFL, BIGMAP, BitmapCostModel, ExecShape,
+                          InstanceLoad, MapCostConfig, XEON_E5645,
+                          scaling_curve, solve_parallel)
+
+SHAPE = ExecShape(traversals=16_000, unique_locations=9_000,
+                  used_bytes=30_000)
+
+
+def load(kind, map_size=1 << 21):
+    model = BitmapCostModel(
+        MapCostConfig(kind, map_size, non_temporal_reset=(kind == AFL)),
+        exec_base_cycles=900_000, per_traversal_cycles=0.0)
+    return InstanceLoad(model, SHAPE)
+
+
+class TestSolveParallel:
+    def test_single_instance_matches_solo(self):
+        l = load(BIGMAP)
+        solved = solve_parallel([l])
+        assert solved.total_rate == pytest.approx(
+            l.model.throughput(SHAPE), rel=0.05)
+        assert solved.slowdown == pytest.approx(1.0, abs=0.01)
+
+    def test_needs_instances(self):
+        with pytest.raises(ValueError):
+            solve_parallel([])
+
+    def test_rejects_more_instances_than_cores(self):
+        with pytest.raises(ValueError):
+            solve_parallel([load(AFL)] * 13)
+
+    def test_per_instance_rates_positive(self):
+        solved = solve_parallel([load(AFL)] * 8)
+        assert all(r > 0 for r in solved.per_instance_rate)
+
+
+class TestScalingShapes:
+    """The qualitative Figure 9(a) claims."""
+
+    def test_bigmap_scales_nearly_linearly(self):
+        curve = scaling_curve(load(BIGMAP), range(1, 13))
+        totals = [r.total_rate for r in curve]
+        # 12 instances should deliver clearly more than 8x one.
+        assert totals[-1] / totals[0] > 8.0
+        assert totals == sorted(totals), "BigMap total never decreases"
+
+    def test_afl_2m_saturates_or_degrades(self):
+        curve = scaling_curve(load(AFL), range(1, 13))
+        totals = [r.total_rate for r in curve]
+        # Far below linear scaling...
+        assert totals[-1] / totals[0] < 6.0
+        # ... and past the knee, adding instances stops helping:
+        # the k=12 total must not beat the best seen by more than a
+        # few percent (paper: negative slope above 4).
+        peak = max(totals)
+        assert totals[-1] <= peak * 1.02
+
+    def test_afl_loses_more_speedup_with_more_instances(self):
+        """Figure 9(b): BigMap's advantage grows super-linearly."""
+        afl = scaling_curve(load(AFL), (1, 4, 8, 12))
+        big = scaling_curve(load(BIGMAP), (1, 4, 8, 12))
+        speedups = [b.total_rate / a.total_rate
+                    for a, b in zip(afl, big)]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > speedups[0] * 2
+
+    def test_contention_comes_from_llc_share(self):
+        """A single AFL instance at 2 MB fits the LLC; at 8 instances
+        its 1/8 share no longer holds the working set, so DRAM demand
+        appears."""
+        solo = solve_parallel([load(AFL)])
+        crowded = solve_parallel([load(AFL)] * 8)
+        assert solo.demand_bytes_per_sec == 0
+        assert crowded.demand_bytes_per_sec > 0
+
+    def test_bigmap_stays_resident_under_sharing(self):
+        crowded = solve_parallel([load(BIGMAP)] * 12)
+        assert crowded.slowdown == pytest.approx(1.0, abs=0.05)
+
+    def test_mixed_instances(self):
+        solved = solve_parallel([load(AFL), load(BIGMAP)])
+        afl_rate, big_rate = solved.per_instance_rate
+        assert big_rate > afl_rate

@@ -1,0 +1,54 @@
+"""Unit tests for the machine description."""
+
+import pytest
+
+from repro.memsim import XEON_E5645, CacheLevel, Machine
+
+
+class TestXeonDefaults:
+    def test_paper_hierarchy(self):
+        """§V-A1: 32 kB L1d, 256 kB L2, 12 MB shared LLC, 2.40 GHz,
+        12 physical cores."""
+        m = XEON_E5645
+        assert m.frequency_hz == 2.4e9
+        assert m.levels[0].size_bytes == 32 * 1024
+        assert m.levels[1].size_bytes == 256 * 1024
+        assert m.llc.size_bytes == 12 * 1024 * 1024
+        assert m.n_cores == 12
+
+    def test_levels_ordered(self):
+        m = XEON_E5645
+        sizes = [l.size_bytes for l in m.levels]
+        assert sizes == sorted(sizes)
+        latencies = [l.latency_cycles for l in m.levels]
+        assert latencies == sorted(latencies)
+        rates = [l.seq_cycles_per_byte for l in m.levels]
+        assert rates == sorted(rates)
+        assert m.dram_latency_cycles > m.llc.latency_cycles
+
+    def test_cycles_to_seconds(self):
+        assert XEON_E5645.cycles_to_seconds(2.4e9) == pytest.approx(1.0)
+
+
+class TestLlcSharing:
+    def test_with_llc_bytes_shrinks_only_llc(self):
+        shared = XEON_E5645.with_llc_bytes(XEON_E5645.llc.size_bytes // 4)
+        assert shared.llc.size_bytes == 3 * 1024 * 1024
+        assert shared.levels[0].size_bytes == 32 * 1024
+        assert shared.levels[1].size_bytes == 256 * 1024
+        assert shared.llc.latency_cycles == \
+            XEON_E5645.llc.latency_cycles
+
+    def test_original_untouched(self):
+        XEON_E5645.with_llc_bytes(1024)
+        assert XEON_E5645.llc.size_bytes == 12 * 1024 * 1024
+
+    def test_other_parameters_preserved(self):
+        shared = XEON_E5645.with_llc_bytes(1 << 20)
+        assert shared.dram_bandwidth_bytes_per_sec == \
+            XEON_E5645.dram_bandwidth_bytes_per_sec
+        assert shared.dtlb_entries == XEON_E5645.dtlb_entries
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            XEON_E5645.frequency_hz = 1.0

@@ -1,0 +1,122 @@
+"""Quantitative validation: analytical residency rule vs exact caches.
+
+The cost model's central assumption (see repro.memsim.costmodel module
+doc) is a residency rule. These tests drive the *exact* LRU simulator
+with the actual access patterns of both fuzzers' iteration loops and
+check that the analytical classifications match what LRU really does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.memsim import SetAssociativeCache
+
+LINE = 64
+
+
+def _sweep_addrs(base, size):
+    return range(base, base + size, LINE)
+
+
+def _iteration_afl(cache, map_base, virgin_base, map_size, hot_keys):
+    """One AFL iteration: reset sweep, scattered updates, classify+
+    compare sweep over both maps."""
+    cache.access_many(_sweep_addrs(map_base, map_size))          # reset
+    cache.access_many([map_base + int(k) for k in hot_keys])     # update
+    cache.access_many(_sweep_addrs(map_base, map_size))          # cls+cmp
+    cache.access_many(_sweep_addrs(virgin_base, map_size))
+
+
+def _iteration_bigmap(cache, cov_base, index_base, used, hot_keys):
+    """One BigMap iteration: dense sweeps over the used region plus
+    scattered index reads."""
+    cache.access_many(_sweep_addrs(cov_base, used))              # reset
+    cache.access_many([index_base + int(k) * 8 for k in hot_keys])
+    cache.access_many(_sweep_addrs(cov_base, used))              # counters
+    cache.access_many(_sweep_addrs(cov_base, used))              # cls+cmp
+
+
+class TestAflResidency:
+    def test_small_map_stays_resident(self):
+        """W = 2x map + hot keys fits: steady-state hit rate ~1."""
+        cache = SetAssociativeCache(256 * 1024, assoc=8)  # L2-like
+        rng = np.random.default_rng(0)
+        map_size = 32 * 1024
+        keys = rng.integers(0, map_size, size=200)
+        for _ in range(3):
+            _iteration_afl(cache, 0, 1 << 20, map_size, keys)
+        cache.reset_stats()
+        _iteration_afl(cache, 0, 1 << 20, map_size, keys)
+        assert cache.hit_rate > 0.95
+
+    def test_oversized_map_thrashes(self):
+        """A single map bigger than the cache: every sweep self-evicts
+        (LRU cyclic pathology) and the steady-state hit rate collapses
+        — the cliff the analytical rule encodes."""
+        cache = SetAssociativeCache(256 * 1024, assoc=8)
+        rng = np.random.default_rng(0)
+        map_size = 512 * 1024  # each map alone exceeds the cache
+        keys = rng.integers(0, map_size, size=200)
+        for _ in range(2):
+            _iteration_afl(cache, 0, 1 << 21, map_size, keys)
+        cache.reset_stats()
+        _iteration_afl(cache, 0, 1 << 21, map_size, keys)
+        assert cache.hit_rate < 0.05, \
+            "LRU keeps evicting the next needed line on cyclic sweeps"
+
+    def test_between_regimes_partial_reuse(self):
+        """When the pair of maps is ~2x the cache but each map alone
+        fits, back-to-back sweeps of the same map still hit — the model
+        treats this band conservatively (priced at the level fitting W)
+        and calibration absorbs the difference; this test documents the
+        real LRU behaviour so the approximation stays a known one."""
+        cache = SetAssociativeCache(256 * 1024, assoc=8)
+        rng = np.random.default_rng(0)
+        map_size = 256 * 1024
+        keys = rng.integers(0, map_size, size=200)
+        for _ in range(2):
+            _iteration_afl(cache, 0, 1 << 20, map_size, keys)
+        cache.reset_stats()
+        _iteration_afl(cache, 0, 1 << 20, map_size, keys)
+        assert 0.1 < cache.hit_rate < 0.6
+
+
+class TestBigMapResidency:
+    def test_condensed_region_resident_despite_huge_map(self):
+        """BigMap's iteration footprint is used_key-sized, so it stays
+        hot even when the nominal map is far larger than the cache."""
+        cache = SetAssociativeCache(256 * 1024, assoc=8)
+        rng = np.random.default_rng(1)
+        used = 16 * 1024
+        index_span = 8 << 20  # 8M-entry map: index 64 MB; irrelevant
+        keys = rng.integers(0, index_span // 8, size=300)
+        for _ in range(3):
+            _iteration_bigmap(cache, 0, 1 << 27, used, keys)
+        cache.reset_stats()
+        _iteration_bigmap(cache, 0, 1 << 27, used, keys)
+        # Dense sweeps all hit; only the scattered index reads may miss
+        # (their lines were touched last iteration, so they hit too).
+        assert cache.hit_rate > 0.95
+
+    def test_bigmap_beats_afl_at_equal_nominal_size(self):
+        """Head-to-head on the same exact cache: miss counts per
+        iteration, 1 MB nominal map, 16 kB live."""
+        rng = np.random.default_rng(2)
+        nominal = 1 << 20
+        used = 16 * 1024
+        keys = rng.integers(0, nominal, size=300)
+
+        afl_cache = SetAssociativeCache(256 * 1024, assoc=8)
+        for _ in range(2):
+            _iteration_afl(afl_cache, 0, 1 << 24, nominal, keys)
+        afl_cache.reset_stats()
+        _iteration_afl(afl_cache, 0, 1 << 24, nominal, keys)
+
+        big_cache = SetAssociativeCache(256 * 1024, assoc=8)
+        for _ in range(2):
+            _iteration_bigmap(big_cache, 0, 1 << 24, used, keys)
+        big_cache.reset_stats()
+        _iteration_bigmap(big_cache, 0, 1 << 24, used, keys)
+
+        assert big_cache.misses < afl_cache.misses / 20, \
+            "BigMap's steady-state misses should be orders lower"

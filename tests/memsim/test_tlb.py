@@ -1,0 +1,76 @@
+"""Unit tests for the DTLB model: analytic fractions vs exact LRU sim."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import (DTLBSim, XEON_E5645, pages_for_region,
+                          scattered_walk_fraction, sweep_walk_cycles)
+from repro.memsim.machine import Machine
+
+
+class TestAnalytic:
+    def test_pages_ceil(self):
+        m = XEON_E5645
+        assert pages_for_region(1, m, huge_pages=False) == 1
+        assert pages_for_region(4096, m, huge_pages=False) == 1
+        assert pages_for_region(4097, m, huge_pages=False) == 2
+
+    def test_small_region_no_walks(self):
+        m = XEON_E5645
+        region = m.dtlb_entries * m.page_bytes
+        assert scattered_walk_fraction(region, m, False) == 0.0
+        assert sweep_walk_cycles(region, m, False) == 0.0
+
+    def test_large_region_walks(self):
+        m = XEON_E5645
+        region = 8 << 20  # 8 MB = 2048 pages >> 64 entries
+        frac = scattered_walk_fraction(region, m, False)
+        assert frac == pytest.approx(1 - 64 / 2048)
+        assert sweep_walk_cycles(region, m, False) == \
+            2048 * m.walk_cycles
+
+    def test_huge_pages_eliminate_walks(self):
+        m = XEON_E5645
+        region = 8 << 20  # 4 huge pages
+        assert scattered_walk_fraction(region, m, True) == 0.0
+        assert sweep_walk_cycles(region, m, True) == 0.0
+
+    def test_monotone_in_region(self):
+        m = XEON_E5645
+        fracs = [scattered_walk_fraction(size, m, False)
+                 for size in (1 << 18, 1 << 20, 1 << 23, 1 << 25)]
+        assert fracs == sorted(fracs)
+
+
+class TestDTLBSim:
+    def test_hit_after_miss(self):
+        tlb = DTLBSim(entries=4, page_bytes=4096)
+        assert not tlb.access(0)
+        assert tlb.access(100)
+
+    def test_lru_eviction(self):
+        tlb = DTLBSim(entries=2, page_bytes=4096)
+        tlb.access(0)
+        tlb.access(4096)
+        tlb.access(8192)  # evicts page 0
+        assert not tlb.access(0)
+
+    def test_entries_validated(self):
+        with pytest.raises(ValueError):
+            DTLBSim(entries=0, page_bytes=4096)
+
+    def test_analytic_fraction_matches_simulation(self):
+        """Random scattered accesses into a region: the analytic miss
+        fraction should approximate the simulated steady-state rate."""
+        machine = Machine()
+        region = 1 << 21  # 512 pages vs 64 entries
+        rng = np.random.default_rng(3)
+        tlb = DTLBSim(machine.dtlb_entries, machine.page_bytes)
+        addrs = rng.integers(0, region, size=20_000)
+        for a in addrs[:5_000]:  # warmup
+            tlb.access(int(a))
+        tlb.hits = tlb.misses = 0
+        for a in addrs[5_000:]:
+            tlb.access(int(a))
+        analytic = scattered_walk_fraction(region, machine, False)
+        assert tlb.miss_rate == pytest.approx(analytic, abs=0.08)
