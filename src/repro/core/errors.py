@@ -51,3 +51,12 @@ class CalibrationError(ReproError, ValueError):
 
 class CampaignConfigError(ReproError, ValueError):
     """A fuzzing-campaign configuration was internally inconsistent."""
+
+
+class ProgramValidationError(ReproError, ValueError):
+    """A synthetic target :class:`~repro.target.Program` violated a
+    structural invariant (see ``Program.validate``)."""
+
+
+class ProgramSpecError(ReproError, ValueError):
+    """A :class:`~repro.target.ProgramSpec` was internally inconsistent."""

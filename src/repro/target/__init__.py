@@ -1,0 +1,45 @@
+"""Synthetic instrumented targets: the paper's benchmarks, in silico.
+
+This package stands in for the compiled C programs the paper fuzzes:
+deterministic guarded-CFG programs (:mod:`~repro.target.cfg`,
+:mod:`~repro.target.generator`), a vectorized executor
+(:mod:`~repro.target.executor`), crash records with Crashwalk-style
+stacks (:mod:`~repro.target.crashes`), seed corpora
+(:mod:`~repro.target.seeds`) and the Table II/III benchmark registry
+(:mod:`~repro.target.benchmarks`).
+"""
+
+from .benchmarks import (FIG3_BENCHMARK_NAMES, FIG8_BENCHMARK_NAMES,
+                         TABLE2_BENCHMARKS, TABLE3_BENCHMARKS,
+                         BenchmarkConfig, BuiltBenchmark,
+                         benchmark_names, get_benchmark)
+from .cfg import (MAX_MAGIC_WIDTH, NO_CRASH, NO_LOOP, NO_PARENT, Guard,
+                  Program)
+from .crashes import CrashInfo
+from .executor import ExecResult, Executor
+from .generator import ProgramSpec, _build_csr, generate_program
+from .seeds import generate_seed_corpus
+
+__all__ = [
+    "BenchmarkConfig",
+    "BuiltBenchmark",
+    "CrashInfo",
+    "ExecResult",
+    "Executor",
+    "FIG3_BENCHMARK_NAMES",
+    "FIG8_BENCHMARK_NAMES",
+    "Guard",
+    "MAX_MAGIC_WIDTH",
+    "NO_CRASH",
+    "NO_LOOP",
+    "NO_PARENT",
+    "Program",
+    "ProgramSpec",
+    "TABLE2_BENCHMARKS",
+    "TABLE3_BENCHMARKS",
+    "_build_csr",
+    "benchmark_names",
+    "generate_program",
+    "generate_seed_corpus",
+    "get_benchmark",
+]

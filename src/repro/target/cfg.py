@@ -1,0 +1,245 @@
+"""Synthetic control-flow graphs: guard kinds and the Program record.
+
+The paper fuzzes compiled C targets; our stand-ins are tree-structured
+CFG programs whose edges are guarded by byte predicates over the input.
+A :class:`Program` is a struct-of-arrays record: one row per edge, with
+the tree stored both as a parent vector and as CSR children lists
+(``child_off``/``child_idx``), plus AFL-style basic-block numbering
+(``src_block``/``dst_block``) for the instrumentation layer.
+
+Guard semantics (evaluated against the input buffer ``inp``):
+
+* ``ALWAYS`` — taken whenever the parent edge is taken;
+* ``BYTE_LT`` — taken iff ``inp[off] < val``;
+* ``BYTE_EQ`` — taken iff ``inp[off] == val``;
+* ``EQ_MULTI`` — taken iff ``inp[off:off+width] == magic[:width]``
+  (the multi-byte magic compares laf-intel splits);
+* ``NEVER`` — statically dead code, never taken.
+
+Edges are stored parents-before-children: ``parent[e] < e`` for every
+non-root edge. Blocks are numbered ``dst_block[e] = e + 1`` with block
+0 as the shared entry block, so ``n_blocks == n_edges + 1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..core.errors import ProgramValidationError
+
+#: Sentinel parent index for root edges.
+NO_PARENT = -1
+#: Sentinel ``loop_off`` for edges without input-dependent loops.
+NO_LOOP = -1
+#: Sentinel ``crash_site`` for edges without a planted crash.
+NO_CRASH = -1
+
+#: Widest multi-byte magic compare (bytes); ``magic`` rows have this
+#: many columns regardless of each edge's actual ``width``.
+MAX_MAGIC_WIDTH = 8
+
+
+class Guard(enum.IntEnum):
+    """Edge guard kinds (stored as ``uint8`` in ``Program.kind``)."""
+
+    ALWAYS = 0
+    BYTE_LT = 1
+    BYTE_EQ = 2
+    EQ_MULTI = 3
+    NEVER = 4
+
+
+@dataclass
+class Program:
+    """One synthetic target: a guarded-edge tree in CSR form.
+
+    Attributes:
+        name: human-readable identifier.
+        input_len: nominal input size; guards only read offsets below
+            it (shorter inputs are zero-padded, longer ones truncated).
+        parent: ``int64[n]`` parent edge index (``NO_PARENT`` = root).
+        depth: ``int32[n]`` tree depth (roots at 0).
+        kind: ``uint8[n]`` :class:`Guard` values.
+        off: ``int32[n]`` guarded input offset.
+        val: ``uint8[n]`` comparison operand for the byte guards.
+        width: ``int32[n]`` magic width (1 for single-byte guards).
+        magic: ``uint8[n, MAX_MAGIC_WIDTH]`` magic operands.
+        loop_off: ``int32[n]`` input offset controlling the edge's loop
+            count, or ``NO_LOOP``.
+        loop_cap: ``int64[n]`` loop-count modulus (hit count is
+            ``1 + inp[loop_off] % loop_cap``).
+        src_block: ``int64[n]`` source basic-block id.
+        dst_block: ``int64[n]`` destination basic-block id.
+        crash_site: ``int32[n]`` planted crash-site id, or ``NO_CRASH``.
+        child_off: ``int64[n+1]`` CSR row offsets into ``child_idx``.
+        child_idx: ``int64[...]`` children edge indices, grouped per
+            parent, ascending within each group.
+        roots: ``int64`` indices of root edges.
+        n_blocks: number of basic blocks (``n_edges + 1``).
+        static_edges: compile-time edge count of the notional binary
+            (Table II's last column); drives CollAFL map sizing and
+            laf-intel's static inflation.
+        meta: free-form annotations (``laf_applied``, ``loop_region``,
+            ``magic_region``, ...).
+    """
+
+    name: str
+    input_len: int
+    parent: np.ndarray
+    depth: np.ndarray
+    kind: np.ndarray
+    off: np.ndarray
+    val: np.ndarray
+    width: np.ndarray
+    magic: np.ndarray
+    loop_off: np.ndarray
+    loop_cap: np.ndarray
+    src_block: np.ndarray
+    dst_block: np.ndarray
+    crash_site: np.ndarray
+    child_off: np.ndarray
+    child_idx: np.ndarray
+    roots: np.ndarray
+    n_blocks: int
+    static_edges: int
+    meta: Dict = field(default_factory=dict)
+
+    # -- derived sizes -----------------------------------------------------
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.parent.size)
+
+    @property
+    def n_crash_sites(self) -> int:
+        return int((self.crash_site != NO_CRASH).sum())
+
+    # -- reachability masks ------------------------------------------------
+
+    def _propagate_down(self, ok: np.ndarray) -> np.ndarray:
+        """AND a per-edge predicate down the tree, level by level."""
+        mask = ok.copy()
+        if mask.size == 0:
+            return mask
+        order = np.argsort(self.depth, kind="stable")
+        depths = self.depth[order]
+        max_depth = int(depths[-1])
+        bounds = np.searchsorted(depths, np.arange(max_depth + 2))
+        for level in range(1, max_depth + 1):
+            idx = order[bounds[level]:bounds[level + 1]]
+            mask[idx] &= mask[self.parent[idx]]
+        return mask
+
+    def discoverable_mask(self) -> np.ndarray:
+        """Edges some input can traverse (no dead code on the path).
+
+        Guards are satisfiable by construction (the generator derives
+        every equality operand from the input offset, so constraints on
+        a path never conflict); only ``NEVER`` guards kill reachability.
+        """
+        return self._propagate_down(self.kind != np.uint8(Guard.NEVER))
+
+    def practically_discoverable_mask(self) -> np.ndarray:
+        """Edges reachable by single-byte mutation (paper footnote 1).
+
+        Multi-byte magic compares are satisfiable but not *practically*
+        discoverable by a byte-flipping fuzzer — the paper's Table II
+        "discovered edges" column counts coverage without them. After
+        laf-intel every compare is single-byte, so this mask converges
+        to :meth:`discoverable_mask`.
+        """
+        ok = self.kind != np.uint8(Guard.NEVER)
+        ok &= ~((self.kind == np.uint8(Guard.EQ_MULTI)) & (self.width > 1))
+        return self._propagate_down(ok)
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check every structural invariant; raises on violation."""
+        n = self.n_edges
+        idx = np.arange(n, dtype=np.int64)
+
+        def check(cond: bool, message: str) -> None:
+            if not cond:
+                raise ProgramValidationError(
+                    f"program {self.name!r}: {message}")
+
+        check(n > 0, "no edges")
+        check(self.input_len > 0, "non-positive input_len")
+        for name_, arr, dt in (
+                ("parent", self.parent, np.int64),
+                ("depth", self.depth, np.int32),
+                ("kind", self.kind, np.uint8),
+                ("off", self.off, np.int32),
+                ("val", self.val, np.uint8),
+                ("width", self.width, np.int32),
+                ("loop_off", self.loop_off, np.int32),
+                ("loop_cap", self.loop_cap, np.int64),
+                ("src_block", self.src_block, np.int64),
+                ("dst_block", self.dst_block, np.int64),
+                ("crash_site", self.crash_site, np.int32)):
+            check(arr.shape == (n,), f"{name_} shape {arr.shape}")
+            check(arr.dtype == dt, f"{name_} dtype {arr.dtype}")
+        check(self.magic.shape == (n, MAX_MAGIC_WIDTH),
+              f"magic shape {self.magic.shape}")
+
+        roots = self.parent == NO_PARENT
+        check(bool(roots.any()), "no root edges")
+        check(np.array_equal(np.flatnonzero(roots), np.sort(self.roots)),
+              "roots index mismatch")
+        nonroot = ~roots
+        check(bool((self.parent[nonroot] >= 0).all()) and
+              bool((self.parent[nonroot] < idx[nonroot]).all()),
+              "parents must precede children")
+        check(bool((self.depth[roots] == 0).all()), "root depth != 0")
+        check(bool((self.depth[nonroot] ==
+                    self.depth[np.maximum(self.parent, 0)][nonroot] + 1)
+                   .all()), "depth != parent depth + 1")
+
+        check(bool((self.kind <= np.uint8(Guard.NEVER)).all()),
+              "unknown guard kind")
+        check(bool((self.width >= 1).all()) and
+              bool((self.width <= MAX_MAGIC_WIDTH).all()),
+              "width out of [1, MAX_MAGIC_WIDTH]")
+        check(bool((self.off >= 0).all()) and
+              bool((self.off + self.width <= self.input_len).all()),
+              "guard reads past input_len")
+        looped = self.loop_off != NO_LOOP
+        check(bool((self.loop_off[looped] < self.input_len).all()) and
+              bool((self.loop_off[looped] >= 0).all()),
+              "loop_off out of range")
+        check(bool((self.loop_cap >= 1).all()), "loop_cap < 1")
+
+        check(self.n_blocks == n + 1, "n_blocks != n_edges + 1")
+        check(np.array_equal(self.dst_block,
+                             np.arange(1, n + 1, dtype=np.int64)),
+              "dst_block must be edge index + 1")
+        expect_src = np.where(roots, 0,
+                              self.dst_block[np.maximum(self.parent, 0)])
+        check(np.array_equal(self.src_block, expect_src),
+              "src_block inconsistent with parent blocks")
+
+        check(self.child_off.shape == (n + 1,), "child_off shape")
+        check(int(self.child_off[0]) == 0 and
+              int(self.child_off[-1]) == int(nonroot.sum()),
+              "child_off bounds")
+        check(bool((np.diff(self.child_off) >= 0).all()),
+              "child_off not monotone")
+        check(self.child_idx.size == int(nonroot.sum()),
+              "child_idx size != number of non-root edges")
+        if self.child_idx.size:
+            check(np.array_equal(
+                np.sort(self.child_idx), np.flatnonzero(nonroot)),
+                "child_idx must enumerate non-root edges once")
+            owner = np.repeat(idx, np.diff(self.child_off))
+            check(np.array_equal(self.parent[self.child_idx], owner),
+                  "CSR rows disagree with parent vector")
+
+        sites = self.crash_site[self.crash_site != NO_CRASH]
+        check(sites.size == np.unique(sites).size,
+              "duplicate crash-site ids")
+        check(self.static_edges >= 1, "static_edges < 1")

@@ -1,0 +1,59 @@
+"""Crash records with synthetic call stacks for Crashwalk-style dedup.
+
+The paper deduplicates crashes with Crashwalk (hashing the call stack
+and fault address) precisely because that is *map-size independent* —
+AFL's own "unique crashes" counter is biased by the coverage bitmap
+(§V-B3). Our synthetic targets therefore attach a deterministic call
+stack to every crash site: the chain of basic blocks leading to the
+crashing edge, truncated to the nearest frames like a real backtrace.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Tuple
+
+from .cfg import NO_PARENT, Program
+
+#: Frames kept in a synthetic backtrace (gdb-style nearest-first cap).
+STACK_FRAMES = 8
+
+
+@dataclass(frozen=True)
+class CrashInfo:
+    """One observed crash.
+
+    Attributes:
+        site_id: planted crash-site identifier (``Program.crash_site``).
+        edge_index: the edge whose traversal triggered the crash.
+        stack: synthetic call stack, outermost frame first.
+        fault_address: synthetic faulting address; distinct per site.
+    """
+
+    site_id: int
+    edge_index: int
+    stack: Tuple[int, ...]
+    fault_address: int
+
+    def crashwalk_key(self) -> int:
+        """Crashwalk's dedup key: hash(stack, fault address).
+
+        Stable across processes (unlike ``hash()``), so parallel
+        sessions and serialized records deduplicate identically.
+        """
+        payload = ",".join(map(str, self.stack)) + \
+            f"@{self.fault_address:x}"
+        return zlib.crc32(payload.encode("ascii"))
+
+
+def synth_stack(program: Program, edge: int) -> Tuple[int, ...]:
+    """The backtrace a debugger would print for a crash on ``edge``:
+    the destination blocks of its ancestor chain, outermost first,
+    capped at :data:`STACK_FRAMES` innermost frames."""
+    frames = []
+    cursor = edge
+    while cursor != NO_PARENT and len(frames) < STACK_FRAMES:
+        frames.append(int(program.dst_block[cursor]))
+        cursor = int(program.parent[cursor])
+    return tuple(reversed(frames))

@@ -1,0 +1,161 @@
+"""Vectorized program execution: one pass, level-by-level.
+
+:class:`Executor` evaluates every edge guard against the input in one
+vectorized sweep, then propagates reachability down the tree one depth
+level at a time (a parent's verdict is final before any child reads
+it). Loop hit counts, crash detection and trace truncation all fall out
+of the same pass — no per-edge Python loop ever runs at execute time.
+
+Execution order is breadth-first by ``(depth, edge index)``; a crash
+truncates the trace after the crashing edge in that order, the way a
+real process stops producing coverage at the faulting instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .cfg import NO_CRASH, NO_LOOP, Guard, Program
+from .crashes import CrashInfo, synth_stack
+
+#: Base of the synthetic fault-address space (see CrashInfo).
+_FAULT_BASE = 0x400000
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one execution.
+
+    Attributes:
+        edges: ``int64`` indices of traversed edges, ascending.
+        counts: per-edge hit counts aligned with ``edges`` (1 for plain
+            edges, ``1 + inp[loop_off] % loop_cap`` for loop edges).
+        traversals: total edge traversals (``counts.sum()``) — the
+            execution-cost driver in the memory model.
+        crash: the triggered :class:`CrashInfo`, or ``None``.
+        interesting: scratch flag for the coverage pipeline (the
+            executor itself always leaves it ``False``).
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray
+    traversals: int
+    crash: Optional[CrashInfo] = None
+    interesting: bool = field(default=False, compare=False)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of distinct edges traversed."""
+        return int(self.edges.size)
+
+
+class Executor:
+    """Executes inputs against one :class:`Program`.
+
+    Construction precomputes guard gather tables and the level
+    structure; :meth:`execute` is then a handful of vectorized ops.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        n = program.n_edges
+        kind = program.kind
+
+        self._lt = np.flatnonzero(kind == np.uint8(Guard.BYTE_LT))
+        self._lt_off = program.off[self._lt]
+        self._lt_val = program.val[self._lt]
+        self._eq = np.flatnonzero(kind == np.uint8(Guard.BYTE_EQ))
+        self._eq_off = program.off[self._eq]
+        self._eq_val = program.val[self._eq]
+        self._never = np.flatnonzero(kind == np.uint8(Guard.NEVER))
+        self._multi = np.flatnonzero(kind == np.uint8(Guard.EQ_MULTI))
+        self._multi_off = program.off[self._multi]
+        self._multi_width = program.width[self._multi]
+        self._multi_magic = program.magic[self._multi]
+
+        self._loops = np.flatnonzero(program.loop_off != NO_LOOP)
+        self._loop_off = program.loop_off[self._loops]
+        self._loop_cap = program.loop_cap[self._loops]
+
+        order = np.argsort(program.depth, kind="stable")
+        depths = program.depth[order]
+        max_depth = int(depths[-1]) if n else 0
+        bounds = np.searchsorted(depths, np.arange(max_depth + 2))
+        self._levels: List[Tuple[np.ndarray, np.ndarray]] = []
+        for level in range(1, max_depth + 1):
+            idx = order[bounds[level]:bounds[level + 1]]
+            self._levels.append((idx, program.parent[idx]))
+
+        self._crash_edges = np.flatnonzero(program.crash_site != NO_CRASH)
+        # Lexicographic (depth, index) rank for picking the first crash.
+        self._crash_rank = (program.depth[self._crash_edges]
+                            .astype(np.int64) * (n + 1) +
+                            self._crash_edges)
+        self._depth = program.depth
+        self._stack_cache: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _guards_ok(self, buf: np.ndarray) -> np.ndarray:
+        ok = np.ones(self.program.n_edges, dtype=bool)
+        ok[self._never] = False
+        if self._lt.size:
+            ok[self._lt] = buf[self._lt_off] < self._lt_val
+        if self._eq.size:
+            ok[self._eq] = buf[self._eq_off] == self._eq_val
+        if self._multi.size:
+            acc = np.ones(self._multi.size, dtype=bool)
+            for j in range(int(self._multi_width.max())):
+                sel = self._multi_width > j
+                acc[sel] &= (buf[self._multi_off[sel] + j] ==
+                             self._multi_magic[sel, j])
+            ok[self._multi] = acc
+        return ok
+
+    def _crash_info(self, edge: int) -> CrashInfo:
+        site = int(self.program.crash_site[edge])
+        stack = self._stack_cache.get(edge)
+        if stack is None:
+            stack = synth_stack(self.program, edge)
+            self._stack_cache[edge] = stack
+        return CrashInfo(site_id=site, edge_index=edge, stack=stack,
+                         fault_address=_FAULT_BASE + (site << 6))
+
+    def execute(self, data: bytes) -> ExecResult:
+        """Run one input; returns its trace (and crash, if any)."""
+        program = self.program
+        buf = np.zeros(program.input_len, dtype=np.uint8)
+        raw = np.frombuffer(data, dtype=np.uint8)[:program.input_len]
+        buf[:raw.size] = raw
+
+        reach = self._guards_ok(buf)
+        for idx, parents in self._levels:
+            reach[idx] &= reach[parents]
+
+        crash = None
+        if self._crash_edges.size:
+            hit = reach[self._crash_edges]
+            if hit.any():
+                pos = int(np.argmin(np.where(
+                    hit, self._crash_rank, np.iinfo(np.int64).max)))
+                edge = int(self._crash_edges[pos])
+                crash = self._crash_info(edge)
+                d = self._depth[edge]
+                reach &= (self._depth < d) | (
+                    (self._depth == d) &
+                    (np.arange(program.n_edges) <= edge))
+
+        edges = np.flatnonzero(reach).astype(np.int64)
+        counts = np.ones(edges.size, dtype=np.int64)
+        if self._loops.size:
+            live = reach[self._loops]
+            if live.any():
+                pos = np.searchsorted(edges, self._loops[live])
+                counts[pos] = 1 + (buf[self._loop_off[live]]
+                                   .astype(np.int64)
+                                   % self._loop_cap[live])
+        return ExecResult(edges=edges, counts=counts,
+                          traversals=int(counts.sum()), crash=crash)

@@ -1,0 +1,398 @@
+"""Deterministic program generation: trunk plus guarded subtrees.
+
+:func:`generate_program` materializes a :class:`~repro.target.cfg.Program`
+from a :class:`ProgramSpec`, fully vectorized and reproducible (same
+spec → byte-identical arrays). The shape mirrors what coverage-guided
+fuzzers see on real targets:
+
+* a **core tree** of ``n_core_edges`` edges guarded by ``ALWAYS`` /
+  ``BYTE_LT`` / ``BYTE_EQ`` predicates — one execution covers a swath,
+  a campaign hill-climbs the rest gradually. Every core edge is
+  practically discoverable, so the core size *is* the paper's
+  "discovered edges" knob (Table II);
+* **magic subtrees** gated by ``EQ_MULTI`` compares — whole regions a
+  blind byte-mutator cannot enter until laf-intel splits the gate or a
+  dictionary stamps the operand in;
+* scattered **magic leaves** and statically dead ``NEVER`` leaves;
+* **loop edges** whose hit counts are driven by a shared "length
+  field" region of the input (``meta["loop_region"]``) — mutants that
+  inflate those bytes model time-out-prone executions;
+* **planted crash sites** on deep, rarely-taken edges (and optionally
+  inside magic subtrees, reachable only past the gates).
+
+Equality operands are a fixed function of the input offset
+(:func:`_eq_value`), so predicates on one path can never contradict
+each other — reachability is decided by guard kinds alone, which keeps
+the discoverability masks exact and cheap.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import ProgramSpecError
+from .cfg import (MAX_MAGIC_WIDTH, NO_CRASH, NO_LOOP, NO_PARENT, Guard,
+                  Program)
+
+#: ``BYTE_LT`` operands are drawn from this range: pass probabilities
+#: of 0.44–0.87 for a uniform random byte, and always above every
+#: equality operand (see :func:`_eq_value`), so mixed constraints on
+#: one input offset stay satisfiable.
+_LT_VAL_RANGE = (112, 225)
+
+#: Equality operands live below this bound (< min BYTE_LT operand).
+_EQ_VAL_BOUND = 96
+
+#: Core-tree guard mix for non-root edges (ALWAYS, BYTE_LT, BYTE_EQ).
+_CORE_GUARD_P = (0.55, 0.37, 0.08)
+
+#: Magic-subtree interior guard mix (post-gate code is easier going).
+_SUBTREE_GUARD_P = (0.55, 0.35, 0.10)
+
+#: Loop caps are powers of two in this exponent range; 255 is then the
+#: maximal residue for every cap, so saturating the loop region roughly
+#: doubles a mean input's traversal count.
+_LOOP_CAP_EXP_RANGE = (3, 6)
+
+#: Length of the shared loop-region ("length field") in the input.
+_LOOP_REGION_LEN = 8
+
+
+def _eq_value(off: np.ndarray) -> np.ndarray:
+    """The one byte value equality guards at ``off`` compare against."""
+    return ((np.asarray(off, dtype=np.int64) * 37 + 11)
+            % _EQ_VAL_BOUND).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Parameters of one synthetic target.
+
+    Attributes:
+        name: program name (also salts the RNG).
+        n_core_edges: size of the practically discoverable core tree —
+            the paper's "discovered edges" count at this scale.
+        input_len: input size in bytes.
+        seed: generation randomness.
+        magic_subtree_edges: interior edges of **each** magic subtree.
+        magic_subtree_count: number of magic-gated subtrees.
+        magic_leaf_edges: scattered single magic-guarded leaf edges.
+        never_leaf_edges: statically dead (``NEVER``) leaf edges.
+        n_crash_sites: crash sites planted on deep core edges.
+        n_magic_crash_sites: crash sites inside magic subtrees.
+        static_edges: compile-time edge count of the notional binary;
+            defaults to ~1.35× the materialized edge count.
+        magic_width: gate operand width in bytes (2..MAX_MAGIC_WIDTH).
+        loop_fraction: fraction of core edges carrying loops.
+        max_depth: depth cap of the core tree (bounds executor levels).
+        growth: geometric level-size growth of generated trees.
+    """
+
+    name: str
+    n_core_edges: int
+    input_len: int = 256
+    seed: int = 0
+    magic_subtree_edges: int = 0
+    magic_subtree_count: int = 0
+    magic_leaf_edges: int = 0
+    never_leaf_edges: int = 0
+    n_crash_sites: int = 0
+    n_magic_crash_sites: int = 0
+    static_edges: Optional[int] = None
+    magic_width: int = 4
+    loop_fraction: float = 0.12
+    max_depth: int = 7
+    growth: float = 1.5
+
+    def __post_init__(self) -> None:
+        def bad(message: str) -> None:
+            raise ProgramSpecError(f"spec {self.name!r}: {message}")
+
+        if self.n_core_edges < 1:
+            bad("n_core_edges must be >= 1")
+        if self.input_len < 16:
+            bad("input_len must be >= 16")
+        if not 2 <= self.magic_width <= MAX_MAGIC_WIDTH:
+            bad(f"magic_width must be in [2, {MAX_MAGIC_WIDTH}]")
+        if not 0 <= self.loop_fraction <= 1:
+            bad("loop_fraction must be in [0, 1]")
+        if self.max_depth < 2:
+            bad("max_depth must be >= 2")
+        if self.growth <= 1.0:
+            bad("growth must be > 1")
+        for attr in ("magic_subtree_edges", "magic_subtree_count",
+                     "magic_leaf_edges", "never_leaf_edges",
+                     "n_crash_sites", "n_magic_crash_sites"):
+            if getattr(self, attr) < 0:
+                bad(f"{attr} must be >= 0")
+        if self.static_edges is not None and self.static_edges < 1:
+            bad("static_edges must be >= 1")
+
+
+def _build_csr(parent: np.ndarray, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR children lists from a parent vector.
+
+    Children of edge ``e`` are ``child_idx[child_off[e]:child_off[e+1]]``,
+    ascending. Root edges (``parent == NO_PARENT``) appear in no row.
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    nonroot = parent != NO_PARENT
+    counts = np.bincount(parent[nonroot], minlength=n)
+    child_off = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=child_off[1:])
+    order = np.argsort(parent, kind="stable")
+    child_idx = order[nonroot[order]].astype(np.int64)
+    return child_off, child_idx
+
+
+def _partition_levels(n: int, max_depth: int, growth: float) -> np.ndarray:
+    """Split ``n`` edges into per-level sizes growing geometrically."""
+    n_levels = min(max_depth, n)
+    weights = growth ** np.arange(n_levels, dtype=np.float64)
+    sizes = np.maximum(1, np.floor(n * weights / weights.sum()))
+    sizes = sizes.astype(np.int64)
+    # Settle rounding on the deepest (largest-weight) levels.
+    excess = int(sizes.sum()) - n
+    level = n_levels - 1
+    while excess > 0 and level >= 0:
+        take = min(excess, int(sizes[level]) - 1)
+        sizes[level] -= take
+        excess -= take
+        level -= 1
+    if excess < 0:
+        sizes[-1] += -excess
+    return sizes
+
+
+class _Builder:
+    """Accumulates edge rows; finalized into a Program once."""
+
+    def __init__(self, spec: ProgramSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.parent: List[np.ndarray] = []
+        self.depth: List[np.ndarray] = []
+        self.kind: List[np.ndarray] = []
+        self.off: List[np.ndarray] = []
+        self.val: List[np.ndarray] = []
+        self.width: List[np.ndarray] = []
+        self.magic: List[np.ndarray] = []
+        self.n = 0
+        # The loop region: a small run of "length field" bytes every
+        # loop edge reads. Kept out of guard offsets so token/guard
+        # placement and loop inflation stay independent.
+        lo = 8 if spec.input_len >= 8 + _LOOP_REGION_LEN + 8 else 0
+        self.loop_region = (lo, lo + min(_LOOP_REGION_LEN,
+                                         max(2, spec.input_len // 4)))
+        region = np.arange(spec.input_len, dtype=np.int32)
+        self.guard_offsets = region[(region < self.loop_region[0]) |
+                                    (region >= self.loop_region[1])]
+
+    def _rand_offs(self, k: int) -> np.ndarray:
+        return self.guard_offsets[
+            self.rng.integers(0, self.guard_offsets.size, size=k)]
+
+    def add_rows(self, parent: np.ndarray, depth: np.ndarray,
+                 kind: np.ndarray, off: np.ndarray, val: np.ndarray,
+                 width: Optional[np.ndarray] = None,
+                 magic: Optional[np.ndarray] = None) -> np.ndarray:
+        k = parent.size
+        idx = np.arange(self.n, self.n + k, dtype=np.int64)
+        self.parent.append(parent.astype(np.int64))
+        self.depth.append(depth.astype(np.int32))
+        self.kind.append(kind.astype(np.uint8))
+        self.off.append(off.astype(np.int32))
+        self.val.append(val.astype(np.uint8))
+        self.width.append(np.ones(k, dtype=np.int32)
+                          if width is None else width.astype(np.int32))
+        self.magic.append(np.zeros((k, MAX_MAGIC_WIDTH), dtype=np.uint8)
+                          if magic is None else magic.astype(np.uint8))
+        self.n += k
+        return idx
+
+    def add_tree(self, n_edges: int, root_parent: int, root_depth: int,
+                 guard_p: Tuple[float, float, float],
+                 max_depth: int) -> np.ndarray:
+        """A random guarded tree of ``n_edges`` edges under one parent.
+
+        Returns the global indices of the new edges. When
+        ``root_parent`` is ``NO_PARENT`` the first level are roots.
+        """
+        sizes = _partition_levels(n_edges, max(2, max_depth),
+                                  self.spec.growth)
+        rng = self.rng
+        indices: List[np.ndarray] = []
+        prev: Optional[np.ndarray] = None
+        for lvl, size in enumerate(int(s) for s in sizes):
+            if prev is None:
+                parent = np.full(size, root_parent, dtype=np.int64)
+            else:
+                parent = prev[rng.integers(0, prev.size, size=size)]
+            depth = np.full(size, root_depth + lvl, dtype=np.int32)
+            if prev is None and root_parent == NO_PARENT:
+                kind = np.full(size, Guard.ALWAYS, dtype=np.uint8)
+            else:
+                kind = rng.choice(
+                    np.array([Guard.ALWAYS, Guard.BYTE_LT, Guard.BYTE_EQ],
+                             dtype=np.uint8),
+                    size=size, p=guard_p)
+            off = self._rand_offs(size)
+            val = np.zeros(size, dtype=np.uint8)
+            lt = kind == np.uint8(Guard.BYTE_LT)
+            val[lt] = rng.integers(*_LT_VAL_RANGE, size=int(lt.sum()))
+            eq = kind == np.uint8(Guard.BYTE_EQ)
+            val[eq] = _eq_value(off[eq])
+            idx = self.add_rows(parent, depth, kind, off, val)
+            indices.append(idx)
+            prev = idx
+        return np.concatenate(indices)
+
+
+def generate_program(spec: ProgramSpec) -> Program:
+    """Materialize ``spec`` into a validated :class:`Program`."""
+    rng = np.random.default_rng(np.random.PCG64(
+        [spec.seed, zlib.crc32(spec.name.encode())]))
+    b = _Builder(spec, rng)
+
+    # 1. Core tree: exactly n_core_edges practically discoverable edges.
+    core = b.add_tree(spec.n_core_edges, NO_PARENT, 0, _CORE_GUARD_P,
+                      spec.max_depth)
+    core_depth = np.concatenate(b.depth)[core]
+
+    # 2. Magic-gated subtrees, attached near the trunk so the gate is
+    # the only obstacle.
+    magic_marks: List[np.ndarray] = []
+    gate_anchor_pool = core[core_depth <= min(2, int(core_depth.max()))]
+    gate_positions = _magic_positions(b, spec.magic_subtree_count +
+                                      spec.magic_leaf_edges)
+    magic_subtree_edges: List[np.ndarray] = []
+    for s in range(spec.magic_subtree_count):
+        if spec.magic_subtree_edges < 1 or gate_positions.size == 0:
+            break
+        anchor = int(gate_anchor_pool[
+            rng.integers(0, gate_anchor_pool.size)])
+        anchor_depth = int(np.concatenate(b.depth)[anchor])
+        goff = int(gate_positions[s % gate_positions.size])
+        magic_row = np.zeros((1, MAX_MAGIC_WIDTH), dtype=np.uint8)
+        magic_row[0, :spec.magic_width] = _eq_value(
+            np.arange(goff, goff + spec.magic_width))
+        gate = b.add_rows(
+            np.array([anchor]), np.array([anchor_depth + 1]),
+            np.array([Guard.EQ_MULTI]), np.array([goff]),
+            np.array([0]), np.array([spec.magic_width]), magic_row)
+        interior = b.add_tree(
+            spec.magic_subtree_edges, int(gate[0]), anchor_depth + 2,
+            _SUBTREE_GUARD_P, spec.max_depth - anchor_depth - 2)
+        magic_marks.extend([gate, interior])
+        magic_subtree_edges.append(interior)
+
+    # 3. Scattered magic leaves (extra dictionary tokens / laf fodder).
+    if spec.magic_leaf_edges and gate_positions.size:
+        k = spec.magic_leaf_edges
+        anchors = core[rng.integers(0, core.size, size=k)]
+        depth_all = np.concatenate(b.depth)
+        widths = rng.integers(2, spec.magic_width + 1, size=k)
+        offs = gate_positions[(spec.magic_subtree_count +
+                               np.arange(k)) % gate_positions.size]
+        magic_rows = np.zeros((k, MAX_MAGIC_WIDTH), dtype=np.uint8)
+        for j in range(int(widths.max())):
+            sel = widths > j
+            magic_rows[sel, j] = _eq_value(offs[sel] + j)
+        leaves = b.add_rows(anchors, depth_all[anchors] + 1,
+                            np.full(k, Guard.EQ_MULTI), offs,
+                            np.zeros(k), widths, magic_rows)
+        magic_marks.append(leaves)
+
+    # 4. Dead code.
+    if spec.never_leaf_edges:
+        k = spec.never_leaf_edges
+        anchors = core[rng.integers(0, core.size, size=k)]
+        depth_all = np.concatenate(b.depth)
+        b.add_rows(anchors, depth_all[anchors] + 1,
+                   np.full(k, Guard.NEVER), np.zeros(k), np.zeros(k))
+
+    n = b.n
+    parent = np.concatenate(b.parent)
+    depth = np.concatenate(b.depth)
+    kind = np.concatenate(b.kind)
+    off = np.concatenate(b.off)
+    val = np.concatenate(b.val)
+    width = np.concatenate(b.width)
+    magic = np.concatenate(b.magic)
+
+    # 5. Loops: core (and subtree) edges reading the shared region.
+    loop_off = np.full(n, NO_LOOP, dtype=np.int32)
+    loop_cap = np.ones(n, dtype=np.int64)
+    loop_pool = core if not magic_subtree_edges else np.concatenate(
+        [core] + magic_subtree_edges)
+    n_loops = int(round(loop_pool.size * spec.loop_fraction))
+    if n_loops:
+        chosen = rng.choice(loop_pool, size=n_loops, replace=False)
+        lo, hi = b.loop_region
+        loop_off[chosen] = rng.integers(lo, hi, size=n_loops)
+        loop_cap[chosen] = 2 ** rng.integers(*_LOOP_CAP_EXP_RANGE,
+                                             size=n_loops)
+
+    # 6. Crash sites: deep, rarely-taken core edges (forced BYTE_EQ so
+    # campaigns trigger them occasionally, not immediately), plus sites
+    # locked inside magic subtrees.
+    crash_site = np.full(n, NO_CRASH, dtype=np.int32)
+    crash_edges: List[np.ndarray] = []
+    if spec.n_crash_sites:
+        deep = core[core_depth >= max(0, int(core_depth.max()) - 2)]
+        k = min(spec.n_crash_sites, deep.size)
+        picked = rng.choice(deep, size=k, replace=False)
+        kind[picked] = np.uint8(Guard.BYTE_EQ)
+        width[picked] = 1
+        magic[picked] = 0
+        val[picked] = _eq_value(off[picked])
+        crash_edges.append(picked)
+    if spec.n_magic_crash_sites and magic_subtree_edges:
+        pool = np.concatenate(magic_subtree_edges)
+        pool = pool[depth[pool] >= int(np.percentile(depth[pool], 60))]
+        k = min(spec.n_magic_crash_sites, pool.size)
+        crash_edges.append(rng.choice(pool, size=k, replace=False))
+    if crash_edges:
+        sites = np.sort(np.concatenate(crash_edges))
+        crash_site[sites] = np.arange(sites.size, dtype=np.int32)
+
+    dst_block = np.arange(1, n + 1, dtype=np.int64)
+    src_block = np.where(parent == NO_PARENT, 0,
+                         dst_block[np.maximum(parent, 0)])
+    child_off, child_idx = _build_csr(parent, n)
+
+    magic_region = np.zeros(n, dtype=bool)
+    for marked in magic_marks:
+        magic_region[marked] = True
+
+    static = (spec.static_edges if spec.static_edges is not None
+              else int(round(n * 1.35)))
+    program = Program(
+        name=spec.name, input_len=spec.input_len, parent=parent,
+        depth=depth, kind=kind, off=off, val=val, width=width,
+        magic=magic, loop_off=loop_off, loop_cap=loop_cap,
+        src_block=src_block, dst_block=dst_block, crash_site=crash_site,
+        child_off=child_off, child_idx=child_idx,
+        roots=np.flatnonzero(parent == NO_PARENT), n_blocks=n + 1,
+        static_edges=max(static, 1),
+        meta={"laf_applied": False, "spec": spec,
+              "loop_region": b.loop_region,
+              "magic_region": magic_region})
+    program.validate()
+    return program
+
+
+def _magic_positions(b: _Builder, count: int) -> np.ndarray:
+    """Non-overlapping gate offsets on a ``magic_width`` grid."""
+    spec = b.spec
+    usable = b.guard_offsets[
+        b.guard_offsets + spec.magic_width <= spec.input_len]
+    # Keep gates apart when there is room; wrap around otherwise.
+    grid = usable[::spec.magic_width]
+    if grid.size == 0 or count == 0:
+        return grid[:0]
+    return grid[b.rng.permutation(grid.size)[:max(count, 1)]]

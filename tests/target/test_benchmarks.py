@@ -1,0 +1,92 @@
+"""Benchmark-registry parity: Table II/III counts, names and the
+characteristics table recorded in EXPERIMENTS.md."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.target import (FIG3_BENCHMARK_NAMES, FIG8_BENCHMARK_NAMES,
+                          TABLE2_BENCHMARKS, TABLE3_BENCHMARKS,
+                          benchmark_names, get_benchmark)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _experiments_table():
+    """Parse the Table II characteristics rows out of EXPERIMENTS.md."""
+    text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+    pattern = re.compile(
+        r"^\| ([\w.-]+) \| (\d+) \| (\d+) \| (\d+) \| (v[\w.]+) \|$",
+        re.MULTILINE)
+    rows = {}
+    for name, seeds, discovered, static, version in pattern.findall(text):
+        rows[name] = (int(seeds), int(discovered), int(static), version)
+    return rows
+
+
+class TestCounts:
+    def test_table2_has_19_rows(self):
+        assert len(TABLE2_BENCHMARKS) == 19
+
+    def test_table3_has_13_rows(self):
+        assert len(TABLE3_BENCHMARKS) == 13
+
+    def test_names_unique(self):
+        names = benchmark_names("all")
+        assert len(names) == len(set(names))
+        t2 = [c.name for c in TABLE2_BENCHMARKS]
+        assert len(t2) == len(set(t2))
+
+    def test_table3_is_all_llvm(self):
+        for config in TABLE3_BENCHMARKS:
+            assert config.static_edges == 977_899
+            assert config.version == "v10.0.1"
+
+    def test_figure_selections_resolve(self):
+        assert len(FIG3_BENCHMARK_NAMES) == 6
+        assert len(FIG8_BENCHMARK_NAMES) == 6
+        for name in FIG3_BENCHMARK_NAMES + FIG8_BENCHMARK_NAMES:
+            get_benchmark(name)
+
+
+class TestExperimentsParity:
+    def test_registry_matches_recorded_table(self):
+        rows = _experiments_table()
+        assert len(rows) == 19
+        for config in TABLE2_BENCHMARKS:
+            seeds, discovered, static, version = rows[config.name]
+            assert config.n_seeds == seeds, config.name
+            assert config.discovered_edges == discovered, config.name
+            assert config.static_edges == static, config.name
+            assert config.version == version, config.name
+
+    def test_static_edges_at_least_discovered(self):
+        for config in TABLE2_BENCHMARKS + tuple(TABLE3_BENCHMARKS):
+            assert config.static_edges > config.discovered_edges
+
+
+class TestRegistry:
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("does-not-exist")
+
+    def test_selectors(self):
+        assert benchmark_names("table2") == \
+            [c.name for c in TABLE2_BENCHMARKS]
+        assert benchmark_names("table3") == \
+            [c.name for c in TABLE3_BENCHMARKS]
+        assert set(benchmark_names("fig3")) <= set(benchmark_names("all"))
+        with pytest.raises(ValueError):
+            benchmark_names("table9")
+
+    def test_build_scaled(self):
+        built = get_benchmark("zlib").build(scale=0.05)
+        assert built.program.name == "zlib"
+        assert len(built.seeds) >= 1
+        practical = built.program.practically_discoverable_mask()
+        assert int(practical.sum()) == round(722 * 0.05)
+
+    def test_spec_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            get_benchmark("zlib").spec(scale=0)

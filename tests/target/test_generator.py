@@ -1,0 +1,143 @@
+"""Generator invariants: determinism, CSR structure, edge accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ProgramSpecError
+from repro.target import (NO_LOOP, NO_PARENT, Guard, ProgramSpec,
+                          generate_program)
+
+SPEC = ProgramSpec(
+    name="gen-test", n_core_edges=300, input_len=96, seed=11,
+    magic_subtree_edges=40, magic_subtree_count=2, magic_leaf_edges=5,
+    never_leaf_edges=4, n_crash_sites=4, n_magic_crash_sites=2)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate_program(SPEC)
+
+
+ARRAY_FIELDS = ("parent", "depth", "kind", "off", "val", "width",
+                "magic", "loop_off", "loop_cap", "src_block",
+                "dst_block", "crash_site", "child_off", "child_idx",
+                "roots")
+
+
+class TestDeterminism:
+    def test_same_spec_identical_arrays(self, program):
+        again = generate_program(SPEC)
+        for field in ARRAY_FIELDS:
+            assert np.array_equal(getattr(program, field),
+                                  getattr(again, field)), field
+        assert again.n_blocks == program.n_blocks
+        assert again.static_edges == program.static_edges
+
+    def test_seed_changes_program(self, program):
+        other = generate_program(
+            ProgramSpec(**{**SPEC.__dict__, "seed": SPEC.seed + 1}))
+        assert other.n_edges == program.n_edges
+        differs = any(
+            not np.array_equal(getattr(program, f), getattr(other, f))
+            for f in ("kind", "off", "parent"))
+        assert differs
+
+
+class TestStructure:
+    def test_edge_accounting(self, program):
+        expected = (SPEC.n_core_edges +
+                    SPEC.magic_subtree_count *
+                    (1 + SPEC.magic_subtree_edges) +
+                    SPEC.magic_leaf_edges + SPEC.never_leaf_edges)
+        assert program.n_edges == expected
+        assert program.n_blocks == expected + 1
+
+    def test_csr_invariants(self, program):
+        child_off, child_idx = program.child_off, program.child_idx
+        n = program.n_edges
+        assert child_off.shape == (n + 1,)
+        assert child_off[0] == 0 and child_off[-1] == child_idx.size
+        assert np.all(np.diff(child_off) >= 0)
+        # Every non-root edge appears exactly once as someone's child.
+        n_roots = program.roots.size
+        assert child_idx.size == n - n_roots
+        for e in range(n):
+            kids = child_idx[child_off[e]:child_off[e + 1]]
+            assert np.all(program.parent[kids] == e)
+            assert np.all(np.diff(kids) > 0)  # ascending, unique
+
+    def test_parents_precede_children(self, program):
+        nonroot = program.parent != NO_PARENT
+        assert np.all(program.parent[nonroot] <
+                      np.arange(program.n_edges)[nonroot])
+        assert np.all(program.depth[nonroot] ==
+                      program.depth[program.parent[nonroot]] + 1)
+
+    def test_mask_counts(self, program):
+        practical = program.practically_discoverable_mask()
+        assert int(practical.sum()) == SPEC.n_core_edges
+        discoverable = program.discoverable_mask()
+        assert int(discoverable.sum()) == \
+            program.n_edges - SPEC.never_leaf_edges
+        assert np.all(discoverable[practical])
+
+    def test_magic_gate_count(self, program):
+        gates = program.kind == np.uint8(Guard.EQ_MULTI)
+        assert int(gates.sum()) == \
+            SPEC.magic_subtree_count + SPEC.magic_leaf_edges
+        assert np.all(program.width[gates] >= 2)
+        assert np.all(program.off[gates] + program.width[gates] <=
+                      program.input_len)
+
+    def test_loops(self, program):
+        loops = program.loop_off != NO_LOOP
+        assert int(loops.sum()) > 0
+        caps = program.loop_cap[loops]
+        assert np.all(caps >= 8)
+        assert np.all((caps & (caps - 1)) == 0)  # powers of two
+        lo, hi = program.meta["loop_region"]
+        assert np.all((program.loop_off[loops] >= lo) &
+                      (program.loop_off[loops] < hi))
+        # Guard offsets never read the loop region.
+        guarded = np.isin(program.kind,
+                          [np.uint8(Guard.BYTE_LT),
+                           np.uint8(Guard.BYTE_EQ)])
+        offs = program.off[guarded]
+        assert not np.any((offs >= lo) & (offs < hi))
+
+    def test_crash_sites(self, program):
+        sites = program.crash_site[program.crash_site >= 0]
+        assert sites.size == \
+            SPEC.n_crash_sites + SPEC.n_magic_crash_sites
+        assert np.unique(sites).size == sites.size
+
+    def test_spec_round_trip(self, program):
+        assert program.meta["spec"] is SPEC
+        assert program.meta["laf_applied"] is False
+
+    def test_no_magic_means_no_eq_multi(self):
+        plain = generate_program(
+            ProgramSpec(name="plain", n_core_edges=80, input_len=64,
+                        seed=3))
+        assert not np.any(plain.kind == np.uint8(Guard.EQ_MULTI))
+        assert np.array_equal(plain.discoverable_mask(),
+                              plain.practically_discoverable_mask())
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_core_edges": 0},
+        {"input_len": 8},
+        {"magic_width": 1},
+        {"magic_width": 9},
+        {"loop_fraction": 1.5},
+        {"max_depth": 1},
+        {"growth": 1.0},
+        {"never_leaf_edges": -1},
+        {"static_edges": 0},
+    ])
+    def test_bad_specs_rejected(self, kwargs):
+        base = dict(name="bad", n_core_edges=10, input_len=64)
+        base.update(kwargs)
+        with pytest.raises(ProgramSpecError):
+            ProgramSpec(**base)

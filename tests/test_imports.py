@@ -1,0 +1,26 @@
+"""Every module under ``repro`` must import cleanly."""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def _walk():
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix=repro.__name__ + "."):
+        yield info.name
+
+
+def test_every_repro_module_imports():
+    names = sorted(_walk())
+    assert names, "package walk found no modules"
+    for name in names:
+        importlib.import_module(name)
+
+
+def test_target_package_present():
+    names = set(_walk())
+    for module in ("cfg", "generator", "executor", "crashes", "seeds",
+                   "benchmarks"):
+        assert f"repro.target.{module}" in names
