@@ -60,3 +60,39 @@ class ProgramValidationError(ReproError, ValueError):
 
 class ProgramSpecError(ReproError, ValueError):
     """A :class:`~repro.target.ProgramSpec` was internally inconsistent."""
+
+
+class FaultPlanError(ReproError, ValueError):
+    """A fault-injection plan (:mod:`repro.faults`) was malformed.
+
+    Raised for unknown event kinds, negative times/durations, or events
+    addressed to instances a session does not have.
+    """
+
+
+class InstanceLostError(ReproError, RuntimeError):
+    """A supervised parallel instance exhausted its restart budget.
+
+    Sessions do not propagate this by default — the supervisor marks the
+    instance as lost and carries on with the survivors — but callers
+    that require a full fleet can check
+    :attr:`~repro.fuzzer.ParallelResultSummary.lost_instances`.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A campaign snapshot/restore operation was invalid.
+
+    Raised when snapshotting a campaign that has not been started, or
+    restoring a checkpoint onto a campaign with a different
+    configuration.
+    """
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment harness failed while regenerating a report.
+
+    Wraps the underlying exception so the runner can report which
+    experiment failed (and, with ``--keep-going``, continue with the
+    rest) while preserving the original traceback as ``__cause__``.
+    """

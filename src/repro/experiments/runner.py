@@ -4,11 +4,19 @@ Usage (installed as ``repro-experiments``)::
 
     repro-experiments --list
     repro-experiments fig6 --profile quick
+    repro-experiments fig9 fig10 ensemble --profile quick
     repro-experiments all --profile default --out results/
+    repro-experiments all --keep-going --resume --out results/
 
 Each experiment prints a paper-layout text report; ``--out`` also
 writes one ``<experiment>.txt`` per report for inclusion in
 EXPERIMENTS.md.
+
+Long runs are fault-tolerant and resumable: ``--keep-going`` runs the
+remaining experiments when one fails (reporting every failure, exiting
+non-zero), and ``--resume`` skips experiments whose report file already
+exists under ``--out`` — together they let a multi-hour ``all`` sweep
+be re-invoked until it completes without redoing finished work.
 """
 
 from __future__ import annotations
@@ -16,14 +24,16 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 from pathlib import Path
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
+from ..core.errors import ExperimentError
 from . import (extra_collafl, extra_dedup_bias, extra_ensemble,
-               fig2_collision, fig3_runtime, fig6_throughput,
-               fig7_edge_coverage, fig8_crashes, fig9_scalability,
-               fig10_parallel_crashes, table2_benchmarks,
-               table3_composition)
+               extra_fault_tolerance, fig2_collision, fig3_runtime,
+               fig6_throughput, fig7_edge_coverage, fig8_crashes,
+               fig9_scalability, fig10_parallel_crashes,
+               table2_benchmarks, table3_composition)
 from .common import BenchmarkCache, Profile, get_profile
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -40,34 +50,61 @@ EXPERIMENTS: Dict[str, Callable] = {
     "collafl": extra_collafl.run,
     "dedup-bias": extra_dedup_bias.run,
     "ensemble": extra_ensemble.run,
+    "fault-tolerance": extra_fault_tolerance.run,
 }
 
 #: Paper order for ``all``.
 ORDER = ("fig2", "fig3", "table2", "fig6", "fig7", "fig8", "table3",
-         "fig9", "fig10", "collafl", "dedup-bias", "ensemble")
+         "fig9", "fig10", "collafl", "dedup-bias", "ensemble",
+         "fault-tolerance")
 
 
 def run_experiment(name: str, profile: Profile,
                    cache: BenchmarkCache = None) -> str:
+    """Run one experiment; failures surface as :class:`ExperimentError`
+    with the original exception chained as ``__cause__``."""
     runner = EXPERIMENTS[name]
-    if name in ("fig2", "table2"):
-        return runner(profile)
-    return runner(profile, cache or BenchmarkCache())
+    try:
+        if name in ("fig2", "table2"):
+            return runner(profile)
+        return runner(profile, cache or BenchmarkCache())
+    except ExperimentError:
+        raise
+    except Exception as exc:
+        raise ExperimentError(
+            f"experiment {name!r} failed: {exc!r}") from exc
+
+
+def _resolve_names(requested: List[str],
+                   parser: argparse.ArgumentParser) -> List[str]:
+    if not requested or "all" in requested:
+        return list(ORDER)
+    unknown = [n for n in requested if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    return requested
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the BigMap paper's tables and figures.")
-    parser.add_argument("experiment", nargs="?", default="all",
-                        help="experiment id (fig2..fig10, table2, "
-                             "table3) or 'all'")
+    parser.add_argument("experiments", nargs="*", default=["all"],
+                        metavar="experiment",
+                        help="experiment ids (fig2..fig10, table2, "
+                             "table3, extensions) or 'all'")
     parser.add_argument("--profile", default="default",
                         choices=["quick", "default", "full"],
                         help="run size: quick (CI smoke), default, full "
                              "(paper scale)")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory to write per-experiment reports")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="on failure, run the remaining experiments "
+                             "and exit non-zero at the end")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip experiments whose <name>.txt already "
+                             "exists under --out")
     parser.add_argument("--list", action="store_true",
                         help="list experiment ids and exit")
     args = parser.parse_args(argv)
@@ -76,17 +113,33 @@ def main(argv=None) -> int:
         for name in ORDER:
             print(name)
         return 0
+    if args.resume and args.out is None:
+        parser.error("--resume requires --out (it skips by report file)")
 
     profile = get_profile(args.profile)
-    names = list(ORDER) if args.experiment == "all" else [args.experiment]
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    names = _resolve_names(args.experiments, parser)
 
     cache = BenchmarkCache()
+    failures: List[str] = []
     for name in names:
+        if args.resume and (args.out / f"{name}.txt").exists():
+            print(f"[skip] {name}: report exists (resume)")
+            continue
         start = time.time()
-        report = run_experiment(name, profile, cache)
+        try:
+            report = run_experiment(name, profile, cache)
+        except ExperimentError as exc:
+            elapsed = time.time() - start
+            failures.append(name)
+            print(f"\n{'=' * 72}\n{name}  FAILED after {elapsed:.1f}s"
+                  f"\n{'=' * 72}", file=sys.stderr)
+            traceback.print_exception(type(exc), exc, exc.__traceback__,
+                                      file=sys.stderr)
+            if not args.keep_going:
+                print(f"\n1 experiment failed: {name} (use --keep-going "
+                      "to run the rest)", file=sys.stderr)
+                return 1
+            continue
         elapsed = time.time() - start
         banner = (f"\n{'=' * 72}\n{name}  (profile={profile.name}, "
                   f"{elapsed:.1f}s)\n{'=' * 72}")
@@ -95,6 +148,10 @@ def main(argv=None) -> int:
         if args.out:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(report + "\n")
+    if failures:
+        print(f"\n{len(failures)} experiment(s) failed: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
     return 0
 
 

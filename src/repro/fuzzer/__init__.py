@@ -13,6 +13,7 @@ Public surface:
 """
 
 from .campaign import Campaign, CampaignConfig, run_campaign
+from .checkpoint import CampaignCheckpoint
 from .dictionary import DictionaryMixer, extract_dictionary
 from .clock import VirtualClock
 from .mutation import (ARITH_MAX, HAVOC_STACK_POW2, INTERESTING_8,
@@ -27,6 +28,7 @@ from .triage import AflCrashTriager, CrashRecord, CrashwalkTriager
 
 __all__ = [
     "Campaign", "CampaignConfig", "run_campaign",
+    "CampaignCheckpoint",
     "DictionaryMixer", "extract_dictionary",
     "VirtualClock",
     "ARITH_MAX", "HAVOC_STACK_POW2", "INTERESTING_8", "INTERESTING_16",

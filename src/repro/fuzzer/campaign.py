@@ -157,6 +157,12 @@ class Campaign:
         self.execs = 0
         self.hangs = 0
         self.unique_hangs = 0
+        #: Lifetime supervision counters (parallel sessions increment
+        #: these across checkpoint restores; see repro.faults).
+        self.restarts = 0
+        self.faults_injected = 0
+        #: Extra cycle multiplier while a ``slow`` fault is active.
+        self.fault_multiplier = 1.0
         self._next_seed_id = 0
         self._hang_budget_cycles: Optional[float] = None
         self.tmout_triage = AflCrashTriager(config.map_size)
@@ -218,7 +224,8 @@ class Campaign:
 
     def _charge(self, shape: ExecShape) -> float:
         ops = self.model.exec_cycles(shape)
-        multiplier = getattr(self, "cycle_multiplier", 1.0)
+        multiplier = (getattr(self, "cycle_multiplier", 1.0) *
+                      self.fault_multiplier)
         self.clock.charge(ops.total * multiplier)
         for key, value in ops.as_dict().items():
             self.op_cycles[key] += value
@@ -410,6 +417,25 @@ class Campaign:
                                 seed.seed_id, snapshot)
                 self._record_curve()
 
+    def snapshot(self):
+        """Capture a resumable checkpoint of the campaign's state.
+
+        See :mod:`repro.fuzzer.checkpoint`; requires :meth:`start` to
+        have run (the model and curves must exist).
+        """
+        from .checkpoint import snapshot_campaign
+        return snapshot_campaign(self)
+
+    def restore(self, checkpoint) -> None:
+        """Reset to a checkpoint previously taken from this campaign.
+
+        Used by supervised parallel sessions to resume a crashed
+        instance from its last durable state instead of from the seed
+        corpus.
+        """
+        from .checkpoint import restore_campaign
+        restore_campaign(self, checkpoint)
+
     def import_input(self, data: bytes) -> bool:
         """Run a peer's queue entry; admit it if it covers new ground.
 
@@ -457,7 +483,9 @@ class Campaign:
             stopped_by=self.stopped_by,
             mean_shape=self.shape_stats.mean_shape(),
             true_edge_coverage=true_coverage,
-            hangs=self.hangs, unique_hangs=self.unique_hangs)
+            hangs=self.hangs, unique_hangs=self.unique_hangs,
+            restarts=self.restarts,
+            faults_injected=self.faults_injected)
 
     def run(self) -> CampaignResult:
         """Run the campaign to its virtual deadline (or exec cap)."""

@@ -67,6 +67,10 @@ class CampaignResult:
             contention model).
         hangs: executions exceeding the timeout budget.
         unique_hangs: hangs deduplicated against ``virgin_tmout``.
+        restarts: supervised restarts this instance went through
+            (parallel sessions only; 0 for solo campaigns).
+        faults_injected: fault events injected into this instance
+            (parallel sessions only; includes unplanned failures).
     """
 
     benchmark: str
@@ -91,6 +95,8 @@ class CampaignResult:
     true_edge_coverage: Optional[int] = None
     hangs: int = 0
     unique_hangs: int = 0
+    restarts: int = 0
+    faults_injected: int = 0
 
     @property
     def corpus_size(self) -> int:

@@ -139,3 +139,77 @@ class TestRunnerCli:
         from repro.experiments.runner import main
         assert main(["fig2", "--profile", "quick"]) == 0
         assert "Figure 2" in capsys.readouterr().out
+
+    def test_list_includes_fault_tolerance(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["--list"]) == 0
+        assert "fault-tolerance" in capsys.readouterr().out
+
+    def test_resume_requires_out(self):
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit):
+            main(["fig2", "--resume"])
+
+
+class TestRunnerFaultHandling:
+    """--keep-going / --resume semantics, exercised against a stubbed
+    experiment registry so no real harness runs."""
+
+    @pytest.fixture()
+    def registry(self, monkeypatch):
+        from repro.experiments import runner
+
+        def ok(name):
+            return lambda profile, cache=None: f"{name} report"
+
+        def broken(profile, cache=None):
+            raise ValueError("synthetic harness failure")
+
+        experiments = {"good1": ok("good1"), "bad": broken,
+                       "good2": ok("good2")}
+        monkeypatch.setattr(runner, "EXPERIMENTS", experiments)
+        monkeypatch.setattr(runner, "ORDER",
+                            ("good1", "bad", "good2"))
+        return runner
+
+    def test_failure_stops_run_by_default(self, registry, tmp_path,
+                                          capsys):
+        assert registry.main(["all", "--profile", "quick",
+                              "--out", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "synthetic harness failure" in captured.err
+        # good1 ran before the failure; good2 never did.
+        assert (tmp_path / "good1.txt").exists()
+        assert not (tmp_path / "good2.txt").exists()
+
+    def test_keep_going_runs_rest_and_fails_at_end(self, registry,
+                                                   tmp_path, capsys):
+        assert registry.main(["all", "--profile", "quick",
+                              "--keep-going",
+                              "--out", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "synthetic harness failure" in captured.err
+        assert "1 experiment(s) failed: bad" in captured.err
+        # Reports exist for every non-failing experiment.
+        assert (tmp_path / "good1.txt").read_text().startswith("good1")
+        assert (tmp_path / "good2.txt").read_text().startswith("good2")
+        assert not (tmp_path / "bad.txt").exists()
+
+    def test_resume_skips_existing_reports(self, registry, tmp_path,
+                                           capsys):
+        (tmp_path / "good1.txt").write_text("stale report\n")
+        assert registry.main(["good1", "good2", "--profile", "quick",
+                              "--resume", "--out",
+                              str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[skip] good1" in out
+        # The existing report is untouched; the missing one was made.
+        assert (tmp_path / "good1.txt").read_text() == "stale report\n"
+        assert (tmp_path / "good2.txt").exists()
+
+    def test_error_chains_original_cause(self, registry):
+        from repro.core.errors import ExperimentError
+        from repro.experiments.common import get_profile
+        with pytest.raises(ExperimentError) as excinfo:
+            registry.run_experiment("bad", get_profile("quick"))
+        assert isinstance(excinfo.value.__cause__, ValueError)

@@ -1,0 +1,138 @@
+"""Checkpoint/resume fidelity: snapshot → continue vs restore → continue.
+
+The supervisor's restart correctness rests on one property: restoring a
+checkpoint and re-running a window reproduces the original run
+bit-identically (same RNG stream position, same queue, same virgin
+maps, same clock). These tests pin that property for both coverage
+structures.
+"""
+
+import pytest
+
+from repro.core.errors import CheckpointError
+from repro.fuzzer import Campaign, CampaignConfig
+from repro.target import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def built():
+    return get_benchmark("libpng").build(scale=0.25, seed_scale=1.0)
+
+
+@pytest.fixture(scope="module")
+def crashy():
+    return get_benchmark("bloaty").build(scale=0.25, seed_scale=0.5)
+
+
+def config(**kwargs):
+    defaults = dict(benchmark="libpng", fuzzer="bigmap",
+                    map_size=1 << 18, scale=0.25, seed_scale=1.0,
+                    virtual_seconds=0.6, max_real_execs=4_000,
+                    rng_seed=11)
+    defaults.update(kwargs)
+    return CampaignConfig(**defaults)
+
+
+def fingerprint(campaign):
+    """Everything observable about a campaign's fuzzing state."""
+    return {
+        "execs": campaign.execs,
+        "cycles": campaign.clock.cycles,
+        "discovered": campaign.virgin.count_discovered(),
+        "corpus": [s.data for s in campaign.pool.seeds],
+        "seed_flags": [(s.favored, s.fuzzed) for s in campaign.pool.seeds],
+        "crashes": sorted(campaign.crashwalk.records.keys()),
+        "afl_crashes": campaign.afl_triage.unique_crashes,
+        "hangs": campaign.hangs,
+        "op_cycles": dict(campaign.op_cycles),
+        "rng": campaign.rng.bit_generator.state["state"],
+        "curve": list(campaign.coverage_curve),
+    }
+
+
+@pytest.mark.parametrize("fuzzer", ["bigmap", "afl"])
+def test_restore_then_rerun_is_bit_identical(built, fuzzer):
+    campaign = Campaign(config(fuzzer=fuzzer), built=built)
+    campaign.start()
+    campaign.step_until(0.2)
+    checkpoint = campaign.snapshot()
+    mid = fingerprint(campaign)
+
+    campaign.step_until(0.4)
+    first = fingerprint(campaign)
+    assert first != mid   # the second window did something
+
+    campaign.restore(checkpoint)
+    assert fingerprint(campaign) == mid
+    campaign.step_until(0.4)
+    assert fingerprint(campaign) == first
+
+
+def test_restore_is_repeatable(built):
+    """A checkpoint can be restored any number of times."""
+    campaign = Campaign(config(), built=built)
+    campaign.start()
+    campaign.step_until(0.15)
+    checkpoint = campaign.snapshot()
+    runs = []
+    for _ in range(3):
+        campaign.restore(checkpoint)
+        campaign.step_until(0.3)
+        runs.append(fingerprint(campaign))
+    assert runs[0] == runs[1] == runs[2]
+
+
+def test_checkpoint_isolated_from_later_mutation(built):
+    """Snapshots are value copies: continuing the campaign must not
+    mutate a checkpoint taken earlier."""
+    campaign = Campaign(config(), built=built)
+    campaign.start()
+    checkpoint = campaign.snapshot()
+    n_seeds = len(checkpoint.seeds)
+    discovered = int((checkpoint.virgin != 0xFF).sum())
+    campaign.step_until(0.3)
+    assert len(checkpoint.seeds) == n_seeds
+    assert int((checkpoint.virgin != 0xFF).sum()) == discovered
+
+
+def test_crash_records_survive_roundtrip(crashy):
+    campaign = Campaign(config(benchmark="bloaty", seed_scale=0.5,
+                               virtual_seconds=1.0), built=crashy)
+    campaign.start()
+    campaign.step_until(0.5)
+    checkpoint = campaign.snapshot()
+    before = dict(campaign.crashwalk.records)
+    campaign.step_until(1.0)
+    campaign.restore(checkpoint)
+    assert set(campaign.crashwalk.records) == set(before)
+    assert campaign.crashwalk.unique_crashes == len(before)
+
+
+def test_snapshot_requires_start(built):
+    campaign = Campaign(config(), built=built)
+    with pytest.raises(CheckpointError):
+        campaign.snapshot()
+
+
+def test_restore_rejects_cross_structure_checkpoint(built):
+    big = Campaign(config(fuzzer="bigmap"), built=built)
+    big.start()
+    afl = Campaign(config(fuzzer="afl"), built=built)
+    afl.start()
+    with pytest.raises(CheckpointError):
+        afl.restore(big.snapshot())
+    with pytest.raises(CheckpointError):
+        big.restore(afl.snapshot())
+
+
+def test_supervision_counters_survive_restore(built):
+    """restarts/faults_injected count lifetime events, not state since
+    the checkpoint — restore must leave them alone."""
+    campaign = Campaign(config(), built=built)
+    campaign.start()
+    checkpoint = campaign.snapshot()
+    campaign.restarts = 2
+    campaign.faults_injected = 3
+    campaign.restore(checkpoint)
+    assert campaign.restarts == 2
+    assert campaign.faults_injected == 3

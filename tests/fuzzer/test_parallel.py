@@ -76,3 +76,77 @@ class TestSessionRuns:
         big = run_parallel(config(fuzzer="bigmap", map_size=1 << 21), 4,
                            built=built)
         assert afl.mean_slowdown >= big.mean_slowdown
+
+
+class TestEnsembleValidation:
+    def test_empty_config_list_rejected(self, built):
+        with pytest.raises(CampaignConfigError):
+            ParallelSession([], built=built)
+
+    def test_n_instances_config_list_mismatch_rejected(self, built):
+        with pytest.raises(CampaignConfigError):
+            ParallelSession([config(), config()], 3, built=built)
+
+    def test_mixed_benchmark_ensemble_rejected(self, built):
+        with pytest.raises(CampaignConfigError):
+            ParallelSession([config(),
+                             config(benchmark="bloaty", seed_scale=0.5)],
+                            built=built)
+
+    def test_mixed_scale_ensemble_rejected(self, built):
+        with pytest.raises(CampaignConfigError):
+            ParallelSession([config(), config(scale=0.5)], built=built)
+
+    def test_ensemble_larger_than_machine_rejected(self, built):
+        with pytest.raises(CampaignConfigError):
+            ParallelSession([config(rng_seed=i) for i in range(13)],
+                            built=built)
+
+
+class TestSessionEdgeCases:
+    def test_single_instance_never_syncs(self, built):
+        session = ParallelSession(config(), 1, built=built,
+                                  sync_interval=0.05)
+        summary = session.run()
+        assert session._import_cursors == {}
+        assert summary.quarantined_imports == 0
+        assert summary.total_execs == summary.per_instance[0].execs
+
+    def test_contention_multiplier_floors_at_one(self, built):
+        """The contention model may predict a *faster* shared rate at
+        low load; sessions must never credit instances with a
+        below-solo cost."""
+        session = ParallelSession(config(), 2, built=built,
+                                  sync_interval=0.1)
+        summary = session.run()
+        assert all(s >= 1.0 for s in session._slowdown_samples)
+        assert summary.mean_slowdown >= 1.0
+        for inst in session.instances:
+            assert inst.cycle_multiplier >= 1.0
+
+
+class TestSyncDedup:
+    def test_sync_never_reimports_known_payloads(self, built):
+        """Regression for the sync echo bug: instance i's exports came
+        back from every peer on the next sync and were re-executed,
+        O(k^2) duplicate work. Every import must be a payload the
+        destination has never held."""
+        session = ParallelSession(config(virtual_seconds=0.8,
+                                         max_real_execs=2_000), 3,
+                                  built=built, sync_interval=0.1)
+        imports = {i: [] for i in range(3)}
+        for i, inst in enumerate(session.instances):
+            original = inst.import_input
+
+            def wrapped(data, _original=original, _inst=inst, _i=i):
+                held = {s.data for s in _inst.pool.seeds}
+                assert data not in held, "echoed payload re-imported"
+                imports[_i].append(data)
+                return _original(data)
+
+            inst.import_input = wrapped
+        session.run()
+        for payloads in imports.values():
+            # ... and never imports the same payload twice, even when
+            # two peers both offer it.
+            assert len(payloads) == len(set(payloads))
