@@ -14,9 +14,45 @@ Two kinds of benchmarks live here:
 Run with: ``pytest benchmarks/ --benchmark-only``.
 """
 
+import time
+
 import pytest
 
 from repro.experiments.common import BenchmarkCache, Profile
+
+try:
+    import pytest_benchmark  # noqa: F401
+    _HAVE_PYTEST_BENCHMARK = True
+except ImportError:  # pragma: no cover - exercised in minimal CI envs
+    _HAVE_PYTEST_BENCHMARK = False
+
+
+class _FallbackBenchmark:
+    """Single-shot stand-in for pytest-benchmark's ``benchmark`` fixture.
+
+    Lets the suite *run* (not just collect) in environments where only
+    numpy and pytest are installed, e.g. the CI image. One timed call,
+    no statistics — good enough for the harness benches, whose value is
+    the paper-shape metrics they print via ``extra_info``.
+    """
+
+    def __init__(self):
+        self.extra_info = {}
+        self.elapsed = None
+
+    def __call__(self, fn, *args, **kwargs):
+        # Host micro-benchmarks measure host wall time by design; this
+        # is the intentional exception to the repro.core.walltime rule.
+        start = time.perf_counter()  # statlint: disable=DET001 (bench fixture times the host on purpose)
+        result = fn(*args, **kwargs)
+        self.elapsed = time.perf_counter() - start  # statlint: disable=DET001 (bench fixture times the host on purpose)
+        return result
+
+
+if not _HAVE_PYTEST_BENCHMARK:
+    @pytest.fixture
+    def benchmark():
+        return _FallbackBenchmark()
 
 #: Micro profile used by harness benches: small enough for CI.
 BENCH_PROFILE = Profile(

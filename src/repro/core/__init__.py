@@ -24,6 +24,7 @@ from .compare import (NEW_EDGE, NEW_HIT_COUNT, NO_NEW_COVERAGE,
 from .errors import (CalibrationError, CampaignConfigError, KeyRangeError,
                      MapFullError, MapSizeError, ReproError, TraceShapeError)
 from .hashing import crc32_full, crc32_trimmed, last_nonzero_index
+from .walltime import Stopwatch, wall_now
 
 __all__ = [
     "AccessLog", "AccessRecord", "NullAccessLog", "Op", "OpCounter",
@@ -37,4 +38,5 @@ __all__ = [
     "CalibrationError", "CampaignConfigError", "KeyRangeError",
     "MapFullError", "MapSizeError", "ReproError", "TraceShapeError",
     "crc32_full", "crc32_trimmed", "last_nonzero_index",
+    "Stopwatch", "wall_now",
 ]

@@ -80,6 +80,24 @@ class InstanceLostError(ReproError, RuntimeError):
     """
 
 
+class InstanceFaultError(ReproError, RuntimeError):
+    """An unplanned exception inside a supervised parallel instance.
+
+    The session supervisor converts arbitrary instance failures into
+    this class (original exception chained as ``__cause__``) instead of
+    swallowing them: the failure enters the fault accounting — restart
+    scheduling, per-instance failure logs, the summary's
+    ``unplanned_failures`` — with its type and message intact.
+    """
+
+    @classmethod
+    def wrap(cls, instance: int, exc: BaseException,
+             during: str = "run") -> "InstanceFaultError":
+        fault = cls(f"instance {instance} ({during}): {exc!r}")
+        fault.__cause__ = exc
+        return fault
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A campaign snapshot/restore operation was invalid.
 

@@ -26,6 +26,10 @@ from ..fuzzer import CampaignConfig, ParallelSession
 from ..target import Executor
 from .common import BenchmarkCache, Profile, get_profile
 
+#: Runner registry id for this experiment (statlint EXP001 keeps the
+#: module, the registry and ORDER consistent).
+EXPERIMENT_ID = "ensemble"
+
 BENCHMARK = "gvn"
 ENSEMBLE_METRICS = ("afl-edge", "ngram3", "afl-edge+context",
                     "trace-pc-guard")

@@ -31,6 +31,10 @@ from ..faults import FaultPlan, RestartPolicy
 from ..fuzzer import CampaignConfig, ParallelSession
 from .common import BenchmarkCache, Profile, get_profile
 
+#: Runner registry id for this experiment (statlint EXP001 keeps the
+#: module, the registry and ORDER consistent).
+EXPERIMENT_ID = "fault-tolerance"
+
 BENCHMARK = "libpng"
 MAP_SIZE = 1 << 21
 N_INSTANCES = 4

@@ -12,6 +12,10 @@ from ..analysis.collision import collision_rate
 from ..analysis.reporting import render_table
 from .common import Profile, get_profile
 
+#: Runner registry id for this experiment (statlint EXP001 keeps the
+#: module, the registry and ORDER consistent).
+EXPERIMENT_ID = "fig2"
+
 #: The figure's axes.
 BITMAP_SIZES: Tuple[int, ...] = tuple(1 << p for p in range(16, 26))
 KEY_COUNTS: Tuple[int, ...] = (5_000, 10_000, 20_000, 50_000, 100_000,

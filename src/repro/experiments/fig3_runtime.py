@@ -19,6 +19,10 @@ from ..analysis.reporting import render_table
 from ..target.benchmarks import FIG3_BENCHMARK_NAMES
 from .common import BenchmarkCache, Profile, get_profile
 
+#: Runner registry id for this experiment (statlint EXP001 keeps the
+#: module, the registry and ORDER consistent).
+EXPERIMENT_ID = "fig3"
+
 #: Figure 3's map sizes.
 FIG3_MAP_SIZES = (1 << 16, 1 << 21, 1 << 23)
 _SIZE_LABELS = {1 << 16: "64k", 1 << 21: "2M", 1 << 23: "8M"}

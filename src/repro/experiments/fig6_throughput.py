@@ -16,6 +16,10 @@ from .common import (MAP_SIZE_LABELS, MAP_SIZES, PAPER_FIG6_AVG_SPEEDUPS,
                      BenchmarkCache, Profile, get_profile,
                      throughput_probe)
 
+#: Runner registry id for this experiment (statlint EXP001 keeps the
+#: module, the registry and ORDER consistent).
+EXPERIMENT_ID = "fig6"
+
 
 def compute(profile: Profile, cache: BenchmarkCache = None,
             benchmarks: List[str] = None) -> Dict[str, Dict[str, Dict[str, float]]]:

@@ -21,6 +21,10 @@ from ..analysis.throughput import arithmetic_mean
 from .common import (MAP_SIZE_LABELS, MAP_SIZES, BenchmarkCache, Profile,
                      discovery_campaign, get_profile)
 
+#: Runner registry id for this experiment (statlint EXP001 keeps the
+#: module, the registry and ORDER consistent).
+EXPERIMENT_ID = "fig7"
+
 #: A readability subset, like the paper's ("not all benchmarks shown"):
 #: two small, one medium, two large.
 FIG7_BENCHMARKS = ("libpng", "proj4", "sqlite3", "gvn", "instcombine")

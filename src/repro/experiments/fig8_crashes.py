@@ -20,6 +20,10 @@ from ..target.benchmarks import FIG8_BENCHMARK_NAMES
 from .common import (MAP_SIZE_LABELS, MAP_SIZES, BenchmarkCache, Profile,
                      discovery_campaign, get_profile)
 
+#: Runner registry id for this experiment (statlint EXP001 keeps the
+#: module, the registry and ORDER consistent).
+EXPERIMENT_ID = "fig8"
+
 
 def compute(profile: Profile, cache: BenchmarkCache = None,
             benchmarks=None) -> Dict[str, Dict[str, Dict[str, float]]]:

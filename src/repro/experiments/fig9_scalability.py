@@ -25,6 +25,10 @@ from ..memsim.contention import InstanceLoad, solve_parallel
 from ..target import TABLE2_BENCHMARKS
 from .common import BenchmarkCache, Profile, get_profile, throughput_probe
 
+#: Runner registry id for this experiment (statlint EXP001 keeps the
+#: module, the registry and ORDER consistent).
+EXPERIMENT_ID = "fig9"
+
 #: Figure 9 fixes the map at 2 MB.
 FIG9_MAP_SIZE = 1 << 21
 INSTANCE_COUNTS: Sequence[int] = tuple(range(1, 13))

@@ -23,12 +23,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 import traceback
 from pathlib import Path
 from typing import Callable, Dict, List
 
 from ..core.errors import ExperimentError
+from ..core.walltime import Stopwatch
 from . import (extra_collafl, extra_dedup_bias, extra_ensemble,
                extra_fault_tolerance, fig2_collision, fig3_runtime,
                fig6_throughput, fig7_edge_coverage, fig8_crashes,
@@ -111,7 +111,9 @@ def main(argv=None) -> int:
 
     if args.list:
         for name in ORDER:
-            print(name)
+            module = sys.modules[EXPERIMENTS[name].__module__]
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<16} {summary}")
         return 0
     if args.resume and args.out is None:
         parser.error("--resume requires --out (it skips by report file)")
@@ -125,11 +127,11 @@ def main(argv=None) -> int:
         if args.resume and (args.out / f"{name}.txt").exists():
             print(f"[skip] {name}: report exists (resume)")
             continue
-        start = time.time()
+        watch = Stopwatch()
         try:
             report = run_experiment(name, profile, cache)
         except ExperimentError as exc:
-            elapsed = time.time() - start
+            elapsed = watch.elapsed()
             failures.append(name)
             print(f"\n{'=' * 72}\n{name}  FAILED after {elapsed:.1f}s"
                   f"\n{'=' * 72}", file=sys.stderr)
@@ -140,7 +142,7 @@ def main(argv=None) -> int:
                       "to run the rest)", file=sys.stderr)
                 return 1
             continue
-        elapsed = time.time() - start
+        elapsed = watch.elapsed()
         banner = (f"\n{'=' * 72}\n{name}  (profile={profile.name}, "
                   f"{elapsed:.1f}s)\n{'=' * 72}")
         print(banner)

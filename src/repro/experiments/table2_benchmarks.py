@@ -17,6 +17,10 @@ from ..analysis.reporting import render_table
 from ..target import TABLE2_BENCHMARKS, generate_program
 from .common import Profile, get_profile
 
+#: Runner registry id for this experiment (statlint EXP001 keeps the
+#: module, the registry and ORDER consistent).
+EXPERIMENT_ID = "table2"
+
 
 def compute(profile: Profile) -> List[dict]:
     rows = []

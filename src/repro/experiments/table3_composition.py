@@ -21,6 +21,10 @@ from ..target import TABLE3_BENCHMARKS
 from .common import (BenchmarkCache, Profile, discovery_campaign,
                      get_profile)
 
+#: Runner registry id for this experiment (statlint EXP001 keeps the
+#: module, the registry and ORDER consistent).
+EXPERIMENT_ID = "table3"
+
 TABLE3_MAP_SIZES = (1 << 16, 1 << 21)
 _LABELS = {1 << 16: "64kB", 1 << 21: "2MB"}
 

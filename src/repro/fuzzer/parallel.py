@@ -41,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..core.errors import CampaignConfigError
+from ..core.errors import CampaignConfigError, InstanceFaultError
 from ..faults import (CORRUPT_SYNC, CRASH, SLOW, STALL, FaultInjector,
                       FaultPlan, RestartPolicy, SessionSupervisor)
 from ..faults.supervisor import DEAD, LOST, RUNNING
@@ -262,8 +262,11 @@ class ParallelSession:
     def _guarded_import(self, i: int, data: bytes) -> None:
         try:
             self.instances[i].import_input(data)
-        except Exception as exc:  # noqa: BLE001 — tolerate any instance
-            self._record_unplanned(i, exc)
+        except Exception as exc:
+            # Chained into the fault taxonomy, not swallowed: the
+            # wrapped cause reaches the failure log and the summary.
+            self._record_unplanned(
+                i, InstanceFaultError.wrap(i, exc, during="sync-import"))
 
     # -- supervision ---------------------------------------------------
 
@@ -285,14 +288,21 @@ class ParallelSession:
         for i in self.supervisor.live_indices():
             self._checkpoints[i] = self._make_checkpoint(i)
 
-    def _record_unplanned(self, i: int, exc: Exception) -> None:
-        message = f"instance {i}: {exc!r}"
-        self._unplanned.append(message)
+    def _record_unplanned(self, i: int,
+                          fault: InstanceFaultError) -> None:
+        """Account an unplanned instance failure.
+
+        ``fault`` carries the original exception as ``__cause__``; its
+        type and message flow into the supervisor's failure log and the
+        summary's ``unplanned_failures`` so nothing is silently lost.
+        """
+        cause = fault.__cause__
+        self._unplanned.append(f"instance {i}: {cause!r}")
         inst = self.instances[i]
         inst.faults_injected += 1
         self.supervisor[i].faults += 1
         self._fail(i, now=min(inst.clock.seconds, self._budget()),
-                   reason=repr(exc),
+                   reason=repr(cause),
                    restorable=self._checkpoints[i] is not None)
 
     def _fail(self, i: int, now: float, reason: str,
@@ -358,8 +368,9 @@ class ParallelSession:
                 health.slow_until = 0.0
             inst.fault_multiplier = 1.0
             inst.step_until(target)
-        except Exception as exc:  # noqa: BLE001 — tolerate any instance
-            self._record_unplanned(i, exc)
+        except Exception as exc:
+            self._record_unplanned(
+                i, InstanceFaultError.wrap(i, exc, during="step"))
 
     def _apply_event(self, i: int, event) -> None:
         inst = self.instances[i]
@@ -455,10 +466,12 @@ class ParallelSession:
         for i, inst in enumerate(self.instances):
             try:
                 inst.start()
-            except Exception as exc:  # noqa: BLE001
+            except Exception as exc:
+                fault = InstanceFaultError.wrap(i, exc, during="start")
                 self._start_errors.append(exc)
-                self._unplanned.append(f"instance {i} (start): {exc!r}")
-                self.supervisor[i].failures.append(f"start: {exc!r}")
+                self._unplanned.append(str(fault))
+                self.supervisor[i].failures.append(
+                    f"start: {fault.__cause__!r}")
                 self.supervisor.mark_lost(i)
         if not self.supervisor.live_indices():
             raise self._start_errors[0]

@@ -1,0 +1,32 @@
+"""repro.statlint — AST-based determinism & consistency linter.
+
+This reproduction's results rest on conventions: all randomness flows
+through seeded generators, all time through :class:`VirtualClock` (and
+host timing through :mod:`repro.core.walltime`), the campaign
+checkpoint covers every mutable field, every experiment is registered
+with the runner. statlint turns those conventions into machine-checked
+CI gates — see DESIGN.md §"Determinism invariants" for the rule
+catalog and rationale.
+
+Public surface::
+
+    python -m repro.statlint src benchmarks examples   # CLI
+    from repro.statlint import lint_paths, LintConfig  # library
+
+Suppress a deliberate violation on its line (justification in
+parentheses)::
+
+    # statlint: disable=RULE (why this is intentional)
+"""
+
+from .config import LintConfig, load_config
+from .engine import Project, SourceFile, lint_paths
+from .findings import Finding, LintResult
+from .registry import RULES, FileRule, ProjectRule, Rule, register
+from . import rules  # noqa: F401 — register the built-in rule set
+
+__all__ = [
+    "Finding", "LintResult", "LintConfig", "load_config",
+    "lint_paths", "Project", "SourceFile",
+    "RULES", "Rule", "FileRule", "ProjectRule", "register",
+]

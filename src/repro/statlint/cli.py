@@ -1,0 +1,75 @@
+"""statlint command line: ``python -m repro.statlint <paths>``.
+
+Exit codes: 0 — clean (no unsuppressed findings); 1 — findings; 2 —
+usage or configuration error. Configuration comes from the nearest
+``pyproject.toml``'s ``[tool.statlint]`` table (or ``--config``); the
+lint root (against which configured path patterns match) is that
+file's directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import rules  # noqa: F401 — ensure the rule set is registered
+from .config import find_pyproject, load_config
+from .engine import lint_paths
+from .report import render_human, render_json, render_rules
+
+
+def _default_paths(root: Path) -> List[str]:
+    candidates = [p for p in ("src", "benchmarks", "examples")
+                  if (root / p).is_dir()]
+    return candidates or ["."]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.statlint",
+        description="Repo-specific determinism & consistency linter.")
+    parser.add_argument("paths", nargs="*", metavar="path",
+                        help="files or directories to lint (default: "
+                             "src benchmarks examples under the root)")
+    parser.add_argument("--config", type=Path, default=None,
+                        help="pyproject.toml to read [tool.statlint] "
+                             "from (default: nearest above cwd)")
+    parser.add_argument("--format", choices=["human", "json"],
+                        default="human", help="report format")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print suppressed findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rules())
+        return 0
+
+    pyproject = args.config or find_pyproject(Path.cwd())
+    try:
+        config = load_config(pyproject)
+    except ValueError as exc:
+        print(f"statlint: bad configuration: {exc}", file=sys.stderr)
+        return 2
+    root = pyproject.parent if pyproject is not None else Path.cwd()
+
+    paths = args.paths or _default_paths(root)
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"statlint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    result = lint_paths([Path(p) for p in paths], config, root=root)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_human(result, show_suppressed=args.show_suppressed))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

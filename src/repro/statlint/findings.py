@@ -1,0 +1,56 @@
+"""Finding records produced by statlint rules.
+
+A :class:`Finding` is one rule violation anchored to a source location.
+Findings sort by location so reports are stable regardless of rule
+execution order, and they carry a ``suppressed`` flag rather than being
+dropped when silenced — reporters can show suppression counts and the
+engine can distinguish "clean" from "clean because suppressed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    suppressed: bool = field(default=False, compare=False)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path, "line": self.line, "col": self.col,
+            "rule": self.rule, "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+    def suppress(self) -> "Finding":
+        return replace(self, suppressed=True)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over a set of files."""
+
+    findings: List[Finding]
+    n_files: int
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings not silenced by a suppression comment."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active

@@ -1,0 +1,60 @@
+"""Static import resolution for rule matching.
+
+Rules match calls by *fully qualified* name (``time.time``,
+``numpy.random.default_rng``), so aliasing must be undone first:
+``import numpy as np`` makes ``np.random.rand`` resolve to
+``numpy.random.rand``, and ``from time import time as now`` makes
+``now()`` resolve to ``time.time``. Resolution is deliberately
+conservative: a name that was never imported resolves to ``None``, so
+a local variable that happens to be called ``random`` cannot trip a
+determinism rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+class ImportMap:
+    """Alias → fully-qualified-name table for one module."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    full = alias.asname and alias.name or local
+                    # `import a.b.c` binds `a`; `import a.b.c as x`
+                    # binds `x` to the full dotted path.
+                    self._aliases[local] = full
+            elif isinstance(node, ast.ImportFrom):
+                # Relative imports keep their dots; suffix-based
+                # matching below still works (`..core.errors` ends in
+                # `core.errors`).
+                module = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully qualified dotted name of an expression, if importable.
+
+        Returns ``None`` for expressions whose root name was not
+        imported (locals, builtins, call results).
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        return self.resolve(call.func)

@@ -1,0 +1,48 @@
+"""Finding reporters: human-readable lines and machine-readable JSON.
+
+The human format is the classic compiler shape (``path:line:col: RULE
+message``) so editors and CI annotations pick locations up for free;
+JSON carries the same records plus run totals for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import LintResult
+from .registry import RULES
+
+
+def render_human(result: LintResult, *, show_suppressed: bool = False) -> str:
+    lines = []
+    for finding in result.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        marker = " (suppressed)" if finding.suppressed else ""
+        lines.append(f"{finding.path}:{finding.line}:{finding.col}: "
+                     f"{finding.rule} {finding.message}{marker}")
+    lines.append(
+        f"{len(result.active)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{result.n_files} file(s) checked")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps({
+        "findings": [f.as_dict() for f in result.findings],
+        "n_active": len(result.active),
+        "n_suppressed": len(result.suppressed),
+        "n_files": result.n_files,
+        "ok": result.ok,
+    }, indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The registered rule catalog (``--list-rules``)."""
+    lines = []
+    for rule_id in sorted(RULES):
+        cls = RULES[rule_id]
+        lines.append(f"{rule_id}  {cls.title}")
+        lines.append(f"        {cls.rationale}")
+    return "\n".join(lines)

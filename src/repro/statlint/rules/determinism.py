@@ -1,0 +1,158 @@
+"""Determinism rules: wall clocks, unseeded randomness, unordered
+iteration.
+
+Every headline number this reproduction regenerates — throughput
+tables, coverage curves, bit-identical checkpoint resume — depends on
+campaigns being pure functions of their configuration. These rules
+turn that convention into a machine check:
+
+* **DET001** — wall-clock reads (``time.time`` and friends) outside
+  the one allowlisted measurement shim (``repro.core.walltime``). Host
+  time leaking into simulated state makes runs unreproducible.
+* **DET002** — unseeded randomness: the stdlib ``random`` module, the
+  legacy ``np.random.*`` module-level API (one hidden global stream),
+  or ``default_rng()`` called without a seed.
+* **DET003** — iterating a ``set`` or ``dict.keys()`` view in modules
+  that render or serialize output. Set order depends on
+  ``PYTHONHASHSEED`` for str/bytes elements, so reports diff across
+  runs; wrap the iterable in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import LintConfig, path_matches
+from ..registry import FileRule, register
+
+#: Wall-clock entry points (DET001). perf_counter/monotonic are also
+#: listed: *all* host timing must flow through the shim so there is
+#: exactly one place to audit.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Legacy numpy module-level random functions backed by a hidden
+#: global ``RandomState`` (DET002).
+NP_LEGACY_RANDOM = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "bytes", "shuffle", "permutation", "seed",
+    "normal", "uniform", "standard_normal", "exponential", "poisson",
+    "binomial", "beta", "gamma",
+})
+
+
+@register
+class WallClockRule(FileRule):
+    id = "DET001"
+    title = "wall-clock read outside the measurement shim"
+    rationale = ("Simulated results must be a function of configuration "
+                 "only; host time may feed nothing but the elapsed-time "
+                 "shim in repro.core.walltime.")
+
+    def check_file(self, source, config: LintConfig) -> Iterator:
+        if path_matches(source.relpath, config.wallclock_allow):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = source.imports.resolve_call(node)
+            if full in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    source.relpath, node.lineno, node.col_offset,
+                    f"wall-clock call {full}() outside the allowlisted "
+                    f"shim; use repro.core.walltime (Stopwatch/wall_now)")
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """No positional seed and no seed= keyword (or an explicit None)."""
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            return (isinstance(keyword.value, ast.Constant) and
+                    keyword.value.value is None)
+    return True
+
+
+@register
+class UnseededRandomRule(FileRule):
+    id = "DET002"
+    title = "unseeded or globally-seeded randomness"
+    rationale = ("All randomness must flow through seeded "
+                 "np.random.Generator objects so campaigns replay "
+                 "bit-identically.")
+
+    def check_file(self, source, config: LintConfig) -> Iterator:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = source.imports.resolve_call(node)
+            if full is None:
+                continue
+            if full.startswith("random.") and full.count(".") == 1:
+                yield self.finding(
+                    source.relpath, node.lineno, node.col_offset,
+                    f"stdlib {full}() uses the global random stream; "
+                    f"use a seeded np.random.Generator")
+            elif (full.startswith("numpy.random.") and
+                    full.rsplit(".", 1)[-1] in NP_LEGACY_RANDOM):
+                yield self.finding(
+                    source.relpath, node.lineno, node.col_offset,
+                    f"legacy {full}() draws from numpy's hidden global "
+                    f"state; use a seeded np.random.Generator")
+            elif (full in ("numpy.random.default_rng",
+                           "numpy.random.RandomState") and
+                    _is_unseeded(node)):
+                yield self.finding(
+                    source.relpath, node.lineno, node.col_offset,
+                    f"{full}() without a seed is entropy-seeded; pass "
+                    f"an explicit seed")
+
+
+def _is_unordered_iterable(node: ast.AST) -> bool:
+    """Set literals/calls and dict-view ``.keys()`` calls."""
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return True
+    return False
+
+
+@register
+class UnorderedIterationRule(FileRule):
+    id = "DET003"
+    title = "unordered iteration feeding rendered/serialized output"
+    rationale = ("Set iteration order varies with PYTHONHASHSEED; "
+                 "output paths must iterate sorted(...) so reports and "
+                 "JSON records are byte-stable across runs.")
+
+    def check_file(self, source, config: LintConfig) -> Iterator:
+        if not path_matches(source.relpath, config.det003_paths):
+            return
+        iterables = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.For):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+        for it in iterables:
+            if _is_unordered_iterable(it):
+                kind = ("set" if isinstance(it, ast.Set) or (
+                    isinstance(it, ast.Call) and
+                    isinstance(it.func, ast.Name)) else "dict.keys()")
+                yield self.finding(
+                    source.relpath, it.lineno, it.col_offset,
+                    f"iterating a {kind} in an output path; wrap the "
+                    f"iterable in sorted(...) for stable ordering")

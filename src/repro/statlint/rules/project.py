@@ -1,0 +1,263 @@
+"""Cross-module consistency rules.
+
+These rules read *several* modules and check that hand-maintained
+parallel structures have not drifted:
+
+* **SNAP001** — the checkpoint must cover the campaign's mutable
+  state. ``repro.fuzzer.checkpoint.snapshot_campaign`` lists campaign
+  attributes by hand; ``Campaign.__init__``/``start`` grow new ones
+  over time. A field assigned in the campaign but neither captured by
+  the snapshot nor declared exempt (``snapshot-exempt`` in
+  ``[tool.statlint]``) would silently break bit-identical resume — the
+  property PR 2's supervisor relies on. Drift is flagged in *both*
+  directions: uncovered mutable fields, and stale exemptions (exempt
+  fields that are captured after all, or no longer exist).
+* **EXP001** — every experiment module (``fig*``, ``table*``,
+  ``extra_*``) must be registered in the runner's ``EXPERIMENTS``
+  dict, appear in ``ORDER``, and declare its metadata: a module
+  docstring, a top-level ``run`` callable, and an ``EXPERIMENT_ID``
+  constant equal to its registry key (what ``--list`` prints).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from ..config import LintConfig
+from ..registry import ProjectRule, register
+
+
+def _class_def(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _function_def(tree: ast.Module, name: str):
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef,
+                             ast.AsyncFunctionDef)) and node.name == name:
+            return node
+    return None
+
+
+def _self_assignments(func) -> Dict[str, int]:
+    """``self.<attr>`` assignment targets → first line assigned."""
+    out: Dict[str, int] = {}
+    targets = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            targets.extend((t, node.lineno) for t in node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets.append((node.target, node.lineno))
+    for target, lineno in targets:
+        if (isinstance(target, ast.Attribute) and
+                isinstance(target.value, ast.Name) and
+                target.value.id == "self"):
+            out.setdefault(target.attr, lineno)
+    return out
+
+
+def _param_attribute_reads(func, param: str) -> Set[str]:
+    """First-level attributes read off ``param`` inside ``func``,
+    including ``getattr(param, "name", ...)`` forms."""
+    reads: Set[str] = set()
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Attribute) and
+                isinstance(node.value, ast.Name) and
+                node.value.id == param):
+            reads.add(node.attr)
+        elif (isinstance(node, ast.Call) and
+                isinstance(node.func, ast.Name) and
+                node.func.id == "getattr" and len(node.args) >= 2 and
+                isinstance(node.args[0], ast.Name) and
+                node.args[0].id == param and
+                isinstance(node.args[1], ast.Constant)):
+            reads.add(str(node.args[1].value))
+    return reads
+
+
+@register
+class SnapshotCoverageRule(ProjectRule):
+    id = "SNAP001"
+    title = "checkpoint snapshot does not cover campaign state"
+    rationale = ("snapshot_campaign() lists fields by hand; a Campaign "
+                 "attribute it misses breaks bit-identical resume "
+                 "silently. Exemptions live in [tool.statlint] "
+                 "snapshot-exempt with a justification comment.")
+
+    #: Hard-coded structural names (class/function under diff).
+    campaign_class = "Campaign"
+    snapshot_function = "snapshot_campaign"
+
+    def check_project(self, project, config: LintConfig) -> Iterator:
+        campaign = project.find(config.campaign_path)
+        checkpoint = project.find(config.checkpoint_path)
+        if campaign is None or checkpoint is None:
+            return
+
+        cls = _class_def(campaign.tree, self.campaign_class)
+        snap = _function_def(checkpoint.tree, self.snapshot_function)
+        if cls is None:
+            yield self.finding(
+                campaign.relpath, 1, 0,
+                f"class {self.campaign_class} not found; SNAP001 "
+                f"cannot verify snapshot coverage")
+            return
+        if snap is None:
+            yield self.finding(
+                checkpoint.relpath, 1, 0,
+                f"function {self.snapshot_function} not found; SNAP001 "
+                f"cannot verify snapshot coverage")
+            return
+
+        assigned: Dict[str, int] = {}
+        for method_name in config.snapshot_methods:
+            method = next(
+                (n for n in cls.body
+                 if isinstance(n, ast.FunctionDef) and
+                 n.name == method_name), None)
+            if method is not None:
+                for attr, lineno in _self_assignments(method).items():
+                    assigned.setdefault(attr, lineno)
+
+        param = snap.args.args[0].arg if snap.args.args else "campaign"
+        captured = _param_attribute_reads(snap, param)
+        exempt = set(config.snapshot_exempt)
+
+        for attr in sorted(assigned):
+            if attr in captured or attr in exempt:
+                continue
+            yield self.finding(
+                campaign.relpath, assigned[attr], 0,
+                f"mutable campaign field 'self.{attr}' is not captured "
+                f"by {self.snapshot_function}() and not declared in "
+                f"snapshot-exempt; resume would silently drop it")
+        for attr in sorted(exempt & captured):
+            yield self.finding(
+                checkpoint.relpath, snap.lineno, 0,
+                f"snapshot-exempt field {attr!r} IS captured by "
+                f"{self.snapshot_function}(); remove the stale "
+                f"exemption")
+        for attr in sorted(exempt - set(assigned)):
+            yield self.finding(
+                campaign.relpath, 1, 0,
+                f"snapshot-exempt field {attr!r} is never assigned in "
+                f"{self.campaign_class}; remove the stale exemption")
+
+
+def _experiments_registry(tree: ast.Module):
+    """Statically read ``EXPERIMENTS = {"name": module.run, ...}``
+    and ``ORDER = ("name", ...)`` from the runner module."""
+    registry: Dict[str, str] = {}
+    order = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            names = [t.id for t in node.targets
+                     if isinstance(t, ast.Name)]
+        elif (isinstance(node, ast.AnnAssign) and
+                isinstance(node.target, ast.Name) and
+                node.value is not None):
+            names = [node.target.id]
+        else:
+            continue
+        if "EXPERIMENTS" in names and isinstance(node.value, ast.Dict):
+            for key, value in zip(node.value.keys, node.value.values):
+                if not isinstance(key, ast.Constant):
+                    continue
+                if (isinstance(value, ast.Attribute) and
+                        isinstance(value.value, ast.Name)):
+                    registry[str(key.value)] = value.value.id
+        elif "ORDER" in names and isinstance(node.value, (ast.Tuple,
+                                                          ast.List)):
+            order = [e.value for e in node.value.elts
+                     if isinstance(e, ast.Constant)]
+    return registry, order
+
+
+def _module_constant(tree: ast.Module, name: str):
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    if isinstance(node.value, ast.Constant):
+                        return node.value.value
+    return None
+
+
+_EXPERIMENT_PATTERNS = ("fig", "table", "extra_")
+
+
+@register
+class ExperimentRegistryRule(ProjectRule):
+    id = "EXP001"
+    title = "experiment module not registered or missing metadata"
+    rationale = ("An experiment outside the runner registry never runs "
+                 "in CI and silently rots; EXPERIMENT_ID + docstring + "
+                 "run() are the metadata contract the runner and "
+                 "--list rely on.")
+
+    def check_project(self, project, config: LintConfig) -> Iterator:
+        runner = project.find(config.runner_path)
+        if runner is None:
+            return
+        registry, order = _experiments_registry(runner.tree)
+        if not registry:
+            yield self.finding(
+                runner.relpath, 1, 0,
+                "EXPERIMENTS dict not statically readable; EXP001 "
+                "cannot verify the registry")
+            return
+        module_to_key = {mod: key for key, mod in registry.items()}
+
+        runner_dir = "/".join(
+            runner.relpath.replace("\\", "/").split("/")[:-1])
+        for source in project.files:
+            normalized = source.relpath.replace("\\", "/")
+            parent, _, filename = normalized.rpartition("/")
+            if parent != runner_dir or not filename.endswith(".py"):
+                continue
+            stem = filename[:-3]
+            if not stem.startswith(_EXPERIMENT_PATTERNS):
+                continue
+            if stem not in module_to_key:
+                yield self.finding(
+                    source.relpath, 1, 0,
+                    f"experiment module {stem!r} is not registered in "
+                    f"the runner's EXPERIMENTS dict")
+                continue
+            key = module_to_key[stem]
+            declared = _module_constant(source.tree, "EXPERIMENT_ID")
+            if declared is None:
+                yield self.finding(
+                    source.relpath, 1, 0,
+                    f"experiment module {stem!r} does not declare "
+                    f"EXPERIMENT_ID (expected {key!r})")
+            elif declared != key:
+                yield self.finding(
+                    source.relpath, 1, 0,
+                    f"EXPERIMENT_ID {declared!r} does not match the "
+                    f"runner registry key {key!r}")
+            if ast.get_docstring(source.tree) is None:
+                yield self.finding(
+                    source.relpath, 1, 0,
+                    f"experiment module {stem!r} has no module "
+                    f"docstring (required metadata)")
+            if _function_def(source.tree, "run") is None:
+                yield self.finding(
+                    source.relpath, 1, 0,
+                    f"experiment module {stem!r} has no top-level "
+                    f"run() entry point")
+            if key not in order:
+                yield self.finding(
+                    runner.relpath, 1, 0,
+                    f"experiment {key!r} is registered but missing "
+                    f"from ORDER (never runs under 'all')")
+        for key in order:
+            if key not in registry:
+                yield self.finding(
+                    runner.relpath, 1, 0,
+                    f"ORDER entry {key!r} is not in the EXPERIMENTS "
+                    f"registry")

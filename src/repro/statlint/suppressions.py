@@ -1,0 +1,58 @@
+"""Per-line lint suppressions.
+
+A finding is silenced by a suppression comment naming its rule::
+
+    start = time.time()  # statlint: disable=DET001 (host-side timing)
+
+The directive applies to its own physical line; a comment-only line
+additionally covers the line below it, so multi-line statements can be
+suppressed without trailing-comment gymnastics::
+
+    # statlint: disable=NUM001 (counts are bounded by the batch size)
+    total = counters[slots] + summed
+
+``disable=all`` silences every rule on the covered line, and
+``disable-file=RULE`` (on a comment-only line) silences a rule for the
+whole file. The parenthesized justification is optional but encouraged;
+CI reviews read the suppression, not the commit message.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Set
+
+_DIRECTIVE = re.compile(
+    r"#\s*statlint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)")
+
+#: Wildcard accepted in place of a rule list.
+ALL = "all"
+
+
+class SuppressionIndex:
+    """Maps source lines to the rule ids suppressed on them."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+        self._file_wide: Set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _DIRECTIVE.search(text)
+            if match is None:
+                continue
+            rules = {r.strip().upper() if r.strip() != ALL else ALL
+                     for r in match.group("rules").split(",")}
+            if match.group("scope"):
+                self._file_wide |= rules
+                continue
+            self._by_line.setdefault(lineno, set()).update(rules)
+            if text.lstrip().startswith("#"):
+                # Comment-only line: also covers the statement below.
+                self._by_line.setdefault(lineno + 1, set()).update(rules)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rule = rule.upper()
+        for scope in (self._file_wide, self._by_line.get(line, ())):
+            if rule in scope or ALL in scope:
+                return True
+        return False

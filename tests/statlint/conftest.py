@@ -1,0 +1,27 @@
+"""Fixtures for the statlint tests: lint small synthetic trees.
+
+Rule tests write fixture snippets into ``tmp_path`` and run the real
+engine over them, so they exercise file collection, import resolution
+and suppression handling — not just the rule visitors in isolation.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.statlint import LintConfig, lint_paths
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` under tmp_path and lint the tree."""
+
+    def run(files, config=None):
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return lint_paths([tmp_path], config or LintConfig(),
+                          root=tmp_path)
+
+    return run

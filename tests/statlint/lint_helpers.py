@@ -1,0 +1,12 @@
+"""Shared helpers for the statlint tests (importable without a
+package: pytest adds this directory to sys.path for rootless tests)."""
+
+from pathlib import Path
+
+#: The repository root (tests/statlint/ is two levels down).
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def rules_fired(result):
+    """Sorted active (unsuppressed) rule ids in a LintResult."""
+    return sorted({f.rule for f in result.active})

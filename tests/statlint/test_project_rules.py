@@ -1,0 +1,203 @@
+"""SNAP001/EXP001: cross-module drift between hand-maintained
+structures — campaign state vs checkpoint snapshot, experiment modules
+vs the runner registry."""
+
+from repro.statlint import LintConfig
+
+from lint_helpers import rules_fired
+
+#: A minimal campaign/checkpoint pair with full snapshot coverage.
+CAMPAIGN_OK = """\
+    class Campaign:
+        def __init__(self, config):
+            self.config = config
+            self.execs = 0
+            self.hangs = 0
+
+        def start(self):
+            self.model = object()
+    """
+
+CHECKPOINT_OK = """\
+    def snapshot_campaign(campaign):
+        return {
+            "execs": campaign.execs,
+            "hangs": campaign.hangs,
+            "model": campaign.model,
+        }
+    """
+
+SNAP_CONFIG = LintConfig(
+    enable=("SNAP001",),
+    snapshot_exempt=("config",),
+    snapshot_methods=("__init__", "start"),
+    campaign_path="repro/fuzzer/campaign.py",
+    checkpoint_path="repro/fuzzer/checkpoint.py")
+
+
+def snap_tree(campaign=CAMPAIGN_OK, checkpoint=CHECKPOINT_OK):
+    return {"repro/fuzzer/campaign.py": campaign,
+            "repro/fuzzer/checkpoint.py": checkpoint}
+
+
+class TestSnapshotCoverage:
+    def test_full_coverage_is_clean(self, lint_tree):
+        result = lint_tree(snap_tree(), config=SNAP_CONFIG)
+        assert rules_fired(result) == []
+
+    def test_uncovered_field_fires(self, lint_tree):
+        # Deliberately drop one captured field from the snapshot.
+        omitted = CHECKPOINT_OK.replace(
+            '            "hangs": campaign.hangs,\n', "")
+        assert omitted != CHECKPOINT_OK
+        result = lint_tree(snap_tree(checkpoint=omitted),
+                           config=SNAP_CONFIG)
+        assert rules_fired(result) == ["SNAP001"]
+        (finding,) = result.active
+        assert "'self.hangs'" in finding.message
+        assert finding.path.endswith("campaign.py")
+
+    def test_new_campaign_field_fires(self, lint_tree):
+        # The symmetric drift: Campaign grows a field the snapshot
+        # (and the exempt list) never heard of.
+        grown = (CAMPAIGN_OK.rstrip() +
+                 "\n            self.restarts = 0\n")
+        result = lint_tree(snap_tree(campaign=grown),
+                           config=SNAP_CONFIG)
+        assert rules_fired(result) == ["SNAP001"]
+        assert "'self.restarts'" in result.active[0].message
+
+    def test_exempt_field_is_clean(self, lint_tree):
+        grown = (CAMPAIGN_OK.rstrip() +
+                 "\n            self.restarts = 0\n")
+        exempting = LintConfig(
+            enable=SNAP_CONFIG.enable,
+            snapshot_exempt=("config", "restarts"),
+            snapshot_methods=SNAP_CONFIG.snapshot_methods)
+        result = lint_tree(snap_tree(campaign=grown), config=exempting)
+        assert rules_fired(result) == []
+
+    def test_getattr_read_counts_as_captured(self, lint_tree):
+        omitted = CHECKPOINT_OK.replace(
+            '            "hangs": campaign.hangs,\n',
+            '            "hangs": getattr(campaign, "hangs", 0),\n')
+        assert omitted != CHECKPOINT_OK
+        result = lint_tree(snap_tree(checkpoint=omitted),
+                           config=SNAP_CONFIG)
+        assert rules_fired(result) == []
+
+    def test_stale_exemption_captured_field_fires(self, lint_tree):
+        # "execs" is exempt AND captured: the exemption is stale.
+        stale = LintConfig(
+            enable=SNAP_CONFIG.enable,
+            snapshot_exempt=("config", "execs"),
+            snapshot_methods=SNAP_CONFIG.snapshot_methods)
+        result = lint_tree(snap_tree(), config=stale)
+        assert rules_fired(result) == ["SNAP001"]
+        (finding,) = result.active
+        assert "stale" in finding.message
+        assert finding.path.endswith("checkpoint.py")
+
+    def test_stale_exemption_unknown_field_fires(self, lint_tree):
+        stale = LintConfig(
+            enable=SNAP_CONFIG.enable,
+            snapshot_exempt=("config", "never_existed"),
+            snapshot_methods=SNAP_CONFIG.snapshot_methods)
+        result = lint_tree(snap_tree(), config=stale)
+        assert rules_fired(result) == ["SNAP001"]
+        assert "never_existed" in result.active[0].message
+
+
+RUNNER_OK = """\
+    from . import fig1_demo
+
+    EXPERIMENTS = {
+        "fig1": fig1_demo.run,
+    }
+
+    ORDER = ("fig1",)
+    """
+
+EXPERIMENT_OK = '''\
+    """Demo experiment."""
+
+    EXPERIMENT_ID = "fig1"
+
+
+    def run(profile):
+        return "report"
+    '''
+
+EXP_CONFIG = LintConfig(enable=("EXP001",),
+                        runner_path="repro/experiments/runner.py")
+
+
+def exp_tree(runner=RUNNER_OK, experiment=EXPERIMENT_OK,
+             module="fig1_demo.py"):
+    return {"repro/experiments/runner.py": runner,
+            f"repro/experiments/{module}": experiment}
+
+
+class TestExperimentRegistry:
+    def test_registered_with_metadata_is_clean(self, lint_tree):
+        result = lint_tree(exp_tree(), config=EXP_CONFIG)
+        assert rules_fired(result) == []
+
+    def test_unregistered_module_fires(self, lint_tree):
+        result = lint_tree(exp_tree(module="fig2_orphan.py"),
+                           config=EXP_CONFIG)
+        assert rules_fired(result) == ["EXP001"]
+        assert "not registered" in result.active[0].message
+
+    def test_missing_experiment_id_fires(self, lint_tree):
+        stripped = EXPERIMENT_OK.replace(
+            '    EXPERIMENT_ID = "fig1"\n', "")
+        result = lint_tree(exp_tree(experiment=stripped),
+                           config=EXP_CONFIG)
+        assert rules_fired(result) == ["EXP001"]
+        assert "EXPERIMENT_ID" in result.active[0].message
+
+    def test_mismatched_experiment_id_fires(self, lint_tree):
+        renamed = EXPERIMENT_OK.replace('"fig1"', '"fig99"')
+        result = lint_tree(exp_tree(experiment=renamed),
+                           config=EXP_CONFIG)
+        assert rules_fired(result) == ["EXP001"]
+        assert "does not match" in result.active[0].message
+
+    def test_missing_docstring_fires(self, lint_tree):
+        undocumented = EXPERIMENT_OK.replace(
+            '    """Demo experiment."""\n', "")
+        result = lint_tree(exp_tree(experiment=undocumented),
+                           config=EXP_CONFIG)
+        assert rules_fired(result) == ["EXP001"]
+        assert "docstring" in result.active[0].message
+
+    def test_missing_run_fires(self, lint_tree):
+        runless = EXPERIMENT_OK.replace("def run(", "def make(")
+        result = lint_tree(exp_tree(experiment=runless),
+                           config=EXP_CONFIG)
+        assert rules_fired(result) == ["EXP001"]
+        assert "run()" in result.active[0].message
+
+    def test_registered_but_not_in_order_fires(self, lint_tree):
+        no_order = RUNNER_OK.replace('    ORDER = ("fig1",)\n',
+                                     "    ORDER = ()\n")
+        result = lint_tree(exp_tree(runner=no_order), config=EXP_CONFIG)
+        assert rules_fired(result) == ["EXP001"]
+        assert "ORDER" in result.active[0].message
+
+    def test_order_entry_without_registration_fires(self, lint_tree):
+        extra_order = RUNNER_OK.replace('ORDER = ("fig1",)',
+                                        'ORDER = ("fig1", "ghost")')
+        result = lint_tree(exp_tree(runner=extra_order),
+                           config=EXP_CONFIG)
+        assert rules_fired(result) == ["EXP001"]
+        assert "ghost" in result.active[0].message
+
+    def test_annotated_registry_is_readable(self, lint_tree):
+        # The real runner declares EXPERIMENTS with a type annotation.
+        annotated = RUNNER_OK.replace(
+            "EXPERIMENTS = {",
+            "EXPERIMENTS: dict = {")
+        result = lint_tree(exp_tree(runner=annotated), config=EXP_CONFIG)
+        assert rules_fired(result) == []

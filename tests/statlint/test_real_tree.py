@@ -1,0 +1,112 @@
+"""Acceptance: the linter over the *real* repository tree.
+
+The shipped tree must lint clean, and seeding a violation — removing
+one field from the real ``snapshot_campaign`` — must turn the run red.
+These tests drive the CLI entry point end to end (config discovery,
+exit codes, reporting) rather than calling the engine directly.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.statlint import load_config
+from repro.statlint.cli import main
+
+from lint_helpers import REPO_ROOT
+
+SRC = REPO_ROOT / "src"
+
+
+@pytest.fixture(scope="module")
+def repo_config():
+    return load_config(REPO_ROOT / "pyproject.toml")
+
+
+def test_shipped_tree_is_clean(capsys):
+    paths = [str(REPO_ROOT / p) for p in ("src", "benchmarks", "examples")
+             if (REPO_ROOT / p).is_dir()]
+    code = main(["--config", str(REPO_ROOT / "pyproject.toml"), *paths])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_shipped_tree_json_report(capsys):
+    code = main(["--config", str(REPO_ROOT / "pyproject.toml"),
+                 "--format", "json", str(SRC / "repro" / "fuzzer")])
+    report = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert report["ok"] is True
+    assert report["n_active"] == 0
+    assert report["n_files"] > 5
+
+
+@pytest.fixture
+def mutated_tree(tmp_path):
+    """A copy of the lint-relevant sources with one snapshot field
+    (``execs``) deliberately dropped from ``snapshot_campaign``."""
+    root = tmp_path / "tree"
+    shutil.copytree(SRC / "repro" / "fuzzer", root / "repro" / "fuzzer")
+    shutil.copytree(SRC / "repro" / "experiments",
+                    root / "repro" / "experiments")
+    checkpoint = root / "repro" / "fuzzer" / "checkpoint.py"
+    source = checkpoint.read_text()
+    mutated = source.replace("        execs=campaign.execs,\n", "")
+    assert mutated != source, "snapshot no longer reads campaign.execs"
+    checkpoint.write_text(mutated)
+    # The real [tool.statlint] table governs the mutated copy too.
+    shutil.copy(REPO_ROOT / "pyproject.toml", tmp_path / "pyproject.toml")
+    return tmp_path
+
+
+def test_omitted_snapshot_field_fails_the_lint(mutated_tree, capsys):
+    code = main(["--config", str(mutated_tree / "pyproject.toml"),
+                 str(mutated_tree / "tree")])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SNAP001" in out
+    assert "'self.execs'" in out
+
+
+def test_seeded_wallclock_violation_fails_the_lint(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nstart = time.time()\n")
+    code = main(["--config", str(REPO_ROOT / "pyproject.toml"),
+                 str(bad)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET001" in out
+
+
+def test_list_rules_catalog(capsys):
+    code = main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule_id in ("DET001", "DET002", "DET003", "ERR001", "NUM001",
+                    "SNAP001", "EXP001"):
+        assert rule_id in out
+
+
+def test_missing_path_is_a_usage_error(capsys):
+    code = main(["--config", str(REPO_ROOT / "pyproject.toml"),
+                 str(REPO_ROOT / "no-such-dir")])
+    assert code == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_bad_config_key_is_a_config_error(tmp_path, capsys):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.statlint]\nno-such-option = true\n")
+    (tmp_path / "empty.py").write_text("")
+    code = main(["--config", str(pyproject), str(tmp_path / "empty.py")])
+    assert code == 2
+    assert "bad configuration" in capsys.readouterr().err
+
+
+def test_repo_config_lists_every_rule(repo_config):
+    assert set(repo_config.enable) == {
+        "DET001", "DET002", "DET003", "ERR001", "NUM001", "SNAP001",
+        "EXP001"}
+    assert "repro/core/walltime.py" in repo_config.wallclock_allow

@@ -1,0 +1,129 @@
+"""Suppression-directive parsing and [tool.statlint] config loading."""
+
+import pytest
+
+from repro.statlint import LintConfig
+from repro.statlint.config import config_from_table, path_matches
+from repro.statlint.suppressions import SuppressionIndex
+
+from lint_helpers import rules_fired
+
+
+class TestSuppressionIndex:
+    def test_same_line_directive(self):
+        index = SuppressionIndex(
+            "x = 1\ny = time.time()  # statlint: disable=DET001 (why)\n")
+        assert index.is_suppressed("DET001", 2)
+        assert not index.is_suppressed("DET001", 1)
+        assert not index.is_suppressed("DET002", 2)
+
+    def test_comment_only_line_covers_next_line(self):
+        index = SuppressionIndex(
+            "# statlint: disable=NUM001 (bounded)\ntotal = a + b\n")
+        assert index.is_suppressed("NUM001", 1)
+        assert index.is_suppressed("NUM001", 2)
+        assert not index.is_suppressed("NUM001", 3)
+
+    def test_trailing_directive_does_not_leak_to_next_line(self):
+        index = SuppressionIndex(
+            "y = time.time()  # statlint: disable=DET001\nz = 2\n")
+        assert not index.is_suppressed("DET001", 2)
+
+    def test_multiple_rules_and_case(self):
+        index = SuppressionIndex(
+            "pass  # statlint: disable=det001, NUM001\n")
+        assert index.is_suppressed("DET001", 1)
+        assert index.is_suppressed("num001", 1)
+        assert not index.is_suppressed("ERR001", 1)
+
+    def test_all_wildcard(self):
+        index = SuppressionIndex("pass  # statlint: disable=all\n")
+        assert index.is_suppressed("DET001", 1)
+        assert index.is_suppressed("SNAP001", 1)
+
+    def test_file_wide_directive(self):
+        index = SuppressionIndex(
+            "# statlint: disable-file=DET002\nimport random\n")
+        assert index.is_suppressed("DET002", 40)
+
+    def test_non_directive_comments_are_ignored(self):
+        index = SuppressionIndex("# just a note about DET001\n")
+        assert not index.is_suppressed("DET001", 1)
+
+
+class TestEngineSuppression:
+    def test_file_wide_suppression(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            # statlint: disable-file=DET002 (interactive demo)
+            import random
+
+            def a():
+                return random.random()
+
+            def b():
+                return random.choice([1, 2])
+            """})
+        assert rules_fired(result) == []
+        assert len(result.suppressed) == 2
+
+    def test_suppressed_findings_keep_their_location(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            import time
+
+            t = time.time()  # statlint: disable=DET001 (why)
+            """})
+        (finding,) = result.suppressed
+        assert (finding.rule, finding.line) == ("DET001", 3)
+        assert not result.active
+        assert result.ok
+
+    def test_syntax_error_is_an_unsuppressible_finding(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            # statlint: disable-file=all
+            def broken(:
+            """})
+        assert rules_fired(result) == ["SYNTAX"]
+
+
+class TestConfig:
+    def test_defaults_enable_every_rule(self):
+        config = LintConfig()
+        assert config.rule_enabled("DET001")
+        assert config.rule_enabled("ANYTHING")
+
+    def test_enable_list_restricts(self):
+        config = LintConfig(enable=("DET001",))
+        assert config.rule_enabled("DET001")
+        assert not config.rule_enabled("DET002")
+
+    def test_kebab_and_snake_keys(self):
+        config = config_from_table({
+            "wallclock-allow": ["a.py"], "snapshot_exempt": ["x"]})
+        assert config.wallclock_allow == ("a.py",)
+        assert config.snapshot_exempt == ("x",)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="no-such"):
+            config_from_table({"no-such": 1})
+
+    def test_scalar_string_becomes_tuple(self):
+        config = config_from_table({"enable": "DET001"})
+        assert config.enable == ("DET001",)
+
+    def test_path_matches_at_any_depth(self):
+        assert path_matches("src/repro/core/walltime.py",
+                            ["repro/core/walltime.py"])
+        assert path_matches("repro/core/walltime.py",
+                            ["repro/core/walltime.py"])
+        assert not path_matches("repro/core/clock.py",
+                                ["repro/core/walltime.py"])
+        assert path_matches("src/repro/analysis/tables.py",
+                            ["*/analysis/*"])
+
+    def test_exclude_skips_files(self, lint_tree):
+        result = lint_tree({"skipme/mod.py": """\
+            import time
+            t = time.time()
+            """}, config=LintConfig(exclude=("skipme/*",)))
+        assert result.findings == []
+        assert result.n_files == 0
