@@ -7,6 +7,15 @@ poking at configurations without writing a script::
     repro-fuzz sqlite3 --fuzzer bigmap --map-size 2M --budget 30
     repro-fuzz gvn --lafintel --metric ngram3 --scale 0.1
     repro-fuzz libpng --instances 4 --map-size 2M
+
+With ``--telemetry-dir DIR`` the campaign also flushes structured
+telemetry (events.jsonl, fuzzer_stats, plot_data, metrics.json) into
+DIR — per-instance subdirectories for parallel sessions. The pseudo
+benchmark ``telemetry`` renders a status view over a previously
+flushed directory::
+
+    repro-fuzz zlib --telemetry-dir /tmp/t
+    repro-fuzz telemetry --telemetry-dir /tmp/t
 """
 
 from __future__ import annotations
@@ -74,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "overhead)")
     parser.add_argument("--instances", type=int, default=1,
                         help="parallel instances (master-secondary)")
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="flush telemetry artifacts into DIR; with "
+                             "the pseudo benchmark 'telemetry', render "
+                             "a status view over DIR instead")
     parser.add_argument("--list-benchmarks", action="store_true",
                         help="list benchmark names and exit")
     return parser
@@ -95,6 +108,14 @@ def main(argv=None) -> int:
         return 0
     args = parser.parse_args(argv)
 
+    if args.benchmark == "telemetry":
+        if args.telemetry_dir is None:
+            parser.error("the 'telemetry' status view requires "
+                         "--telemetry-dir DIR")
+        from .telemetry.introspect import render_tree
+        print(render_tree(args.telemetry_dir))
+        return 0
+
     try:
         get_benchmark(args.benchmark)
     except KeyError as exc:
@@ -109,7 +130,15 @@ def main(argv=None) -> int:
         trim_seeds=args.trim, persistent_mode=not args.fork_mode)
 
     if args.instances > 1:
-        summary = ParallelSession(config, args.instances).run()
+        session_telemetry = None
+        if args.telemetry_dir is not None:
+            from .telemetry.recorder import SessionTelemetry
+            session_telemetry = SessionTelemetry()
+        summary = ParallelSession(config, args.instances,
+                                  telemetry=session_telemetry).run()
+        if session_telemetry is not None:
+            session_telemetry.flush(args.telemetry_dir)
+            print(f"telemetry artifacts: {args.telemetry_dir}")
         _print_summary(
             f"{args.benchmark} x{args.instances} ({args.fuzzer}, "
             f"{args.map_size:,} B map)",
@@ -121,7 +150,14 @@ def main(argv=None) -> int:
               f"{summary.mean_slowdown:.2f}x")])
         return 0
 
-    result = run_campaign(config)
+    recorder = None
+    if args.telemetry_dir is not None:
+        from .telemetry.recorder import TelemetryRecorder
+        recorder = TelemetryRecorder(instance=0)
+    result = run_campaign(config, telemetry=recorder)
+    if recorder is not None:
+        recorder.flush(args.telemetry_dir)
+        print(f"telemetry artifacts: {args.telemetry_dir}")
     rows = [
         ("executions", f"{result.execs:,}"),
         ("virtual time", f"{result.virtual_seconds:.1f}s "

@@ -107,6 +107,18 @@ class CheckpointError(ReproError, RuntimeError):
     """
 
 
+class TelemetryError(ReproError, ValueError):
+    """A telemetry record violated the event schema or metric contract.
+
+    Raised when an event is emitted with an unknown kind or a payload
+    that does not match :data:`repro.telemetry.events.EVENT_SCHEMA`, or
+    when a metric is re-registered with incompatible parameters.
+    Producer-side validation keeps the JSONL stream schema-valid by
+    construction; consumers re-validate with
+    :func:`repro.telemetry.events.validate_event`.
+    """
+
+
 class ExperimentError(ReproError, RuntimeError):
     """An experiment harness failed while regenerating a report.
 

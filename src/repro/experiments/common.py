@@ -15,12 +15,14 @@ figure of the paper. They share:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..fuzzer import Campaign, CampaignConfig
 from ..fuzzer.stats import CampaignResult
 from ..target import BuiltBenchmark, get_benchmark
+from ..telemetry.recorder import TelemetryRecorder
 
 #: The paper's map sizes (§V-B).
 MAP_SIZES: Tuple[int, ...] = (1 << 16, 1 << 18, 1 << 21, 1 << 23)
@@ -87,6 +89,67 @@ def get_profile(name: str) -> Profile:
                          f"{', '.join(PROFILES)}") from None
 
 
+class TelemetryContext:
+    """Process-wide telemetry switch for the experiment harnesses.
+
+    The figure modules call :func:`throughput_probe` and
+    :func:`discovery_campaign` through many layers; rather than thread
+    a recorder argument through every experiment signature, the runner
+    activates this context (``--telemetry-dir``) and the two campaign
+    helpers consult it. Each campaign gets its own recorder and flushes
+    its artifacts into a sequence-numbered directory under the root —
+    the sequence number keeps repeated configurations (replicas) apart
+    and, because experiments run in a deterministic order, two runs of
+    the same invocation produce identical directory layouts.
+    """
+
+    def __init__(self) -> None:
+        self.root: Optional[str] = None
+        self._seq = 0
+
+    @property
+    def active(self) -> bool:
+        return self.root is not None
+
+    def activate(self, root) -> None:
+        self.root = os.fspath(root)
+        self._seq = 0
+
+    def deactivate(self) -> None:
+        self.root = None
+        self._seq = 0
+
+    def recorder_for(self, benchmark: str, fuzzer: str, map_size: int,
+                     rng_seed: int
+                     ) -> Tuple[Optional[TelemetryRecorder],
+                                Optional[str]]:
+        """A (recorder, flush directory) pair, or (None, None)."""
+        if self.root is None:
+            return None, None
+        self._seq += 1
+        directory = os.path.join(
+            self.root,
+            f"{self._seq:04d}-{benchmark}-{fuzzer}-{map_size}"
+            f"-s{rng_seed}")
+        return TelemetryRecorder(instance=0), directory
+
+
+#: The runner's (and tests') single activation point.
+TELEMETRY = TelemetryContext()
+
+
+def _run_with_telemetry(config: CampaignConfig,
+                        built: BuiltBenchmark) -> CampaignResult:
+    """Run one campaign, flushing telemetry if the context is active."""
+    recorder, directory = TELEMETRY.recorder_for(
+        config.benchmark, config.fuzzer, config.map_size,
+        config.rng_seed)
+    result = Campaign(config, built=built, telemetry=recorder).run()
+    if recorder is not None:
+        recorder.flush(directory)
+    return result
+
+
 class BenchmarkCache:
     """Builds each (benchmark, scale, seed_scale) combination once."""
 
@@ -120,7 +183,7 @@ def throughput_probe(benchmark: str, fuzzer: str, map_size: int,
         virtual_seconds=1e9,  # the exec cap is the binding limit
         max_real_execs=profile.throughput_execs, rng_seed=rng_seed,
         merged_classify_compare=merged)
-    return Campaign(config, built=built).run()
+    return _run_with_telemetry(config, built)
 
 
 def discovery_campaign(benchmark: str, fuzzer: str, map_size: int,
@@ -139,7 +202,7 @@ def discovery_campaign(benchmark: str, fuzzer: str, map_size: int,
         profile.campaign_virtual_seconds,
         max_real_execs=profile.campaign_max_execs, rng_seed=rng_seed,
         compute_true_coverage=compute_true_coverage)
-    return Campaign(config, built=built).run()
+    return _run_with_telemetry(config, built)
 
 
 def averaged(values) -> float:

@@ -1,0 +1,114 @@
+"""Single output funnel for the experiments runner.
+
+Every human-facing line the runner produces goes through one
+:class:`Reporter`, so output policy lives in exactly one place instead
+of scattered ``print()`` calls:
+
+* ``text`` — the classic banners-and-reports stream;
+* ``quiet`` — one status line per experiment, no report bodies;
+* ``json`` — one canonically encoded JSON object per line
+  (``sort_keys``, machine-consumable), the mode telemetry pipelines
+  ingest.
+
+Failures and tracebacks go to the error stream in every mode — a CI
+log must show *why* an experiment failed even when stdout is a JSON
+stream another tool is parsing.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import traceback
+from typing import List, Optional, TextIO
+
+TEXT = "text"
+QUIET = "quiet"
+JSON = "json"
+
+MODES = (TEXT, QUIET, JSON)
+
+
+class Reporter:
+    """Runner output in one of three modes (see module docstring)."""
+
+    def __init__(self, mode: str = TEXT,
+                 stream: Optional[TextIO] = None,
+                 err_stream: Optional[TextIO] = None) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown reporter mode {mode!r}; "
+                             f"known: {', '.join(MODES)}")
+        self.mode = mode
+        self.stream = stream if stream is not None else sys.stdout
+        self.err_stream = (err_stream if err_stream is not None
+                           else sys.stderr)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _line(self, text: str, err: bool = False) -> None:
+        print(text, file=self.err_stream if err else self.stream)
+
+    def _record(self, kind: str, **fields) -> None:
+        record = {"kind": kind}
+        record.update(fields)
+        self._line(json.dumps(record, sort_keys=True))
+
+    # -- runner events -------------------------------------------------
+
+    def listing(self, name: str, summary: str) -> None:
+        if self.mode == JSON:
+            self._record("experiment", name=name, summary=summary)
+        else:
+            self._line(f"{name:<16} {summary}")
+
+    def skipped(self, name: str, reason: str) -> None:
+        if self.mode == JSON:
+            self._record("skip", name=name, reason=reason)
+        else:
+            self._line(f"[skip] {name}: {reason}")
+
+    def completed(self, name: str, profile: str, elapsed: float,
+                  report: str) -> None:
+        if self.mode == JSON:
+            self._record("completed", name=name, profile=profile,
+                         elapsed_seconds=round(elapsed, 3),
+                         report=report)
+        elif self.mode == QUIET:
+            self._line(f"[ok]   {name} ({elapsed:.1f}s)")
+        else:
+            rule = "=" * 72
+            self._line(f"\n{rule}\n{name}  (profile={profile}, "
+                       f"{elapsed:.1f}s)\n{rule}")
+            self._line(report)
+
+    def failed(self, name: str, elapsed: float,
+               exc: BaseException) -> None:
+        if self.mode == JSON:
+            self._record("failed", name=name,
+                         elapsed_seconds=round(elapsed, 3),
+                         error=repr(exc))
+        elif self.mode == QUIET:
+            self._line(f"[FAIL] {name} ({elapsed:.1f}s)")
+        else:
+            rule = "=" * 72
+            self._line(f"\n{rule}\n{name}  FAILED after {elapsed:.1f}s"
+                       f"\n{rule}", err=True)
+        traceback.print_exception(type(exc), exc, exc.__traceback__,
+                                  file=self.err_stream)
+
+    def summary(self, failures: List[str],
+                keep_going: bool = True) -> None:
+        if not failures:
+            return
+        if self.mode == JSON:
+            self._record("summary", failed=list(failures))
+        hint = "" if keep_going else " (use --keep-going to run the rest)"
+        self._line(f"\n{len(failures)} experiment(s) failed: "
+                   f"{', '.join(failures)}{hint}", err=True)
+
+    def info(self, text: str) -> None:
+        """Incidental status (telemetry paths, resume notes)."""
+        if self.mode == JSON:
+            self._record("info", message=text)
+        else:
+            self._line(text)

@@ -17,13 +17,19 @@ remaining experiments when one fails (reporting every failure, exiting
 non-zero), and ``--resume`` skips experiments whose report file already
 exists under ``--out`` — together they let a multi-hour ``all`` sweep
 be re-invoked until it completes without redoing finished work.
+
+Output is funnelled through :class:`~repro.experiments.reporter.Reporter`:
+``--quiet`` for one line per experiment, ``--json`` for a
+machine-readable record stream. ``--telemetry-dir DIR`` flushes
+per-campaign telemetry artifacts (events.jsonl, fuzzer_stats,
+plot_data, metrics.json) under DIR for every campaign the selected
+experiments run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import traceback
 from pathlib import Path
 from typing import Callable, Dict, List
 
@@ -34,7 +40,8 @@ from . import (extra_collafl, extra_dedup_bias, extra_ensemble,
                fig6_throughput, fig7_edge_coverage, fig8_crashes,
                fig9_scalability, fig10_parallel_crashes,
                table2_benchmarks, table3_composition)
-from .common import BenchmarkCache, Profile, get_profile
+from .common import TELEMETRY, BenchmarkCache, Profile, get_profile
+from .reporter import JSON, QUIET, TEXT, Reporter
 
 EXPERIMENTS: Dict[str, Callable] = {
     "fig2": fig2_collision.run,
@@ -107,13 +114,27 @@ def main(argv=None) -> int:
                              "exists under --out")
     parser.add_argument("--list", action="store_true",
                         help="list experiment ids and exit")
+    parser.add_argument("--telemetry-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="flush per-campaign telemetry artifacts "
+                             "under DIR")
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument("--quiet", action="store_true",
+                        help="one status line per experiment, no "
+                             "report bodies")
+    output.add_argument("--json", action="store_true",
+                        help="emit one JSON record per line instead of "
+                             "text reports")
     args = parser.parse_args(argv)
+
+    mode = JSON if args.json else QUIET if args.quiet else TEXT
+    reporter = Reporter(mode)
 
     if args.list:
         for name in ORDER:
             module = sys.modules[EXPERIMENTS[name].__module__]
             summary = (module.__doc__ or "").strip().splitlines()[0]
-            print(f"{name:<16} {summary}")
+            reporter.listing(name, summary)
         return 0
     if args.resume and args.out is None:
         parser.error("--resume requires --out (it skips by report file)")
@@ -121,38 +142,36 @@ def main(argv=None) -> int:
     profile = get_profile(args.profile)
     names = _resolve_names(args.experiments, parser)
 
+    if args.telemetry_dir is not None:
+        TELEMETRY.activate(args.telemetry_dir)
     cache = BenchmarkCache()
     failures: List[str] = []
-    for name in names:
-        if args.resume and (args.out / f"{name}.txt").exists():
-            print(f"[skip] {name}: report exists (resume)")
-            continue
-        watch = Stopwatch()
-        try:
-            report = run_experiment(name, profile, cache)
-        except ExperimentError as exc:
-            elapsed = watch.elapsed()
-            failures.append(name)
-            print(f"\n{'=' * 72}\n{name}  FAILED after {elapsed:.1f}s"
-                  f"\n{'=' * 72}", file=sys.stderr)
-            traceback.print_exception(type(exc), exc, exc.__traceback__,
-                                      file=sys.stderr)
-            if not args.keep_going:
-                print(f"\n1 experiment failed: {name} (use --keep-going "
-                      "to run the rest)", file=sys.stderr)
-                return 1
-            continue
-        elapsed = watch.elapsed()
-        banner = (f"\n{'=' * 72}\n{name}  (profile={profile.name}, "
-                  f"{elapsed:.1f}s)\n{'=' * 72}")
-        print(banner)
-        print(report)
-        if args.out:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{name}.txt").write_text(report + "\n")
+    try:
+        for name in names:
+            if args.resume and (args.out / f"{name}.txt").exists():
+                reporter.skipped(name, "report exists (resume)")
+                continue
+            watch = Stopwatch()
+            try:
+                report = run_experiment(name, profile, cache)
+            except ExperimentError as exc:
+                failures.append(name)
+                reporter.failed(name, watch.elapsed(), exc)
+                if not args.keep_going:
+                    reporter.summary(failures, keep_going=False)
+                    return 1
+                continue
+            reporter.completed(name, profile.name, watch.elapsed(),
+                               report)
+            if args.out:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / f"{name}.txt").write_text(report + "\n")
+    finally:
+        TELEMETRY.deactivate()
+    if args.telemetry_dir is not None:
+        reporter.info(f"telemetry artifacts: {args.telemetry_dir}")
     if failures:
-        print(f"\n{len(failures)} experiment(s) failed: "
-              f"{', '.join(failures)}", file=sys.stderr)
+        reporter.summary(failures)
         return 1
     return 0
 

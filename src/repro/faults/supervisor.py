@@ -71,14 +71,32 @@ class InstanceHealth:
 
 
 class SessionSupervisor:
-    """Tracks health and restart budgets for a fleet of instances."""
+    """Tracks health and restart budgets for a fleet of instances.
+
+    Args:
+        n_instances: fleet size.
+        policy: restart policy (defaults to :class:`RestartPolicy`).
+        telemetry: optional
+            :class:`~repro.telemetry.SessionTelemetry`; when given,
+            every supervision decision — fault, restart, stall,
+            quarantine — is emitted as a session-level event tagged
+            with the affected instance.
+    """
 
     def __init__(self, n_instances: int,
-                 policy: Optional[RestartPolicy] = None) -> None:
+                 policy: Optional[RestartPolicy] = None,
+                 telemetry=None) -> None:
         self.policy = policy or RestartPolicy()
         self.health: List[InstanceHealth] = [
             InstanceHealth() for _ in range(n_instances)]
         self.quarantined_imports = 0
+        self.telemetry = telemetry
+
+    def _emit(self, kind: str, t: float, instance: int,
+              **payload) -> None:
+        if self.telemetry is not None:
+            self.telemetry.session.emit(kind, t, instance=instance,
+                                        **payload)
 
     def __getitem__(self, i: int) -> InstanceHealth:
         return self.health[i]
@@ -105,15 +123,32 @@ class SessionSupervisor:
         else:
             health.status = DEAD
             health.restart_at = now + self.policy.backoff(health.restarts)
+        self._emit("fault", now, i, status=health.status, reason=reason)
         return health.status
 
-    def mark_restarted(self, i: int) -> None:
+    def mark_restarted(self, i: int, now: float = 0.0) -> None:
         health = self.health[i]
         health.restarts += 1
         health.status = RUNNING
+        self._emit("restart", now, i, restarts=health.restarts)
 
-    def mark_lost(self, i: int) -> None:
+    def mark_stalled(self, i: int, now: float,
+                     last_progress: float) -> None:
+        """Record a detected stall (the failure itself follows via
+        :meth:`mark_failed`; this event carries the heartbeat data)."""
+        self._emit("stall", now, i, last_progress=last_progress)
+
+    def mark_lost(self, i: int, now: float = 0.0,
+                  reason: str = "unrecoverable") -> None:
         self.health[i].status = LOST
+        self._emit("fault", now, i, status=LOST, reason=reason)
+
+    def mark_quarantined(self, importer: int, exporter: int,
+                         now: float = 0.0, entries: int = 1) -> None:
+        """Corrupt sync payload dropped before reaching ``importer``."""
+        self.quarantined_imports += entries
+        self._emit("quarantine", now, importer,
+                   exporter=exporter, entries=entries)
 
     def slice_began(self, i: int, execs: int) -> None:
         self.health[i].execs_at_slice_start = execs

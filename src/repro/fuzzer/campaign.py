@@ -24,6 +24,8 @@ from ..memsim.calibration import model_for_benchmark
 from ..memsim.costmodel import AFL, BIGMAP, BitmapCostModel, ExecShape
 from ..memsim.machine import Machine, XEON_E5645
 from ..target import BuiltBenchmark, Executor, get_benchmark
+from ..telemetry.recorder import TelemetryRecorder
+from ..telemetry.spans import NULL_TRACER
 from .clock import VirtualClock
 from .mutation import Mutator
 from .pool import SeedPool
@@ -115,10 +117,18 @@ class Campaign:
         config: the campaign configuration.
         built: a pre-built benchmark (program + seeds) to reuse across
             campaigns; built from ``config`` when omitted.
+        telemetry: an optional
+            :class:`~repro.telemetry.TelemetryRecorder`. When given,
+            the campaign emits lifecycle + periodic snapshot events
+            (one per coverage-curve sample), observes per-op cycle and
+            memory-level attribution, and profiles the hot path with
+            spans over the virtual clock. When omitted, the null tracer
+            keeps the hot path free of telemetry work.
     """
 
     def __init__(self, config: CampaignConfig,
-                 built: Optional[BuiltBenchmark] = None) -> None:
+                 built: Optional[BuiltBenchmark] = None,
+                 telemetry: Optional[TelemetryRecorder] = None) -> None:
         self.config = config
         if built is None:
             built = get_benchmark(config.benchmark).build(
@@ -150,6 +160,18 @@ class Campaign:
                                max_len=max(program.input_len * 4, 64),
                                dictionary=dictionary)
         self.clock = VirtualClock(config.machine.frequency_hz)
+        self.telemetry = telemetry
+        self._tracer = NULL_TRACER if telemetry is None else telemetry.tracer
+        if telemetry is not None:
+            telemetry.bind_clock(lambda: self.clock.cycles)
+        # Span handles are fetched once; with telemetry off these are
+        # all the shared null span, so entering one costs two no-op
+        # method calls (the benchmark-guarded disabled path).
+        self._span_run_one = self._tracer.span("run_one")
+        self._span_mutate = self._tracer.span("mutate")
+        self._span_execute = self._tracer.span("execute")
+        self._span_classify = self._tracer.span("classify_compare")
+        self._span_cost = self._tracer.span("cost_eval")
         self.shape_stats = RunningShape()
         self.op_cycles: Dict[str, float] = {
             "execution": 0.0, "reset": 0.0, "classify": 0.0,
@@ -198,13 +220,15 @@ class Campaign:
         while the trace is still in the map (None unless the run is
         interesting or ``want_snapshot`` is set).
         """
-        result = self.executor.execute(data)
+        with self._span_execute:
+            result = self.executor.execute(data)
         inp = np.frombuffer(data, dtype=np.uint8)
         keys, counts = self.instrumentation.keys_for(result, inp)
 
         self.coverage.reset()
         n_unique = self.coverage.update(keys, counts)
-        compare = self.coverage.classify_and_compare(self.virgin)
+        with self._span_classify:
+            compare = self.coverage.classify_and_compare(self.virgin)
 
         interesting = compare.interesting
         hash_bytes = 0
@@ -223,15 +247,33 @@ class Campaign:
         return result, compare, shape, snapshot
 
     def _charge(self, shape: ExecShape) -> float:
-        ops = self.model.exec_cycles(shape)
+        with self._span_cost:
+            ops = self.model.exec_cycles(shape)
         multiplier = (getattr(self, "cycle_multiplier", 1.0) *
                       self.fault_multiplier)
         self.clock.charge(ops.total * multiplier)
         for key, value in ops.as_dict().items():
             self.op_cycles[key] += value
+        if self.telemetry is not None:
+            self._observe_cost(ops, shape)
         self.shape_stats.absorb(shape)
         self.execs += 1
         return ops.total
+
+    def _observe_cost(self, ops, shape: ExecShape) -> None:
+        """Feed one execution's modeled cost into telemetry.
+
+        Per-op cycles become span deposits (``op.execution`` etc., the
+        Figure 3 categories) and the cost model's hierarchy attribution
+        becomes ``memsim.share.*`` histogram observations — the per-op
+        L1/L2/LLC/DRAM/TLB decomposition of tracing cost.
+        """
+        tracer = self._tracer
+        for key, value in ops.as_dict().items():
+            tracer.add("op." + key, value)
+        registry = self.telemetry.registry
+        for level, share in self.model.level_share(shape).items():
+            registry.histogram("memsim.share." + level).observe(share)
 
     def _trace_hash(self, data: bytes) -> int:
         """Classified-trace hash of one execution, without touching
@@ -354,6 +396,13 @@ class Campaign:
         """Dry-run the seeds and calibrate; idempotent."""
         if self.model is not None:
             return
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "campaign_start", 0.0,
+                benchmark=self.config.benchmark,
+                fuzzer=self.config.fuzzer,
+                map_size=self.config.map_size,
+                rng_seed=self.config.rng_seed)
         self._dry_run_and_calibrate()
         self._curve_step = (self.config.virtual_seconds /
                             self.config.curve_points)
@@ -368,7 +417,47 @@ class Campaign:
         while self.clock.seconds >= self._next_sample:
             self.coverage_curve.append(
                 (self._next_sample, self.virgin.count_discovered()))
+            if self.telemetry is not None:
+                self._emit_snapshot(self._next_sample)
             self._next_sample += self._curve_step
+
+    def _emit_snapshot(self, t: float) -> None:
+        """One periodic progress sample (drives plot_data rows).
+
+        Sampled on the coverage-curve grid, so the event series — like
+        the curve — is a pure function of campaign state at fixed
+        virtual times, which is what makes telemetry artifacts
+        byte-identical across reruns and checkpoint resumes.
+        """
+        from ..analysis.collision import collision_rate
+        seeds = self.pool.seeds
+        edges = self.virgin.count_discovered()
+        density = edges / self.config.map_size
+        # cull() is idempotent and re-run by the scheduler, so reading
+        # favored counts here does not perturb the fuzzing stream.
+        favored = self.pool.cull()
+        registry = self.telemetry.registry
+        registry.gauge("campaign.queue_depth").set(len(seeds))
+        registry.gauge("campaign.edges").set(edges)
+        registry.gauge("campaign.map_density").set(density)
+        registry.gauge("campaign.execs").set(self.execs)
+        self.telemetry.emit(
+            "snapshot", t,
+            execs=self.execs,
+            execs_per_sec=self.execs / max(t, 1e-9),
+            edges=edges,
+            map_density=density,
+            collision_rate=collision_rate(self.config.map_size, edges),
+            queue_depth=len(seeds),
+            pending_total=sum(1 for s in seeds if not s.fuzzed),
+            pending_favs=sum(1 for s in seeds
+                             if s.favored and not s.fuzzed),
+            favored=favored,
+            queue_cycles=self.scheduler.queue_cycles,
+            cur_path=min(self.scheduler._cursor, max(len(seeds) - 1, 0)),
+            crashes=self.crashwalk.unique_crashes,
+            hangs=self.unique_hangs,
+            max_depth=max((s.depth for s in seeds), default=0))
 
     def _exhausted(self, deadline: float) -> bool:
         if self.execs >= self.config.max_real_execs:
@@ -394,16 +483,21 @@ class Campaign:
                     self._admit(filler, cycles, 0, None, snapshot)
                 continue
 
-            seed = self.scheduler.next_seed()
+            self.run_one(self.scheduler.next_seed(), deadline)
+
+    def run_one(self, seed: Seed, deadline: float) -> None:
+        """Fuzz one scheduled seed: its full havoc energy loop."""
+        with self._span_run_one:
             energy = self.scheduler.energy_for(seed)
             seed.fuzzed = True
             partner = self.pool.pick_splice_partner(self.rng, seed.seed_id)
             for _ in range(energy):
                 if self._exhausted(deadline):
                     break
-                mutant = self.mutator.havoc(
-                    seed.data,
-                    splice_with=partner.data if partner else None)
+                with self._span_mutate:
+                    mutant = self.mutator.havoc(
+                        seed.data,
+                        splice_with=partner.data if partner else None)
                 result, compare, shape, snapshot = self._pipeline(mutant)
                 cycles = self._charge(shape)
                 if result.crash is not None:
@@ -456,6 +550,15 @@ class Campaign:
         """Close curves and assemble the result record."""
         self.coverage_curve.append((self.clock.seconds,
                                     self.virgin.count_discovered()))
+        if self.telemetry is not None:
+            self._emit_snapshot(self.clock.seconds)
+            self.telemetry.emit(
+                "campaign_finish", self.clock.seconds,
+                execs=self.execs,
+                edges=self.virgin.count_discovered(),
+                crashes=self.crashwalk.unique_crashes,
+                hangs=self.unique_hangs,
+                stop_reason=self.stopped_by)
         true_coverage = None
         if self.config.compute_true_coverage:
             from ..analysis.coverage_eval import evaluate_corpus
@@ -495,6 +598,7 @@ class Campaign:
 
 
 def run_campaign(config: CampaignConfig,
-                 built: Optional[BuiltBenchmark] = None) -> CampaignResult:
+                 built: Optional[BuiltBenchmark] = None,
+                 telemetry=None) -> CampaignResult:
     """Convenience wrapper: construct and run a campaign."""
-    return Campaign(config, built=built).run()
+    return Campaign(config, built=built, telemetry=telemetry).run()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -64,6 +64,12 @@ class CampaignCheckpoint:
     coverage_curve: List[Tuple[float, int]]
     next_sample: float
     coverage_state: Dict[str, Any]
+    #: Value capture of the campaign's telemetry recorder (events,
+    #: derived AFL artifacts, metrics, span profile); None when the
+    #: campaign runs without telemetry. Restoring it is what keeps a
+    #: resumed campaign's plot_data byte-identical to an uninterrupted
+    #: run's.
+    telemetry_state: Optional[Dict[str, Any]] = None
 
     @property
     def virtual_seconds(self) -> float:
@@ -118,7 +124,9 @@ def snapshot_campaign(campaign) -> CampaignCheckpoint:
         op_cycles=dict(campaign.op_cycles),
         coverage_curve=list(campaign.coverage_curve),
         next_sample=campaign._next_sample,
-        coverage_state=coverage_state)
+        coverage_state=coverage_state,
+        telemetry_state=(campaign.telemetry.snapshot_state()
+                         if campaign.telemetry is not None else None))
 
 
 def restore_campaign(campaign, checkpoint: CampaignCheckpoint) -> None:
@@ -174,3 +182,6 @@ def restore_campaign(campaign, checkpoint: CampaignCheckpoint) -> None:
     campaign.op_cycles = dict(checkpoint.op_cycles)
     campaign.coverage_curve = list(checkpoint.coverage_curve)
     campaign._next_sample = checkpoint.next_sample
+    if (campaign.telemetry is not None and
+            checkpoint.telemetry_state is not None):
+        campaign.telemetry.restore_state(checkpoint.telemetry_state)

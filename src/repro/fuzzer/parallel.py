@@ -47,6 +47,7 @@ from ..faults import (CORRUPT_SYNC, CRASH, SLOW, STALL, FaultInjector,
 from ..faults.supervisor import DEAD, LOST, RUNNING
 from ..memsim.contention import InstanceLoad, solve_parallel
 from ..target import BuiltBenchmark, get_benchmark
+from ..telemetry.recorder import SessionTelemetry
 from .campaign import Campaign, CampaignConfig
 from .stats import CampaignResult
 
@@ -122,13 +123,19 @@ class ParallelSession:
         restart_policy: supervision policy for restarting failed
             instances (defaults to :class:`repro.faults.RestartPolicy`
             when a fault plan is given).
+        telemetry: optional
+            :class:`~repro.telemetry.SessionTelemetry`. Each instance
+            gets its own recorder (per-instance ``fuzzer_stats`` /
+            ``plot_data`` / event logs), and the supervisor emits
+            session-level fault/restart/stall/quarantine events.
     """
 
     def __init__(self, config, n_instances: int = None, *,
                  built: Optional[BuiltBenchmark] = None,
                  sync_interval: float = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 restart_policy: Optional[RestartPolicy] = None) -> None:
+                 restart_policy: Optional[RestartPolicy] = None,
+                 telemetry: Optional[SessionTelemetry] = None) -> None:
         configs = self._resolve_configs(config, n_instances)
         self.config = configs[0]
         self.n_instances = len(configs)
@@ -140,7 +147,12 @@ class ParallelSession:
             built = get_benchmark(self.config.benchmark).build(
                 self.config.scale, seed_scale=self.config.seed_scale)
         self.built = built
-        self.instances = [Campaign(c, built=built) for c in configs]
+        self.telemetry = telemetry
+        self.instances = [
+            Campaign(c, built=built,
+                     telemetry=(telemetry.for_instance(i)
+                                if telemetry is not None else None))
+            for i, c in enumerate(configs)]
         self.sync_interval = sync_interval or max(
             self.config.virtual_seconds / 20.0, 1.0)
 
@@ -155,7 +167,8 @@ class ParallelSession:
                                restart_policy is not None)
         self.restart_policy = restart_policy or RestartPolicy()
         self.supervisor = SessionSupervisor(self.n_instances,
-                                            self.restart_policy)
+                                            self.restart_policy,
+                                            telemetry=telemetry)
         self._injector = FaultInjector(self.fault_plan)
 
         self._import_cursors: Dict[Tuple[int, int], int] = {}
@@ -223,6 +236,7 @@ class ParallelSession:
 
     def _sync_corpora(self) -> None:
         live = self.supervisor.live_indices()
+        sync_entry = sum(self.instances[i].clock.cycles for i in live)
         for i in live:
             self._refresh_seen(i)
         corrupt = {j: self.supervisor[j].corrupt_export for j in live}
@@ -235,11 +249,15 @@ class ParallelSession:
                 src_seeds = self.instances[j].pool.seeds
                 fresh = src_seeds[cursor:]
                 self._import_cursors[(i, j)] = len(src_seeds)
+                if corrupt[j]:
+                    # Corrupt sync payload: quarantine, don't run.
+                    if fresh:
+                        self.supervisor.mark_quarantined(
+                            i, j,
+                            now=min(dst.clock.seconds, self._budget()),
+                            entries=len(fresh))
+                    continue
                 for seed in fresh:
-                    if corrupt[j]:
-                        # Corrupt sync payload: quarantine, don't run.
-                        self.supervisor.quarantined_imports += 1
-                        continue
                     if seed.data in self._seen[i]:
                         # Our own entry echoed back, or a duplicate a
                         # third peer already delivered: skip the
@@ -258,6 +276,16 @@ class ParallelSession:
                     dst.crashwalk.merge_from(self.instances[j].crashwalk)
         for j in live:
             self.supervisor[j].corrupt_export = False
+        if self.telemetry is not None:
+            # Import executions charged during the sync, attributed to
+            # the session-level sync span (virtual cycles, all
+            # instances combined).
+            # max(0): a failed import can restore an instance to an
+            # older checkpoint, moving its clock backwards.
+            spent = max(
+                sum(self.instances[i].clock.cycles for i in live) -
+                sync_entry, 0.0)
+            self.telemetry.session.tracer.add("sync", spent)
 
     def _guarded_import(self, i: int, data: bytes) -> None:
         try:
@@ -315,7 +343,7 @@ class ParallelSession:
             restorable = False
         if not restorable:
             self.supervisor[i].failures.append(f"t={now:.3f}: {reason}")
-            self.supervisor.mark_lost(i)
+            self.supervisor.mark_lost(i, now=now, reason=reason)
             return
         self.supervisor.mark_failed(i, now, reason)
         checkpoint = self._checkpoints[i]
@@ -340,7 +368,8 @@ class ParallelSession:
             # Checkpoint-to-restart wall time passes without fuzzing.
             inst.clock.charge(downtime * inst.clock.frequency_hz)
         inst.restarts += 1
-        self.supervisor.mark_restarted(i)
+        self.supervisor.mark_restarted(
+            i, now=min(inst.clock.seconds, self._budget()))
         # A freshly restored instance's counters are behind the slice's
         # heartbeat baseline; don't mistake the gap for a stall.
         self.supervisor[i].had_capacity = False
@@ -441,7 +470,13 @@ class ParallelSession:
             no_heartbeat = (health.had_capacity and
                             inst.execs <= health.execs_at_slice_start)
             if stalled_by_plan or no_heartbeat:
-                self._fail(i, now=min(inst.clock.seconds, self._budget()),
+                now = min(inst.clock.seconds, self._budget())
+                self.supervisor.mark_stalled(
+                    i, now,
+                    last_progress=(health.stalled_since
+                                   if health.stalled_since is not None
+                                   else now))
+                self._fail(i, now=now,
                            reason="stall detected (heartbeat flat)",
                            restorable=self._checkpoints[i] is not None)
 
@@ -472,7 +507,8 @@ class ParallelSession:
                 self._unplanned.append(str(fault))
                 self.supervisor[i].failures.append(
                     f"start: {fault.__cause__!r}")
-                self.supervisor.mark_lost(i)
+                self.supervisor.mark_lost(
+                    i, now=0.0, reason=f"start: {fault.__cause__!r}")
         if not self.supervisor.live_indices():
             raise self._start_errors[0]
         if self._checkpointing:
@@ -539,19 +575,22 @@ def run_parallel(config, n_instances: int = None, *,
                  built: Optional[BuiltBenchmark] = None,
                  sync_interval: float = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 restart_policy: Optional[RestartPolicy] = None
+                 restart_policy: Optional[RestartPolicy] = None,
+                 telemetry: Optional[SessionTelemetry] = None
                  ) -> ParallelResultSummary:
     """Convenience wrapper: construct and run a parallel session."""
     return ParallelSession(config, n_instances, built=built,
                            sync_interval=sync_interval,
                            fault_plan=fault_plan,
-                           restart_policy=restart_policy).run()
+                           restart_policy=restart_policy,
+                           telemetry=telemetry).run()
 
 
 def run_ensemble(configs, *, built: Optional[BuiltBenchmark] = None,
                  sync_interval: float = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 restart_policy: Optional[RestartPolicy] = None
+                 restart_policy: Optional[RestartPolicy] = None,
+                 telemetry: Optional[SessionTelemetry] = None
                  ) -> ParallelResultSummary:
     """Run a heterogeneous (one-config-per-instance) ensemble session.
 
@@ -563,4 +602,5 @@ def run_ensemble(configs, *, built: Optional[BuiltBenchmark] = None,
     return ParallelSession(list(configs), built=built,
                            sync_interval=sync_interval,
                            fault_plan=fault_plan,
-                           restart_policy=restart_policy).run()
+                           restart_policy=restart_policy,
+                           telemetry=telemetry).run()

@@ -268,6 +268,99 @@ class BitmapCostModel:
                         classify=classify, compare=compare,
                         hash=hash_cycles, others=self.others_cycles)
 
+    # -- cycle attribution -------------------------------------------------
+
+    def _level_key(self, level_idx: int) -> str:
+        if level_idx >= len(self.machine.levels):
+            return "dram"
+        return self.machine.levels[level_idx].name.lower()
+
+    def cycle_attribution(self, shape: ExecShape) -> Dict[str, float]:
+        """Where one iteration's cycles go: per hierarchy level + TLB.
+
+        Returns ``{"core", "l1d", "l2", "llc", "dram", "tlb"}`` cycle
+        totals that sum to ``exec_cycles(shape).total`` exactly — the
+        same pricing walk as :meth:`exec_cycles`, but split by *where*
+        each component is served instead of by *which operation* spent
+        it. ``core`` holds the memory-independent work (target compute,
+        indirection arithmetic, fork, bookkeeping); ``tlb`` holds page
+        walks from both sweeps and scattered accesses. Telemetry feeds
+        these as histogram observations (``memsim.share.*``), giving
+        campaigns the per-execution tracing-cost decomposition the
+        throughput figures are built from.
+        """
+        cfg = self.config
+        attr = {"core": 0.0, "l1d": 0.0, "l2": 0.0, "llc": 0.0,
+                "dram": 0.0, "tlb": 0.0}
+
+        def scatter(n_accesses: int, region_bytes: int,
+                    level_idx: int) -> None:
+            if n_accesses <= 0:
+                return
+            walk = scattered_walk_fraction(region_bytes, self.machine,
+                                           cfg.huge_pages)
+            attr[self._level_key(level_idx)] += \
+                n_accesses * self._scat_latency(level_idx)
+            attr["tlb"] += n_accesses * walk * self.machine.walk_cycles
+
+        def sweep(region_bytes: int, level_idx: int, *,
+                  write: bool = False, read_write: bool = False,
+                  non_temporal: bool = False) -> None:
+            if region_bytes <= 0:
+                return
+            if non_temporal:
+                # NT stores stream past the hierarchy straight to DRAM.
+                attr["dram"] += region_bytes * NON_TEMPORAL_RATE
+            else:
+                rate = self._seq_rate(level_idx, write=write or read_write)
+                passes = 2.0 if read_write else 1.0
+                attr[self._level_key(level_idx)] += \
+                    region_bytes * rate * passes
+            attr["tlb"] += sweep_walk_cycles(region_bytes, self.machine,
+                                             cfg.huge_pages)
+
+        level_w = self._level_index(self.working_set_bytes(shape))
+        attr["core"] += (self.exec_base_cycles +
+                         self.fork_overhead_cycles +
+                         shape.traversals * self.per_traversal_cycles)
+        if cfg.kind == AFL:
+            active = cfg.map_size
+            scatter(shape.unique_locations, cfg.map_size, level_w)
+            reset_level = level_w
+            hash_bytes = cfg.map_size
+        else:
+            active = shape.used_bytes
+            attr["core"] += shape.traversals * self.indirection_cycles
+            index_region = cfg.map_size * cfg.index_entry_bytes
+            scatter(shape.unique_locations, index_region, level_w)
+            dense_level = self._level_index(2 * shape.used_bytes)
+            scatter(shape.unique_locations, max(shape.used_bytes, 1),
+                    dense_level)
+            reset_level = dense_level
+            hash_bytes = shape.hash_bytes or shape.used_bytes
+
+        sweep_level = level_w if cfg.kind == AFL else reset_level
+        sweep(active, reset_level, write=True,
+              non_temporal=cfg.non_temporal_reset)
+        sweep(active, sweep_level, read_write=True)
+        sweep(active, sweep_level)
+        if not cfg.merged_classify_compare:
+            # Unmerged classify+compare costs one extra plain sweep
+            # over the region (rw + 2×plain vs merged's rw + plain).
+            sweep(active, sweep_level)
+        if shape.interesting:
+            sweep(hash_bytes, sweep_level)
+        attr["core"] += self.others_cycles
+        return attr
+
+    def level_share(self, shape: ExecShape) -> Dict[str, float]:
+        """:meth:`cycle_attribution` normalized to fractions of total."""
+        attr = self.cycle_attribution(shape)
+        total = sum(attr.values())
+        if total <= 0:
+            return {key: 0.0 for key in attr}
+        return {key: value / total for key, value in attr.items()}
+
     def throughput(self, shape: ExecShape) -> float:
         """Executions per second for a steady stream of ``shape`` execs."""
         return self.machine.frequency_hz / self.exec_cycles(shape).total

@@ -45,6 +45,9 @@ class LintConfig:
             everything else must route timing through this shim.
         det003_paths: files whose iteration order feeds rendered or
             serialized output (DET003 applies only there).
+        telemetry_paths: the telemetry subsystem (TEL001): no host
+            clock, no unseeded randomness, canonical JSON encoding,
+            no unordered iteration anywhere in these files.
         snapshot_exempt: ``Campaign`` attributes deliberately absent
             from ``snapshot_campaign`` (immutable identity or lifetime
             counters); SNAP001 flags drift in either direction.
@@ -59,6 +62,7 @@ class LintConfig:
     wallclock_allow: Tuple[str, ...] = ("repro/core/walltime.py",)
     det003_paths: Tuple[str, ...] = (
         "*/analysis/*", "*/experiments/*", "*serialize*", "*report*")
+    telemetry_paths: Tuple[str, ...] = ("repro/telemetry/*",)
     snapshot_exempt: Tuple[str, ...] = ()
     snapshot_methods: Tuple[str, ...] = (
         "__init__", "start", "_dry_run_and_calibrate")

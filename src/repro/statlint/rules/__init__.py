@@ -1,10 +1,12 @@
 """Rule set: importing this package registers every built-in rule.
 
 Determinism family (per-file): DET001 wall clocks, DET002 unseeded
-randomness, DET003 unordered iteration in output paths. Robustness
-family (per-file): ERR001 swallowed broad excepts, NUM001 narrow-int
-array arithmetic. Consistency family (whole-project): SNAP001
-checkpoint coverage, EXP001 experiment registry.
+randomness, DET003 unordered iteration in output paths, TEL001
+telemetry-subsystem determinism. Robustness family (per-file): ERR001
+swallowed broad excepts, NUM001 narrow-int array arithmetic.
+Consistency family (whole-project): SNAP001 checkpoint coverage,
+EXP001 experiment registry.
 """
 
-from . import determinism, project, robustness  # noqa: F401 (registers)
+from . import (determinism, project, robustness,  # noqa: F401 (registers)
+               telemetry)

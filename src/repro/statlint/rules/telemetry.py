@@ -1,0 +1,109 @@
+"""Telemetry determinism rule (TEL001).
+
+The telemetry subsystem's artifacts are part of the reproduction's
+contract: two same-config campaigns must flush byte-identical
+``events.jsonl`` / ``fuzzer_stats`` / ``plot_data``, and a resumed
+checkpoint must continue the series exactly. That only holds if the
+telemetry code itself is a pure function of campaign state, so TEL001
+holds every file under ``telemetry-paths`` to a stricter bar than the
+general codebase:
+
+* no wall-clock reads at all — not even the ``repro.core.walltime``
+  shim (timestamps must come from the virtual clock the campaign
+  binds);
+* no unseeded randomness (same surface DET002 polices);
+* ``json.dump``/``json.dumps`` must pass ``sort_keys=True`` so encoded
+  artifacts are independent of dict construction order;
+* no iteration over sets or ``dict.keys()`` views anywhere — every
+  loop in a sink or renderer is an output path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import LintConfig, path_matches
+from ..registry import FileRule, register
+from .determinism import (NP_LEGACY_RANDOM, WALL_CLOCK_CALLS,
+                          _is_unordered_iterable, _is_unseeded)
+
+#: Keyword that makes a json encode call canonical.
+_SORT_KEYS = "sort_keys"
+
+
+def _sorts_keys(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == _SORT_KEYS:
+            return (isinstance(keyword.value, ast.Constant) and
+                    keyword.value.value is True)
+        if keyword.arg is None:  # **kwargs: assume the caller knows
+            return True
+    return False
+
+
+@register
+class TelemetryDeterminismRule(FileRule):
+    id = "TEL001"
+    title = "non-deterministic construct in the telemetry subsystem"
+    rationale = ("Telemetry artifacts must be byte-identical across "
+                 "same-config runs and checkpoint resumes; telemetry "
+                 "code may not read host time, draw unseeded "
+                 "randomness, encode JSON without sort_keys, or "
+                 "iterate unordered containers.")
+
+    def check_file(self, source, config: LintConfig) -> Iterator:
+        if not path_matches(source.relpath, config.telemetry_paths):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, node)
+        for it in _loop_iterables(source.tree):
+            if _is_unordered_iterable(it):
+                yield self.finding(
+                    source.relpath, it.lineno, it.col_offset,
+                    "iterating an unordered container in telemetry "
+                    "code; wrap the iterable in sorted(...)")
+
+    def _check_call(self, source, node: ast.Call) -> Iterator:
+        full = source.imports.resolve_call(node)
+        if full is None:
+            return
+        if full in WALL_CLOCK_CALLS or full == "repro.core.walltime.wall_now":
+            yield self.finding(
+                source.relpath, node.lineno, node.col_offset,
+                f"wall-clock call {full}() in telemetry code; event "
+                f"timestamps must come from the campaign's virtual "
+                f"clock")
+        elif full.startswith("random.") and full.count(".") == 1:
+            yield self.finding(
+                source.relpath, node.lineno, node.col_offset,
+                f"stdlib {full}() in telemetry code; telemetry must "
+                f"not draw randomness")
+        elif (full.startswith("numpy.random.") and
+                full.rsplit(".", 1)[-1] in NP_LEGACY_RANDOM):
+            yield self.finding(
+                source.relpath, node.lineno, node.col_offset,
+                f"legacy {full}() in telemetry code; telemetry must "
+                f"not draw from numpy's hidden global state")
+        elif (full in ("numpy.random.default_rng",
+                       "numpy.random.RandomState") and
+                _is_unseeded(node)):
+            yield self.finding(
+                source.relpath, node.lineno, node.col_offset,
+                f"{full}() without a seed in telemetry code")
+        elif full in ("json.dumps", "json.dump") and not _sorts_keys(node):
+            yield self.finding(
+                source.relpath, node.lineno, node.col_offset,
+                f"{full}() without sort_keys=True; telemetry artifacts "
+                f"must encode with stable key order")
+
+
+def _loop_iterables(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter

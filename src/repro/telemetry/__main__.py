@@ -1,0 +1,51 @@
+"""CLI entry point: validate (and optionally show) a telemetry tree.
+
+Usage::
+
+    python -m repro.telemetry DIR [--status]
+
+Exit status 0 when every artifact under ``DIR`` is schema-valid,
+1 otherwise — this is the CI smoke gate for telemetry output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core.errors import TelemetryError
+from .introspect import render_tree
+from .validate import validate_tree
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Validate telemetry artifacts against the event "
+                    "schema and AFL file formats.")
+    parser.add_argument("directory",
+                        help="telemetry root (a --telemetry-dir output)")
+    parser.add_argument("--status", action="store_true",
+                        help="also render the live-status view")
+    args = parser.parse_args(argv)
+
+    try:
+        reports = validate_tree(args.directory)
+    except (TelemetryError, OSError) as exc:
+        print(f"telemetry: INVALID: {exc}", file=sys.stderr)
+        return 1
+
+    for name in sorted(reports):
+        counts = reports[name]
+        detail = ", ".join(f"{key}={counts[key]}"
+                           for key in sorted(counts))
+        print(f"telemetry: {name}: OK ({detail})")
+    if args.status:
+        print()
+        print(render_tree(args.directory))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""AFL-compatible ``fuzzer_stats`` and ``plot_data`` file formats.
+
+AFL's two on-disk artifacts are the lingua franca of fuzzing dashboards
+(``afl-plot``, ``afl-whatsup``, casr, Fuzzbench ingestors), so the
+telemetry layer renders its campaign series in the same shapes:
+
+* ``fuzzer_stats`` — ``key : value`` lines, one stat per line, keys
+  left-aligned to AFL's customary 17-column pad;
+* ``plot_data`` — a CSV whose header and column order match AFL's
+  ``plot_data`` exactly (see :data:`PLOT_HEADER`).
+
+This module is pure formatting: render functions take plain dicts and
+sequences, parse functions invert them (used by the validators and the
+live status view). Times in both artifacts are **virtual seconds** from
+the simulated clock, which is what makes two same-config runs produce
+byte-identical files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+from ..core.errors import TelemetryError
+
+__all__ = [
+    "PLOT_FIELDS", "PLOT_HEADER", "STATS_KEYS",
+    "render_fuzzer_stats", "parse_fuzzer_stats",
+    "render_plot_data", "parse_plot_data", "plot_row",
+]
+
+Scalar = Union[int, float, str]
+
+#: plot_data columns, in AFL's order.
+PLOT_FIELDS = ("relative_time", "cycles_done", "cur_path", "paths_total",
+               "pending_total", "pending_favs", "map_size",
+               "unique_crashes", "unique_hangs", "max_depth",
+               "execs_per_sec")
+
+PLOT_HEADER = "# " + ", ".join(PLOT_FIELDS)
+
+#: fuzzer_stats keys, in AFL's customary order (subset relevant to the
+#: simulation; no pids or banner strings).
+STATS_KEYS = ("start_time", "last_update", "fuzzer_pid", "cycles_done",
+              "execs_done", "execs_per_sec", "paths_total",
+              "paths_favored", "paths_found", "paths_imported",
+              "max_depth", "cur_path", "pending_favs", "pending_total",
+              "unique_crashes", "unique_hangs", "bitmap_cvg",
+              "afl_banner", "afl_version")
+
+
+def _fmt(value: Scalar) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_fuzzer_stats(stats: Dict[str, Scalar]) -> str:
+    """Render ``key : value`` lines in :data:`STATS_KEYS` order.
+
+    Unknown keys are rejected rather than appended: the key set is the
+    compatibility contract with AFL tooling.
+    """
+    unknown = sorted(k for k in stats if k not in STATS_KEYS)
+    if unknown:
+        raise TelemetryError(
+            f"unknown fuzzer_stats keys: {', '.join(unknown)}")
+    lines = [f"{key:<17} : {_fmt(stats[key])}"
+             for key in STATS_KEYS if key in stats]
+    return "\n".join(lines) + "\n"
+
+
+def parse_fuzzer_stats(text: str) -> Dict[str, str]:
+    """Parse ``key : value`` lines; values stay strings."""
+    stats: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if ":" not in line:
+            raise TelemetryError(
+                f"fuzzer_stats line {lineno} is not 'key : value': "
+                f"{line!r}")
+        key, _, value = line.partition(":")
+        stats[key.strip()] = value.strip()
+    return stats
+
+
+def plot_row(values: Dict[str, Scalar]) -> List[Scalar]:
+    """Order a field dict into a plot_data row, checking completeness."""
+    missing = sorted(f for f in PLOT_FIELDS if f not in values)
+    if missing:
+        raise TelemetryError(
+            f"plot_data row missing fields: {', '.join(missing)}")
+    return [values[f] for f in PLOT_FIELDS]
+
+
+def render_plot_data(rows: Iterable[Sequence[Scalar]]) -> str:
+    """Render rows (already in :data:`PLOT_FIELDS` order) as CSV."""
+    lines = [PLOT_HEADER]
+    for row in rows:
+        if len(row) != len(PLOT_FIELDS):
+            raise TelemetryError(
+                f"plot_data row has {len(row)} fields, "
+                f"expected {len(PLOT_FIELDS)}")
+        lines.append(", ".join(_fmt(v) for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def parse_plot_data(text: str) -> List[Dict[str, float]]:
+    """Parse a plot_data CSV into one dict per row (numeric values)."""
+    lines = text.splitlines()
+    if not lines or lines[0] != PLOT_HEADER:
+        head = lines[0] if lines else "<empty>"
+        raise TelemetryError(
+            f"plot_data header mismatch: {head!r} != {PLOT_HEADER!r}")
+    rows = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        parts = [p.strip() for p in line.split(",")]
+        if len(parts) != len(PLOT_FIELDS):
+            raise TelemetryError(
+                f"plot_data line {lineno} has {len(parts)} fields, "
+                f"expected {len(PLOT_FIELDS)}")
+        try:
+            rows.append({field: float(part)
+                         for field, part in zip(PLOT_FIELDS, parts)})
+        except ValueError as exc:
+            raise TelemetryError(
+                f"plot_data line {lineno}: non-numeric field: "
+                f"{line!r}") from exc
+    return rows

@@ -1,0 +1,96 @@
+"""Human-readable status views over telemetry state.
+
+Renders the ``afl-whatsup``-style live view behind
+``repro-fuzz telemetry --telemetry-dir DIR`` and the post-run summary
+the CLI prints when a campaign was run with telemetry enabled. Works
+from either a live :class:`~repro.telemetry.recorder.TelemetryRecorder`
+(ring buffer + derived stats, no filesystem) or a flushed directory
+tree (parsed artifacts).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from .aflstats import parse_fuzzer_stats
+from .recorder import TelemetryRecorder
+from .validate import load_events
+
+__all__ = ["render_status", "render_recorder", "render_tree",
+           "load_directory"]
+
+#: (fuzzer_stats key, display label) rows of the status card.
+_STATUS_ROWS: Tuple[Tuple[str, str], ...] = (
+    ("last_update", "virtual time (s)"),
+    ("execs_done", "execs done"),
+    ("execs_per_sec", "execs/sec"),
+    ("paths_total", "paths total"),
+    ("pending_favs", "pending favs"),
+    ("pending_total", "pending total"),
+    ("bitmap_cvg", "map density"),
+    ("unique_crashes", "crashes"),
+    ("unique_hangs", "hangs"),
+    ("cycles_done", "queue cycles"),
+)
+
+
+def render_status(title: str, stats: Dict[str, object],
+                  recent: Optional[List[dict]] = None,
+                  recent_limit: int = 5) -> str:
+    """One instance's status card: stats rows + most recent events."""
+    lines = [f"=== {title} ==="]
+    for key, label in _STATUS_ROWS:
+        if key in stats:
+            lines.append(f"  {label:<18} {stats[key]}")
+    if not any(key in stats for key, _ in _STATUS_ROWS):
+        lines.append("  (no snapshots recorded)")
+    if recent:
+        lines.append("  recent events:")
+        for event in recent[-recent_limit:]:
+            extras = " ".join(
+                f"{k}={event[k]}" for k in sorted(event)
+                if k not in ("t", "kind", "instance"))
+            lines.append(
+                f"    [t={event['t']:.2f}] {event['kind']} {extras}".rstrip())
+    return "\n".join(lines)
+
+
+def render_recorder(recorder: TelemetryRecorder,
+                    title: Optional[str] = None) -> str:
+    """Status card straight from a live recorder (ring buffer view)."""
+    if title is None:
+        title = ("session" if recorder.instance < 0
+                 else f"instance {recorder.instance}")
+    return render_status(title, recorder.afl.fuzzer_stats(),
+                         recorder.ring.events)
+
+
+def load_directory(directory: str) -> Tuple[Dict[str, str], List[dict]]:
+    """Parsed (fuzzer_stats, events) from one flushed directory."""
+    stats: Dict[str, str] = {}
+    stats_path = os.path.join(directory, "fuzzer_stats")
+    if os.path.exists(stats_path):
+        with open(stats_path, "r", encoding="utf-8") as fh:
+            stats = parse_fuzzer_stats(fh.read())
+    events: List[dict] = []
+    events_path = os.path.join(directory, "events.jsonl")
+    if os.path.exists(events_path):
+        events = load_events(events_path)
+    return stats, events
+
+
+def render_tree(root: str) -> str:
+    """Status cards for every telemetry directory under ``root``."""
+    from .validate import telemetry_dirs
+    sections: List[str] = []
+    if os.path.isdir(root):
+        for directory in telemetry_dirs(root):
+            stats, events = load_directory(directory)
+            title = os.path.relpath(directory, root)
+            if title == ".":
+                title = root
+            sections.append(render_status(title, stats, events))
+    if not sections:
+        return f"=== {root} ===\n  (no telemetry artifacts found)"
+    return "\n\n".join(sections)

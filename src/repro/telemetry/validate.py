@@ -1,0 +1,101 @@
+"""Consumer-side validation of on-disk telemetry artifacts.
+
+Used by the CI smoke step (``python -m repro.telemetry <dir>``) and by
+tests: load what the recorder flushed, check the JSONL stream against
+:data:`repro.telemetry.events.EVENT_SCHEMA`, and check that the AFL
+artifacts parse. Problems raise :class:`TelemetryError` with the file
+and line in the message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from ..core.errors import TelemetryError
+from .aflstats import parse_fuzzer_stats, parse_plot_data
+from .events import validate_event
+
+__all__ = ["load_events", "telemetry_dirs", "validate_directory",
+           "validate_tree"]
+
+
+def load_events(path: str) -> List[dict]:
+    """Parse + schema-validate one ``events.jsonl`` file."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                raise TelemetryError(
+                    f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            events.append(
+                validate_event(event, where=f"{path}:{lineno}"))
+    return events
+
+
+def validate_directory(directory: str) -> Dict[str, int]:
+    """Validate one instance directory; return artifact counts.
+
+    ``events.jsonl`` is required; ``fuzzer_stats``/``plot_data`` are
+    validated when present (session-level directories have only the
+    event log).
+    """
+    report: Dict[str, int] = {}
+    events_path = os.path.join(directory, "events.jsonl")
+    if not os.path.exists(events_path):
+        raise TelemetryError(f"{directory}: missing events.jsonl")
+    report["events"] = len(load_events(events_path))
+
+    stats_path = os.path.join(directory, "fuzzer_stats")
+    if os.path.exists(stats_path):
+        with open(stats_path, "r", encoding="utf-8") as fh:
+            stats = parse_fuzzer_stats(fh.read())
+        if not stats:
+            raise TelemetryError(f"{stats_path}: no stats parsed")
+        report["stats_keys"] = len(stats)
+
+    plot_path = os.path.join(directory, "plot_data")
+    if os.path.exists(plot_path):
+        with open(plot_path, "r", encoding="utf-8") as fh:
+            report["plot_rows"] = len(parse_plot_data(fh.read()))
+    return report
+
+
+def telemetry_dirs(root: str) -> List[str]:
+    """Every directory under ``root`` holding an event log, sorted.
+
+    Covers all three layouts the recorders produce: a single campaign
+    flushed straight into ``root``, a parallel session's
+    ``instance-*`` children, and the experiments runner's
+    sequence-numbered per-campaign directories.
+    """
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        if "events.jsonl" in filenames:
+            found.append(dirpath)
+    return found
+
+
+def validate_tree(root: str) -> Dict[str, Dict[str, int]]:
+    """Validate every telemetry directory under ``root``.
+
+    Returns ``{relative directory: counts}`` in sorted order. A root
+    with no event log anywhere is an error — it means telemetry was
+    requested but nothing was recorded.
+    """
+    if not os.path.isdir(root):
+        raise TelemetryError(f"{root}: not a directory")
+    reports: Dict[str, Dict[str, int]] = {}
+    for directory in telemetry_dirs(root):
+        reports[os.path.relpath(directory, root)] = \
+            validate_directory(directory)
+    if not reports:
+        raise TelemetryError(
+            f"{root}: no events.jsonl anywhere under the tree")
+    return reports

@@ -1,0 +1,97 @@
+"""Reporter: one output funnel, three modes, failures always on the
+error stream."""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.reporter import JSON, QUIET, TEXT, Reporter
+
+
+def make(mode):
+    out, err = io.StringIO(), io.StringIO()
+    return Reporter(mode, stream=out, err_stream=err), out, err
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="unknown reporter mode"):
+        Reporter("verbose")
+
+
+class TestText:
+    def test_completed_prints_banner_and_report(self):
+        reporter, out, err = make(TEXT)
+        reporter.completed("fig6", "quick", 1.25, "the report body")
+        text = out.getvalue()
+        assert "fig6" in text
+        assert "profile=quick" in text
+        assert "the report body" in text
+        assert err.getvalue() == ""
+
+    def test_failed_goes_to_error_stream(self):
+        reporter, out, err = make(TEXT)
+        reporter.failed("fig6", 2.0, ValueError("boom"))
+        assert "FAILED" in err.getvalue()
+        assert "boom" in err.getvalue()
+        assert out.getvalue() == ""
+
+    def test_summary_with_keep_going_hint(self):
+        reporter, _, err = make(TEXT)
+        reporter.summary(["fig6"], keep_going=False)
+        assert "--keep-going" in err.getvalue()
+        reporter2, _, err2 = make(TEXT)
+        reporter2.summary(["fig6", "fig7"])
+        assert "2 experiment(s) failed" in err2.getvalue()
+        assert "--keep-going" not in err2.getvalue()
+
+    def test_no_failures_no_summary(self):
+        reporter, out, err = make(TEXT)
+        reporter.summary([])
+        assert out.getvalue() == "" and err.getvalue() == ""
+
+
+class TestQuiet:
+    def test_one_line_per_experiment(self):
+        reporter, out, _ = make(QUIET)
+        reporter.completed("fig6", "quick", 1.25, "body not shown")
+        assert out.getvalue() == "[ok]   fig6 (1.2s)\n"
+
+    def test_failed_line(self):
+        reporter, out, err = make(QUIET)
+        reporter.failed("fig6", 2.0, ValueError("boom"))
+        assert out.getvalue() == "[FAIL] fig6 (2.0s)\n"
+        assert "boom" in err.getvalue()
+
+
+class TestJson:
+    def parse(self, out):
+        return [json.loads(line) for line in
+                out.getvalue().splitlines()]
+
+    def test_records_are_canonical_json(self):
+        reporter, out, _ = make(JSON)
+        reporter.listing("fig6", "throughput")
+        reporter.skipped("fig7", "report exists")
+        reporter.completed("fig6", "quick", 1.0, "body")
+        reporter.info("note")
+        records = self.parse(out)
+        assert [r["kind"] for r in records] == [
+            "experiment", "skip", "completed", "info"]
+        for line in out.getvalue().splitlines():
+            assert list(json.loads(line)) == sorted(json.loads(line))
+
+    def test_completed_carries_report(self):
+        reporter, out, _ = make(JSON)
+        reporter.completed("fig6", "quick", 1.0, "body")
+        (record,) = self.parse(out)
+        assert record["report"] == "body"
+        assert record["elapsed_seconds"] == 1.0
+
+    def test_failure_record_on_stdout_traceback_on_stderr(self):
+        reporter, out, err = make(JSON)
+        reporter.failed("fig6", 2.0, ValueError("boom"))
+        (record,) = self.parse(out)
+        assert record["kind"] == "failed"
+        assert "boom" in record["error"]
+        assert "boom" in err.getvalue()

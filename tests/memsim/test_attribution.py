@@ -1,0 +1,73 @@
+"""Per-level cycle attribution: the telemetry-facing decomposition of
+``exec_cycles`` must account for every cycle exactly, across every
+pricing branch of the model."""
+
+import itertools
+
+import pytest
+
+from repro.memsim import (AFL, BIGMAP, BitmapCostModel, ExecShape,
+                          MapCostConfig)
+
+LEVEL_KEYS = ("core", "l1d", "l2", "llc", "dram", "tlb")
+
+SHAPES = (
+    ExecShape(traversals=16_000, unique_locations=9_000,
+              used_bytes=30_000),
+    ExecShape(traversals=400, unique_locations=250, used_bytes=900,
+              interesting=True, hash_bytes=900),
+)
+
+
+def variants():
+    for kind, size, merged, nt, huge in itertools.product(
+            (AFL, BIGMAP), (1 << 16, 1 << 23), (True, False),
+            (True, False), (True, False)):
+        yield BitmapCostModel(MapCostConfig(
+            kind, size, merged_classify_compare=merged,
+            non_temporal_reset=nt, huge_pages=huge))
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_attribution_sums_to_exec_cycles_total(shape):
+    for model in variants():
+        attribution = model.cycle_attribution(shape)
+        assert set(attribution) == set(LEVEL_KEYS)
+        assert all(v >= 0.0 for v in attribution.values())
+        total = model.exec_cycles(shape).total
+        assert sum(attribution.values()) == pytest.approx(
+            total, rel=1e-12), model.config
+
+
+def test_level_share_normalizes():
+    model = BitmapCostModel(MapCostConfig(AFL, 1 << 23))
+    share = model.level_share(SHAPES[0])
+    assert set(share) == set(LEVEL_KEYS)
+    assert sum(share.values()) == pytest.approx(1.0)
+    assert all(0.0 <= v <= 1.0 for v in share.values())
+
+
+def test_afl_large_map_attribution_leaves_core():
+    """Figure 3's story in attribution form: at 8M the AFL sweeps are
+    priced out of cache, so dram + llc must carry real weight."""
+    small = BitmapCostModel(MapCostConfig(AFL, 1 << 16))
+    large = BitmapCostModel(MapCostConfig(AFL, 1 << 23))
+    shape = SHAPES[0]
+    small_share = small.level_share(shape)
+    large_share = large.level_share(shape)
+    assert large_share["dram"] + large_share["llc"] > \
+        small_share["dram"] + small_share["llc"]
+
+
+def test_non_temporal_reset_moves_reset_to_dram():
+    shape = SHAPES[0]
+    nt = BitmapCostModel(MapCostConfig(
+        AFL, 1 << 23, non_temporal_reset=True))
+    plain = BitmapCostModel(MapCostConfig(
+        AFL, 1 << 23, non_temporal_reset=False))
+    assert nt.cycle_attribution(shape)["dram"] > 0.0
+    # NT stores bypass the hierarchy: totals still fully accounted.
+    assert sum(nt.cycle_attribution(shape).values()) == pytest.approx(
+        nt.exec_cycles(shape).total, rel=1e-12)
+    assert sum(plain.cycle_attribution(shape).values()) == pytest.approx(
+        plain.exec_cycles(shape).total, rel=1e-12)

@@ -1,0 +1,84 @@
+"""AFL artifact formats: render/parse inverses, header contract,
+key-set enforcement."""
+
+import pytest
+
+from repro.core.errors import TelemetryError
+from repro.telemetry.aflstats import (PLOT_FIELDS, PLOT_HEADER,
+                                      STATS_KEYS, parse_fuzzer_stats,
+                                      parse_plot_data, plot_row,
+                                      render_fuzzer_stats,
+                                      render_plot_data)
+
+
+def full_stats():
+    return {key: i for i, key in enumerate(STATS_KEYS)
+            if key not in ("bitmap_cvg", "afl_banner", "afl_version")} | {
+        "bitmap_cvg": "1.23%", "afl_banner": "zlib",
+        "afl_version": "repro-sim"}
+
+
+class TestFuzzerStats:
+    def test_render_parse_roundtrip(self):
+        text = render_fuzzer_stats(full_stats())
+        parsed = parse_fuzzer_stats(text)
+        assert set(parsed) == set(STATS_KEYS)
+        assert parsed["afl_banner"] == "zlib"
+        assert parsed["bitmap_cvg"] == "1.23%"
+
+    def test_afl_key_column_pad(self):
+        text = render_fuzzer_stats(full_stats())
+        for line in text.splitlines():
+            assert line[17:20] == " : "
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(TelemetryError, match="unknown fuzzer_stats"):
+            render_fuzzer_stats({"not_an_afl_key": 1})
+
+    def test_float_formatting(self):
+        text = render_fuzzer_stats({"execs_per_sec": 1234.5678})
+        assert "1234.57" in text
+
+    def test_parse_rejects_garbage_line(self):
+        with pytest.raises(TelemetryError, match="line 1"):
+            parse_fuzzer_stats("no separator here\n")
+
+
+class TestPlotData:
+    def row(self, **overrides):
+        values = {field: i for i, field in enumerate(PLOT_FIELDS)}
+        values.update(overrides)
+        return plot_row(values)
+
+    def test_header_matches_afl(self):
+        assert PLOT_HEADER == (
+            "# relative_time, cycles_done, cur_path, paths_total, "
+            "pending_total, pending_favs, map_size, unique_crashes, "
+            "unique_hangs, max_depth, execs_per_sec")
+
+    def test_render_parse_roundtrip(self):
+        text = render_plot_data([self.row(), self.row(relative_time=9)])
+        rows = parse_plot_data(text)
+        assert len(rows) == 2
+        assert rows[1]["relative_time"] == 9.0
+        assert rows[0]["execs_per_sec"] == float(len(PLOT_FIELDS) - 1)
+
+    def test_plot_row_orders_fields(self):
+        row = self.row()
+        assert row == list(range(len(PLOT_FIELDS)))
+
+    def test_plot_row_missing_field_rejected(self):
+        with pytest.raises(TelemetryError, match="missing fields"):
+            plot_row({"relative_time": 0})
+
+    def test_parse_rejects_wrong_header(self):
+        with pytest.raises(TelemetryError, match="header mismatch"):
+            parse_plot_data("# wrong\n1, 2, 3\n")
+
+    def test_parse_rejects_short_row(self):
+        with pytest.raises(TelemetryError, match="has 2 fields"):
+            parse_plot_data(PLOT_HEADER + "\n1, 2\n")
+
+    def test_render_rejects_short_row(self):
+        with pytest.raises(TelemetryError, match="has 1 fields"):
+            render_plot_data([[1]])

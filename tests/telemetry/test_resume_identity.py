@@ -1,0 +1,95 @@
+"""Satellite guarantee: a campaign resumed from a checkpoint continues
+its telemetry series **byte-identically** — the resumed run's
+``plot_data`` (and every other artifact) matches an uninterrupted run.
+
+One subtlety: ``step_until`` breaks the havoc energy loop at its
+deadline, so scheduling depends on the slice boundaries. The baseline
+therefore steps through the *same* windows as the interrupted run; what
+the test isolates is the checkpoint/restore machinery, which must add
+nothing and lose nothing.
+"""
+
+import pytest
+
+from repro.fuzzer import Campaign, CampaignConfig
+from repro.target import get_benchmark
+from repro.telemetry.recorder import TelemetryRecorder
+
+CUT = 0.25
+END = 0.6
+
+
+@pytest.fixture(scope="module")
+def built():
+    return get_benchmark("libpng").build(scale=0.25, seed_scale=1.0)
+
+
+def make_campaign(built):
+    config = CampaignConfig(
+        benchmark="libpng", fuzzer="bigmap", map_size=1 << 18,
+        scale=0.25, seed_scale=1.0, virtual_seconds=END,
+        max_real_execs=4_000, rng_seed=11)
+    return Campaign(config, built=built,
+                    telemetry=TelemetryRecorder(instance=0))
+
+
+@pytest.fixture(scope="module")
+def baseline(built):
+    """Uninterrupted run stepping through the same windows."""
+    campaign = make_campaign(built)
+    campaign.start()
+    campaign.step_until(CUT)
+    campaign.step_until(END)
+    campaign.finish()
+    return campaign.telemetry.artifacts()
+
+
+def test_resumed_artifacts_are_byte_identical(built, baseline):
+    campaign = make_campaign(built)
+    campaign.start()
+    campaign.step_until(CUT)
+    checkpoint = campaign.snapshot()
+
+    # Diverge past the cut, then roll back and finish the window.
+    campaign.step_until(END)
+    campaign.restore(checkpoint)
+    campaign.step_until(END)
+    campaign.finish()
+
+    resumed = campaign.telemetry.artifacts()
+    assert sorted(resumed) == sorted(baseline)
+    for name in sorted(baseline):
+        assert resumed[name] == baseline[name], (
+            f"{name} differs after checkpoint resume")
+
+
+def test_restore_into_fresh_recorder(built, baseline):
+    """The checkpoint carries full telemetry state: restoring into a
+    *new* campaign object (fresh recorder, as after a process restart)
+    reproduces the same artifacts."""
+    original = make_campaign(built)
+    original.start()
+    original.step_until(CUT)
+    checkpoint = original.snapshot()
+
+    reborn = make_campaign(built)
+    reborn.start()
+    reborn.restore(checkpoint)
+    reborn.step_until(END)
+    reborn.finish()
+
+    assert reborn.telemetry.artifacts() == baseline
+
+
+def test_plot_data_prefix_property(built, baseline):
+    """The interrupted run's plot_data at the cut is a prefix of the
+    full series — resuming appends, never rewrites."""
+    campaign = make_campaign(built)
+    campaign.start()
+    campaign.step_until(CUT)
+    partial = campaign.telemetry.afl.rows
+    full_rows_rendered = baseline["plot_data"]
+    from repro.telemetry.aflstats import render_plot_data
+    partial_rendered = render_plot_data(partial)
+    header, _, partial_body = partial_rendered.partition("\n")
+    assert full_rows_rendered.startswith(header + "\n" + partial_body)
