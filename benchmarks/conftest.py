@@ -48,6 +48,11 @@ class _FallbackBenchmark:
         self.elapsed = time.perf_counter() - start  # statlint: disable=DET001 (bench fixture times the host on purpose)
         return result
 
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1,
+                 iterations=1):
+        """Single-shot mirror of pytest-benchmark's ``pedantic``."""
+        return self(fn, *args, **(kwargs or {}))
+
 
 if not _HAVE_PYTEST_BENCHMARK:
     @pytest.fixture

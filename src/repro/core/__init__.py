@@ -15,8 +15,10 @@ from .access import (AccessLog, AccessRecord, NullAccessLog, Op, OpCounter,
                      OpStats, Pattern)
 from .afl_bitmap import AflCoverage
 from .bigmap import BigMapCoverage
-from .bitmap_base import (COUNTER_SATURATE, COUNTER_WRAP, CoverageMap,
-                          aggregate_keys, apply_counts)
+from .bitmap_base import (BatchUpdate, COUNTER_SATURATE, COUNTER_WRAP,
+                          CoverageMap, aggregate_keys,
+                          aggregate_keys_batch, apply_counts,
+                          classified_counts)
 from .classify import (BUCKET_VALUES, COUNT_CLASS_LOOKUP8, bucket_of,
                        classify_counts, is_classified)
 from .compare import (NEW_EDGE, NEW_HIT_COUNT, NO_NEW_COVERAGE,
@@ -30,7 +32,8 @@ __all__ = [
     "AccessLog", "AccessRecord", "NullAccessLog", "Op", "OpCounter",
     "OpStats", "Pattern",
     "AflCoverage", "BigMapCoverage", "CoverageMap",
-    "COUNTER_SATURATE", "COUNTER_WRAP", "aggregate_keys", "apply_counts",
+    "BatchUpdate", "COUNTER_SATURATE", "COUNTER_WRAP", "aggregate_keys",
+    "aggregate_keys_batch", "apply_counts", "classified_counts",
     "BUCKET_VALUES", "COUNT_CLASS_LOOKUP8", "bucket_of", "classify_counts",
     "is_classified",
     "NEW_EDGE", "NEW_HIT_COUNT", "NO_NEW_COVERAGE", "CompareResult",

@@ -26,7 +26,8 @@ from typing import List
 import numpy as np
 
 from .access import Op
-from .bitmap_base import CoverageMap, aggregate_keys, apply_counts
+from .bitmap_base import (BatchUpdate, CoverageMap, aggregate_keys,
+                          apply_counts)
 from .classify import classify_counts
 from .compare import CompareResult, VirginMap
 from .hashing import crc32_full
@@ -120,6 +121,16 @@ class AflCoverage(CoverageMap):
         self.log.sweep(Op.COMPARE, "virgin", self.map_size,
                        write=result.interesting)
         return result
+
+    def compare_batch(self, update: BatchUpdate,
+                      virgin: VirginMap) -> np.ndarray:
+        """Per-trace would-be-interesting flags: keys index virgin
+        directly (flat map), so one gather covers the whole batch."""
+        if update.keys.size == 0:
+            return np.zeros(update.n, dtype=bool)
+        hit = (update.classified & virgin.virgin[update.keys]) != 0
+        seg = update.segment_ids()
+        return np.bincount(seg[hit], minlength=update.n) > 0
 
     def hash(self) -> int:
         """Path identifier of the classified trace.

@@ -29,7 +29,8 @@ from __future__ import annotations
 import numpy as np
 
 from .access import Op
-from .bitmap_base import CoverageMap, aggregate_keys, apply_counts
+from .bitmap_base import (BatchUpdate, CoverageMap, aggregate_keys,
+                          apply_counts)
 from .classify import classify_counts
 from .compare import CompareResult, VirginMap
 from .errors import MapFullError
@@ -115,10 +116,29 @@ class BigMapCoverage(CoverageMap):
                        write=result.interesting)
         return result
 
+    def compare_batch(self, update: BatchUpdate,
+                      virgin: VirginMap) -> np.ndarray:
+        """Per-trace would-be-interesting flags (read-only).
+
+        A key with no condensed slot yet would allocate one on a real
+        update — a brand-new edge — so it flags its trace outright.
+        Assigned keys test their classified byte against the virgin
+        byte of their slot, like :meth:`compare` restricted to the
+        condensed prefix.
+        """
+        if update.keys.size == 0:
+            return np.zeros(update.n, dtype=bool)
+        slots = self.index[update.keys]
+        fresh = slots == self.UNASSIGNED
+        virgin_vals = virgin.virgin[np.where(fresh, 0, slots)]
+        hit = fresh | ((update.classified & virgin_vals) != 0)
+        seg = update.segment_ids()
+        return np.bincount(seg[hit], minlength=update.n) > 0
+
     def hash(self) -> int:
         last = last_nonzero_index(self.cov, self.used_key)
         self.log.sweep(Op.HASH, "coverage", last + 1)
-        return crc32_trimmed(self.cov, self.used_key)
+        return crc32_trimmed(self.cov, last_index=last)
 
     # -- introspection ---------------------------------------------------
 

@@ -15,11 +15,13 @@ which is the whole point of the paper.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
 from .access import AccessLog, NullAccessLog
+from .classify import classify_counts
 from .compare import CompareResult, VirginMap
 from .errors import KeyRangeError, MapSizeError, TraceShapeError
 
@@ -55,6 +57,103 @@ def aggregate_keys(keys: np.ndarray, counts: np.ndarray
     unique, inverse = np.unique(keys, return_inverse=True)
     summed = np.bincount(inverse, weights=counts).astype(np.int64)
     return unique.astype(np.int64), summed
+
+
+def aggregate_keys_batch(keys: np.ndarray, counts: np.ndarray,
+                         offsets: np.ndarray, map_size: int
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment :func:`aggregate_keys` over one flat key array.
+
+    Trace ``i`` owns ``keys[offsets[i]:offsets[i+1]]``. Each segment is
+    aggregated independently — duplicate keys within a segment sum
+    their counts; identical keys in *different* segments stay separate.
+    Within each output segment keys are sorted ascending, exactly like
+    the scalar helper.
+
+    Returns:
+        ``(unique_keys, summed_counts, out_offsets)`` — flat aggregated
+        arrays plus the new segment boundaries.
+    """
+    n_seg = offsets.size - 1
+    if keys.size == 0:
+        return (keys.astype(np.int64), counts.astype(np.int64),
+                np.zeros(n_seg + 1, dtype=np.int64))
+    seg = np.repeat(np.arange(n_seg, dtype=np.int64), np.diff(offsets))
+    composite = seg * np.int64(map_size) + keys
+    # Hand-rolled unique: argsort + group-boundary prefix sums stay in
+    # int64 and skip the inverse array np.unique would build. Order
+    # among equal composites is irrelevant (their counts just sum).
+    order = np.argsort(composite)
+    sorted_comp = composite[order]
+    bounds = np.flatnonzero(
+        np.r_[True, sorted_comp[1:] != sorted_comp[:-1]])
+    unique = sorted_comp[bounds]
+    prefix = np.concatenate(
+        [[0], np.cumsum(np.asarray(counts, dtype=np.int64)[order])])
+    ends = np.concatenate([bounds[1:], [sorted_comp.size]])
+    summed = prefix[ends] - prefix[bounds]
+    out_seg = unique // np.int64(map_size)
+    out_keys = (unique - out_seg * np.int64(map_size)).astype(np.int64)
+    out_offsets = np.searchsorted(
+        out_seg, np.arange(n_seg + 1, dtype=np.int64)).astype(np.int64)
+    return out_keys, summed, out_offsets
+
+
+def classified_counts(summed: np.ndarray, mode: str) -> np.ndarray:
+    """Classified trace bytes a fresh map would hold after ``summed``.
+
+    Every execution starts from a reset map, so the stored byte for a
+    location is a pure function of that execution's summed hit count:
+    saturate/wrap to ``uint8``, then bucket. This is what lets batched
+    compare work from aggregated counts without materializing any map.
+    """
+    if mode == COUNTER_SATURATE:
+        stored = np.minimum(summed, 255).astype(np.uint8)
+    elif mode == COUNTER_WRAP:
+        stored = (summed & 0xFF).astype(np.uint8)
+    else:
+        raise ValueError(f"unknown counter mode {mode!r}")
+    return classify_counts(stored)
+
+
+@dataclass
+class BatchUpdate:
+    """Aggregated, classified view of a batch of traces.
+
+    Produced by :meth:`CoverageMap.update_batch`. Nothing here touches
+    the coverage map itself — per-execution maps are reset-scoped, so
+    the classified bytes are derivable from the counts alone (see
+    :func:`classified_counts`); the map is only materialized for the
+    rare traces that survive the batched compare pre-filter.
+
+    Attributes:
+        keys: flat per-segment-unique map keys, ascending per segment.
+        summed: collision-aggregated hit counts aligned with ``keys``.
+        classified: bucketed trace bytes aligned with ``keys``.
+        offsets: segment boundaries (``n + 1`` entries).
+        n_unique: distinct locations per trace (the cost model's
+            ``unique_locations``).
+    """
+
+    keys: np.ndarray
+    summed: np.ndarray
+    classified: np.ndarray
+    offsets: np.ndarray
+    n_unique: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.offsets.size - 1)
+
+    def segment(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(keys, summed) views for trace ``i``."""
+        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+        return self.keys[lo:hi], self.summed[lo:hi]
+
+    def segment_ids(self) -> np.ndarray:
+        """Segment index of every flat entry."""
+        return np.repeat(np.arange(self.n, dtype=np.int64),
+                         np.diff(self.offsets))
 
 
 def apply_counts(store: np.ndarray, slots: np.ndarray, summed: np.ndarray,
@@ -126,6 +225,41 @@ class CoverageMap(ABC):
         """
         self.classify()
         return self.compare(virgin)
+
+    # -- batched pipeline -------------------------------------------------
+
+    def update_batch(self, keys: np.ndarray, counts: np.ndarray,
+                     offsets: np.ndarray) -> BatchUpdate:
+        """Aggregate + classify a whole batch of traces at once.
+
+        The flat ``keys``/``counts`` arrays hold one segment per trace
+        (``offsets`` as in :class:`BatchExecResult`). Unlike
+        :meth:`update` this does NOT touch the map: it computes, per
+        trace, exactly what ``reset(); update(seg)`` would store and
+        what ``classify()`` would bucket it to (see
+        :func:`classified_counts`). Traces that turn out to need real
+        map state (interesting / crash / hang) replay the scalar path.
+        """
+        self._check_keys(keys)
+        u_keys, summed, u_off = aggregate_keys_batch(
+            keys, counts, offsets, self.map_size)
+        return BatchUpdate(
+            keys=u_keys, summed=summed,
+            classified=classified_counts(summed, self.counter_mode),
+            offsets=u_off, n_unique=np.diff(u_off))
+
+    def compare_batch(self, update: BatchUpdate,
+                      virgin: VirginMap) -> np.ndarray:
+        """Per-trace "could this be interesting?" flags (read-only).
+
+        Conservative superset of :meth:`compare`'s ``interesting``
+        against the virgin map *as it is now*: virgin bits only clear
+        monotonically, so a trace flagged ``False`` here stays
+        uninteresting no matter what earlier traces in the batch merge
+        in the meantime. Flagged traces must replay the full scalar
+        pipeline to learn the truth (and to perform the merge).
+        """
+        raise NotImplementedError
 
     # -- introspection ---------------------------------------------------
 

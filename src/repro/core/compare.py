@@ -90,10 +90,22 @@ class VirginMap:
 
         Exactly equivalent to :meth:`merge` on a full map that is zero
         everywhere outside ``indices`` — locations with a zero trace
-        byte can never clear virgin bits. ``indices`` must be unique.
+        byte can never clear virgin bits. Duplicate indices are OR-ed
+        together first (the dense equivalent holds one byte per
+        location, the union of the observed buckets); without the
+        aggregation, duplicate fancy-index stores would be last-write-
+        wins and ``new_edges``/``new_buckets`` would double-count.
         """
         if indices.size == 0:
             return CompareResult(NO_NEW_COVERAGE, 0, 0)
+        if indices.size > 1 and not bool(np.all(np.diff(indices) > 0)):
+            # Not strictly increasing, so possibly duplicated (the hot
+            # callers pass np.unique output, which skips this branch).
+            unique, inverse = np.unique(indices, return_inverse=True)
+            if unique.size != indices.size:
+                merged = np.zeros(unique.size, dtype=np.uint8)
+                np.bitwise_or.at(merged, inverse, values)
+                indices, values = unique, merged
         virgin_vals = self.virgin[indices]
         hits = (values & virgin_vals) != 0
         if not hits.any():

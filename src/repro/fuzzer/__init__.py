@@ -17,7 +17,8 @@ from .checkpoint import CampaignCheckpoint
 from .dictionary import DictionaryMixer, extract_dictionary
 from .clock import VirtualClock
 from .mutation import (ARITH_MAX, HAVOC_STACK_POW2, INTERESTING_8,
-                       INTERESTING_16, INTERESTING_32, Mutator)
+                       INTERESTING_16, INTERESTING_32, MutantBatch,
+                       Mutator)
 from .parallel import (ParallelResultSummary, ParallelSession,
                        run_ensemble, run_parallel)
 from .pool import SeedPool
@@ -32,7 +33,7 @@ __all__ = [
     "DictionaryMixer", "extract_dictionary",
     "VirtualClock",
     "ARITH_MAX", "HAVOC_STACK_POW2", "INTERESTING_8", "INTERESTING_16",
-    "INTERESTING_32", "Mutator",
+    "INTERESTING_32", "MutantBatch", "Mutator",
     "ParallelResultSummary", "ParallelSession", "run_ensemble",
     "run_parallel",
     "SeedPool", "EnergyPolicy", "Scheduler", "Seed",

@@ -69,6 +69,13 @@ class CampaignConfig:
             timeout): reported, deduplicated against ``virgin_tmout``,
             never admitted to the queue. ``None`` disables hang
             detection.
+        batch_execution: run each seed's whole energy budget as one
+            vectorized batch (mutation, execution, coverage compare),
+            replaying only crash / hang / possibly-interesting traces
+            through the scalar pipeline. Results are bit-identical to
+            the serial engine — same RNG stream, same admits, same
+            curves, same checkpoints — it is purely an execution
+            strategy (see DESIGN.md, "batch equivalence contract").
         use_dictionary: extract the target's compare operands as an
             autodictionary and let havoc stamp them in — the *other*
             road (besides laf-intel) past multi-byte magic compares.
@@ -95,6 +102,7 @@ class CampaignConfig:
     trim_seeds: bool = False
     persistent_mode: bool = True
     hang_factor: Optional[float] = 20.0
+    batch_execution: bool = True
     use_dictionary: bool = False
     anchor_rate: Optional[float] = None
     machine: Machine = XEON_E5645
@@ -246,19 +254,35 @@ class Campaign:
             hash_bytes=hash_bytes)
         return result, compare, shape, snapshot
 
-    def _charge(self, shape: ExecShape) -> float:
-        with self._span_cost:
-            ops = self.model.exec_cycles(shape)
+    def _charge(self, shape: ExecShape, ops=None) -> float:
+        """Charge one execution's modeled cost to the virtual clock.
+
+        ``ops`` may carry a precomputed :class:`OpCycles` (the batched
+        engine prices whole batches at once); it must equal
+        ``model.exec_cycles(shape)`` bit-for-bit, which
+        ``exec_cycles_batch`` guarantees.
+        """
+        if ops is None:
+            with self._span_cost:
+                ops = self.model.exec_cycles(shape)
+        total = ops.total
         multiplier = (getattr(self, "cycle_multiplier", 1.0) *
                       self.fault_multiplier)
-        self.clock.charge(ops.total * multiplier)
-        for key, value in ops.as_dict().items():
-            self.op_cycles[key] += value
+        self.clock.charge(total * multiplier)
+        # Unrolled ops.as_dict() accumulation: per-key float order is
+        # what checkpoint equality depends on, and it is unchanged.
+        oc = self.op_cycles
+        oc["execution"] += ops.execution
+        oc["reset"] += ops.reset
+        oc["classify"] += ops.classify
+        oc["compare"] += ops.compare
+        oc["hash"] += ops.hash
+        oc["others"] += ops.others
         if self.telemetry is not None:
             self._observe_cost(ops, shape)
         self.shape_stats.absorb(shape)
         self.execs += 1
-        return ops.total
+        return total
 
     def _observe_cost(self, ops, shape: ExecShape) -> None:
         """Feed one execution's modeled cost into telemetry.
@@ -486,18 +510,33 @@ class Campaign:
             self.run_one(self.scheduler.next_seed(), deadline)
 
     def run_one(self, seed: Seed, deadline: float) -> None:
-        """Fuzz one scheduled seed: its full havoc energy loop."""
+        """Fuzz one scheduled seed: its full havoc energy loop.
+
+        Both engines draw the seed's whole energy budget through
+        :meth:`Mutator.havoc_batch` up front — the canonical mutation
+        stream — so switching ``batch_execution`` cannot move a single
+        RNG draw. The serial engine then walks the pre-generated
+        mutants through the scalar pipeline one at a time; the batched
+        engine executes them all at once and replays only the traces
+        the vectorized pre-filter cannot dismiss.
+        """
         with self._span_run_one:
             energy = self.scheduler.energy_for(seed)
             seed.fuzzed = True
             partner = self.pool.pick_splice_partner(self.rng, seed.seed_id)
-            for _ in range(energy):
+            if energy <= 0:
+                return
+            with self._span_mutate:
+                batch = self.mutator.havoc_batch(
+                    seed.data, energy,
+                    splice_with=partner.data if partner else None)
+            if self.config.batch_execution:
+                self._run_batch(seed, batch, deadline)
+                return
+            for i in range(energy):
                 if self._exhausted(deadline):
                     break
-                with self._span_mutate:
-                    mutant = self.mutator.havoc(
-                        seed.data,
-                        splice_with=partner.data if partner else None)
+                mutant = batch.tobytes(i)
                 result, compare, shape, snapshot = self._pipeline(mutant)
                 cycles = self._charge(shape)
                 if result.crash is not None:
@@ -510,6 +549,105 @@ class Campaign:
                     self._admit(mutant, cycles, seed.depth + 1,
                                 seed.seed_id, snapshot)
                 self._record_curve()
+
+    def _run_batch(self, seed: Seed, batch, deadline: float) -> None:
+        """Batched engine: execute a whole energy budget at once.
+
+        The vectorized front half (execute, key gather, aggregate,
+        classify, compare against virgin) computes, per trace, a
+        conservative "could this be interesting?" flag plus its exact
+        cheap-path cycle cost. Traces that crash, would time out, or
+        might be interesting replay the scalar pipeline — which also
+        performs the virgin merge exactly as the serial engine would.
+        Everything else is charged from the batch pricing without ever
+        materializing a coverage map.
+
+        The conservative flags are sound under in-order processing:
+        virgin bits only clear monotonically, so a trace dismissed
+        against the batch-start virgin map stays uninteresting no
+        matter what earlier traces merge before its turn.
+        """
+        # No spans around the batch kernels: the serial engine records
+        # one {execute, classify_compare, cost_eval} call per execution
+        # (zero clock delta — charging happens later), so the batched
+        # engine deposits the same per-exec calls below instead of
+        # phantom per-batch entries, keeping profiles bit-identical.
+        bres = self.executor.execute_batch(batch.data, batch.lengths)
+        keys, counts = self.instrumentation.keys_for_batch(
+            bres, list(batch.rows()))
+        update = self.coverage.update_batch(keys, counts,
+                                            bres.offsets)
+        flags = self.coverage.compare_batch(update, self.virgin)
+
+        bigmap = self.config.fuzzer == BIGMAP
+        used = self.coverage.active_bytes() if bigmap else 0
+        batch_ops = self.model.exec_cycles_batch(
+            bres.traversals, update.n_unique, used_bytes=used)
+        totals = batch_ops.totals()
+
+        budget = self._hang_budget_cycles
+        # The cheap-path cost is exact for non-replayed traces, so the
+        # hang prediction matches the serial engine's verdict.
+        base_replays = np.fromiter((c is not None for c in bres.crashes),
+                                   dtype=bool, count=bres.n) | flags
+        replays = base_replays if budget is None \
+            else base_replays | (totals > budget)
+
+        last_cheap = -1  # last processed trace that skipped the map
+        for i in range(bres.n):
+            if self._exhausted(deadline):
+                break
+            if replays[i]:
+                mutant = batch.tobytes(i)
+                result, compare, shape, snapshot = self._pipeline(mutant)
+                cycles = self._charge(shape)
+                if result.crash is not None:
+                    self._handle_crash(result, self._compare_limit())
+                elif self._is_hang(cycles):
+                    self._handle_hang()
+                elif compare.interesting:
+                    self._admit(mutant, cycles, seed.depth + 1,
+                                seed.seed_id, snapshot)
+                last_cheap = -1
+                if bigmap and self.coverage.active_bytes() != used:
+                    # used_key moved: re-price the remaining cheap
+                    # entries against the grown condensed prefix.
+                    used = self.coverage.active_bytes()
+                    batch_ops = self.model.exec_cycles_batch(
+                        bres.traversals, update.n_unique,
+                        used_bytes=used)
+                    totals = batch_ops.totals()
+                    if budget is not None:
+                        replays = base_replays | (totals > budget)
+            else:
+                shape = ExecShape(
+                    traversals=int(bres.traversals[i]),
+                    unique_locations=int(update.n_unique[i]),
+                    used_bytes=used, interesting=False, hash_bytes=0)
+                self._charge(shape, ops=batch_ops.row(i))
+                if self.telemetry is not None:
+                    # The per-exec span calls the scalar pipeline would
+                    # have recorded (its clock deltas are zero: the cost
+                    # is charged in _charge, outside those spans).
+                    tracer = self._tracer
+                    tracer.add("execute", 0.0)
+                    tracer.add("classify_compare", 0.0)
+                    tracer.add("cost_eval", 0.0)
+                last_cheap = i
+            self._record_curve()
+
+        if last_cheap >= 0:
+            # Leave the map exactly as the serial engine would: holding
+            # the classified trace of the last processed mutant
+            # (checkpoints capture the coverage map). reset + update +
+            # classify reproduces classify_and_compare's map effect —
+            # the merge never writes the local map. Host-only work: no
+            # clock, no virgin, no counters.
+            mkeys, mcounts = self.instrumentation.keys_for(
+                bres.result_for(last_cheap), batch.row(last_cheap))
+            self.coverage.reset()
+            self.coverage.update(mkeys, mcounts)
+            self.coverage.classify()
 
     def snapshot(self):
         """Capture a resumable checkpoint of the campaign's state.

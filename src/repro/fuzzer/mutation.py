@@ -9,6 +9,7 @@ to stacked random "havoc" mutations with occasional splicing.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
 import numpy as np
@@ -33,6 +34,43 @@ ARITH_MAX = 35
 
 #: Havoc block-operation size cap, as a fraction of the input.
 _BLOCK_FRACTION = 0.25
+
+#: Below this many live mutants, a vectorized length-op step costs more
+#: than finishing the remaining stacks with plain row slices.
+_SCALAR_STEP_CUTOFF = 48
+
+
+@dataclass
+class MutantBatch:
+    """A batch of mutants in padded-matrix form.
+
+    Attributes:
+        data: ``(n, width)`` uint8 matrix; every byte of row ``i`` at or
+            past ``lengths[i]`` is zero (the executor relies on this).
+        lengths: per-row logical lengths (``int64``).
+    """
+
+    data: np.ndarray
+    lengths: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.data.shape[1])
+
+    def row(self, i: int) -> np.ndarray:
+        """Exact-length uint8 view of mutant ``i``."""
+        return self.data[i, :int(self.lengths[i])]
+
+    def rows(self) -> list:
+        """Exact-length views for all mutants, in order."""
+        return [self.row(i) for i in range(self.n)]
+
+    def tobytes(self, i: int) -> bytes:
+        return self.row(i).tobytes()
 
 
 class Mutator:
@@ -82,6 +120,384 @@ class Mutator:
         if buf.size > self.max_len:
             buf = buf[:self.max_len]
         return buf.tobytes()
+
+    # -- batched havoc ----------------------------------------------------
+
+    def _batch_width(self, base_size: int, partner_size: int) -> int:
+        """Padded-matrix width: room to grow, capped at ``max_len``."""
+        longest = max(base_size, partner_size, self.min_len)
+        return int(min(self.max_len, max(64, 2 * longest)))
+
+    def havoc_batch(self, data: bytes, n: int,
+                    splice_with: Optional[bytes] = None) -> MutantBatch:
+        """Generate ``n`` stacked-random mutants of ``data`` at once.
+
+        This is the canonical havoc stream for campaigns: serial and
+        batched execution modes both draw a seed's whole energy through
+        this method, so the RNG consumption — and therefore every
+        downstream decision — is identical no matter how the mutants
+        are later executed.
+
+        The randomness is drawn in a fixed order: splice mask and cut
+        points (one vector each), per-row stacking depths, then one
+        ``(rounds, n)`` matrix per op parameter covering every round at
+        once (op codes, four uniform floats, a selector and a value
+        byte). Mutants use the same op mix as :meth:`havoc` (same ops,
+        same guard fallbacks to the constant-overwrite op, same
+        block-size cap), but the stack is applied in a canonical
+        type-major order rather than strictly interleaved: each
+        mutant's length-changing block ops run first (in round order),
+        then every byte-level op is applied against the final geometry
+        — bit flips and arithmetic first (commutative), then all
+        overwrites with per-byte conflicts resolved in round order.
+        The composition of any fixed op multiset is as random as the
+        interleaved one, the result is fully deterministic given the
+        RNG seed, and growth is bounded by the matrix width instead of
+        a final truncation.
+
+        Returns:
+            :class:`MutantBatch`; rows are zero-padded past their
+            logical lengths.
+        """
+        rng = self.rng
+        base = np.frombuffer(data, dtype=np.uint8)
+        partner = None if splice_with is None else \
+            np.frombuffer(splice_with, dtype=np.uint8)
+        width = self._batch_width(base.size,
+                                  0 if partner is None else partner.size)
+        mat = np.zeros((n, width), dtype=np.uint8)
+        lengths = np.full(n, min(base.size, width), dtype=np.int64)
+        if base.size:
+            mat[:, :int(lengths[0])] = base[:width]
+        else:
+            mat[:, :self.min_len] = rng.integers(
+                0, 256, size=(n, self.min_len), dtype=np.uint8)
+            lengths[:] = self.min_len
+
+        if partner is not None and partner.size > 2 and base.size > 2:
+            do_splice = rng.random(n) < 0.5
+            cut_a = rng.integers(1, base.size, size=n)
+            cut_b = rng.integers(1, partner.size, size=n)
+            for i in np.flatnonzero(do_splice):
+                ca, cb = int(cut_a[i]), int(cut_b[i])
+                joined = np.concatenate([base[:ca],
+                                         partner[cb:]])[:width]
+                mat[i] = 0
+                mat[i, :joined.size] = joined
+                lengths[i] = joined.size
+
+        n_ops = (1 << rng.integers(1, HAVOC_STACK_POW2 + 1,
+                                   size=n)).astype(np.int64)
+        rounds = int(n_ops.max()) if n else 0
+        if rounds:
+            op_m = rng.integers(0, 10, size=(rounds, n))
+            f1_m = rng.random((rounds, n))
+            f2_m = rng.random((rounds, n))
+            f3_m = rng.random((rounds, n))
+            f4_m = rng.random((rounds, n))
+            sel_m = rng.integers(0, 1 << 30, size=(rounds, n))
+            val_m = rng.integers(0, 256, size=(rounds, n),
+                                 dtype=np.uint8)
+            active = np.arange(rounds)[:, None] < n_ops[None, :]
+            self._apply_stacked(mat, lengths, width, active, op_m,
+                                f1_m, f2_m, f3_m, f4_m, sel_m, val_m)
+
+        if self.dictionary:
+            for i in range(n):
+                out = self.dictionary.maybe_apply(
+                    mat[i, :int(lengths[i])].copy(), rng)
+                out = out[:width]
+                mat[i] = 0
+                mat[i, :out.size] = out
+                lengths[i] = out.size
+        return MutantBatch(data=mat, lengths=lengths)
+
+    @staticmethod
+    def _block_scatter(starts: np.ndarray, lens: np.ndarray):
+        """Flat per-row block indices: ``(repeated_rows_base, cols)``.
+
+        For row-aligned blocks ``[starts[i], starts[i]+lens[i])``,
+        returns the within-block offsets and the flat column indices so
+        a whole vector of variable-length blocks becomes one fancy
+        index.
+        """
+        total = int(lens.sum())
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lens) - lens, lens)
+        return within, np.repeat(starts, lens) + within
+
+    def _apply_stacked(self, mat: np.ndarray, lengths: np.ndarray,
+                       width: int, active: np.ndarray,
+                       op_m: np.ndarray, f1_m: np.ndarray,
+                       f2_m: np.ndarray, f3_m: np.ndarray,
+                       f4_m: np.ndarray, sel_m: np.ndarray,
+                       val_m: np.ndarray) -> None:
+        """Apply every mutant's havoc stack in canonical type-major order.
+
+        ``active[r, i]`` marks round ``r`` live for mutant ``i``.
+        Length-changing ops (delete/insert) run first, per mutant in
+        round order, vectorized across mutants one stack position at a
+        time. Byte-level ops then run against the final geometry in a
+        handful of whole-batch passes: XOR bit flips and mod-256
+        arithmetic are commutative (``ufunc.at`` handles duplicate
+        targets), and all overwrites are resolved per byte by round
+        order — the same bytes a sequential replay of the writes would
+        leave behind. Guard failures (word/dword on short rows, delete
+        at the minimum length, insert at full width) fall through to
+        the constant-overwrite op, as in the scalar if/elif chain.
+        """
+        n = int(op_m.shape[1])
+        is_len = active & ((op_m == 6) | (op_m == 7))
+
+        # -- phase A: block deletes / inserts, sequential per mutant --
+        fb_rows = [np.empty(0, dtype=np.int64)]  # guard fallbacks
+        fb_rnds = [np.empty(0, dtype=np.int64)]
+        rows_a, rnds_a = np.nonzero(is_len.T)  # by row, then round
+        if rows_a.size:
+            counts = np.bincount(rows_a, minlength=n)
+            starts = np.cumsum(counts) - counts
+            for step in range(int(counts.max())):
+                live = counts > step
+                idx = starts[live] + step
+                if idx.size <= _SCALAR_STEP_CUTOFF:
+                    self._length_tail(mat, lengths, width, rows_a,
+                                      rnds_a, starts, counts, step,
+                                      op_m, f1_m, f2_m, f3_m, f4_m,
+                                      val_m, fb_rows, fb_rnds)
+                    break
+                r, rd = rows_a[idx], rnds_a[idx]
+                is_del = op_m[rd, r] == 6
+                ln = lengths[r]
+                bad = np.where(is_del, ln <= self.min_len, ln >= width)
+                if bad.any():
+                    fb_rows.append(r[bad])
+                    fb_rnds.append(rd[bad])
+                    good = ~bad
+                    r, rd = r[good], rd[good]
+                    is_del, ln = is_del[good], ln[good]
+                if r.size:
+                    self._length_step(mat, lengths, width, r, is_del,
+                                      ln, f1_m[rd, r], f2_m[rd, r],
+                                      f3_m[rd, r], f4_m[rd, r],
+                                      val_m[rd, r])
+
+        # -- phase B: byte-level ops against the final geometry --
+        rnds_b, rows_b = np.nonzero(active & ~is_len)
+        opv = op_m[rnds_b, rows_b]
+        ln = lengths[rows_b]
+        opv[(opv == 2) & (ln < 2)] = 9
+        opv[(opv == 3) & (ln < 4)] = 9
+        f1 = f1_m[rnds_b, rows_b]
+        f2 = f2_m[rnds_b, rows_b]
+        f3 = f3_m[rnds_b, rows_b]
+        sel = sel_m[rnds_b, rows_b]
+        val = val_m[rnds_b, rows_b]
+
+        m = opv == 0  # flip one bit
+        if m.any():
+            pos = (f1[m] * ln[m]).astype(np.int64)
+            np.bitwise_xor.at(
+                mat, (rows_b[m], pos),
+                np.uint8(1) << (f2[m] * 8).astype(np.uint8))
+
+        m = opv == 4  # arithmetic +/- (wraps mod 256)
+        if m.any():
+            pos = (f1[m] * ln[m]).astype(np.int64)
+            delta = 1 + (sel[m] % ARITH_MAX)
+            delta = np.where(f3[m] < 0.5, -delta, delta)
+            np.add.at(mat, (rows_b[m], pos), delta.astype(np.uint8))
+
+        # Overwrites: collect per-byte (flat index, round, value)
+        # triples, then keep the round-latest value per byte.
+        lin_parts: list = []
+        key_parts: list = []
+        val_parts: list = []
+
+        def emit(rows, rnds, cols, values):
+            lin_parts.append(rows * width + cols)
+            key_parts.append(rnds)
+            val_parts.append(values)
+
+        m = opv == 1  # interesting byte
+        if m.any():
+            pos = (f1[m] * ln[m]).astype(np.int64)
+            emit(rows_b[m], rnds_b[m], pos,
+                 INTERESTING_8[sel[m] % INTERESTING_8.size])
+
+        m = opv == 2  # interesting word
+        if m.any():
+            pos = (f1[m] * (ln[m] - 1)).astype(np.int64)
+            value = INTERESTING_16[sel[m] % INTERESTING_16.size]
+            value = np.where(f3[m] < 0.5, value.byteswap(), value)
+            emit(rows_b[m], rnds_b[m], pos,
+                 (value & 0xFF).astype(np.uint8))
+            emit(rows_b[m], rnds_b[m], pos + 1,
+                 (value >> 8).astype(np.uint8))
+
+        m = opv == 3  # interesting dword
+        if m.any():
+            pos = (f1[m] * (ln[m] - 3)).astype(np.int64)
+            value = INTERESTING_32[sel[m] % INTERESTING_32.size]
+            value = np.where(f3[m] < 0.5, value.byteswap(), value)
+            for byte in range(4):
+                emit(rows_b[m], rnds_b[m], pos + byte,
+                     ((value >> (8 * byte)) & 0xFF).astype(np.uint8))
+
+        m = opv == 5  # random byte
+        if m.any():
+            pos = (f1[m] * ln[m]).astype(np.int64)
+            emit(rows_b[m], rnds_b[m], pos, val[m])
+
+        m = opv == 8  # overwrite block from elsewhere
+        if m.any():
+            r, n_ = rows_b[m], ln[m]
+            cap = np.maximum(1, (n_ * _BLOCK_FRACTION).astype(np.int64))
+            length = 1 + (f2[m] * cap).astype(np.int64)
+            src = (f1[m] * (n_ - length + 1)).astype(np.int64)
+            dst = (f3[m] * (n_ - length + 1)).astype(np.int64)
+            within, src_cols = self._block_scatter(src, length)
+            block_rows = np.repeat(r, length)
+            emit(block_rows, np.repeat(rnds_b[m], length),
+                 np.repeat(dst, length) + within,
+                 mat[block_rows, src_cols])
+
+        # constant-block overwrite: drawn op 9 plus guard fallbacks
+        m = opv == 9
+        r9 = np.concatenate([rows_b[m]] + fb_rows)
+        rd9 = np.concatenate([rnds_b[m]] + fb_rnds)
+        if r9.size:
+            n_ = lengths[r9]
+            cap = np.maximum(1, (n_ * _BLOCK_FRACTION).astype(np.int64))
+            length = 1 + (f2_m[rd9, r9] * cap).astype(np.int64)
+            dst = (f1_m[rd9, r9] * (n_ - length + 1)).astype(np.int64)
+            _, dst_cols = self._block_scatter(dst, length)
+            emit(np.repeat(r9, length), np.repeat(rd9, length),
+                 dst_cols, np.repeat(val_m[rd9, r9], length))
+
+        if lin_parts:
+            lin = np.concatenate(lin_parts)
+            if lin.size:
+                key = np.concatenate(key_parts)
+                values = np.concatenate(val_parts)
+                order = np.lexsort((key, lin))
+                lin = lin[order]
+                values = values[order]
+                last = np.flatnonzero(
+                    np.append(lin[1:] != lin[:-1], True))
+                mat.reshape(-1)[lin[last]] = values[last]
+
+    def _length_tail(self, mat: np.ndarray, lengths: np.ndarray,
+                     width: int, rows_a: np.ndarray, rnds_a: np.ndarray,
+                     starts: np.ndarray, counts: np.ndarray, step: int,
+                     op_m: np.ndarray, f1_m: np.ndarray,
+                     f2_m: np.ndarray, f3_m: np.ndarray,
+                     f4_m: np.ndarray, val_m: np.ndarray,
+                     fb_rows: list, fb_rnds: list) -> None:
+        """Finish the remaining length-op stacks with row slices.
+
+        Once few mutants still have pending deletes/inserts, the fixed
+        cost of a vectorized :meth:`_length_step` exceeds plain
+        slice-copy work, so the deep tail of the longest stacks runs
+        sequentially. Bit-identical to the vectorized step: same
+        formulas, same guard fallbacks, same write order per mutant.
+        """
+        min_len = self.min_len
+        fb: list = []
+        for row in np.flatnonzero(counts > step):
+            row_v = mat[row]
+            for j in range(starts[row] + step,
+                           starts[row] + counts[row]):
+                rd = rnds_a[j]
+                ln = int(lengths[row])
+                cap = max(1, int(ln * _BLOCK_FRACTION))
+                length = 1 + int(f2_m[rd, row] * cap)
+                if op_m[rd, row] == 6:  # delete block
+                    if ln <= min_len:
+                        fb.append((row, rd))
+                        continue
+                    start = int(f1_m[rd, row] * (ln - length + 1))
+                    row_v[start:ln - length] = \
+                        row_v[start + length:ln].copy()
+                    row_v[ln - length:ln] = 0
+                    lengths[row] = max(min_len, ln - length)
+                else:  # clone / insert block
+                    if ln >= width:
+                        fb.append((row, rd))
+                        continue
+                    src = int(f1_m[rd, row] * (ln - length + 1))
+                    dst = int(f3_m[rd, row] * (ln + 1))
+                    if f4_m[rd, row] < 0.75:
+                        block = row_v[src:src + length].copy()
+                    else:
+                        block = val_m[rd, row]
+                    tail = row_v[dst:ln].copy()
+                    t_end = min(width, ln + length)
+                    tail_fit = t_end - (dst + length)
+                    if tail_fit > 0:
+                        row_v[dst + length:t_end] = tail[:tail_fit]
+                    b_end = min(width, dst + length)
+                    if isinstance(block, np.ndarray):
+                        row_v[dst:b_end] = block[:b_end - dst]
+                    else:
+                        row_v[dst:b_end] = block
+                    lengths[row] = min(width, ln + length)
+        if fb:
+            arr = np.asarray(fb, dtype=np.int64)
+            fb_rows.append(arr[:, 0])
+            fb_rnds.append(arr[:, 1])
+
+    def _length_step(self, mat: np.ndarray, lengths: np.ndarray,
+                     width: int, r: np.ndarray, is_del: np.ndarray,
+                     n_: np.ndarray, a: np.ndarray, b: np.ndarray,
+                     c: np.ndarray, d: np.ndarray,
+                     v: np.ndarray) -> None:
+        """One stack position of block deletes/inserts, fused.
+
+        Both ops are "move the tail, then write a region": a delete
+        shifts ``[start+length, n)`` left and zeroes the vacated end, a
+        clone/insert shifts ``[dst, n)`` right and writes the block into
+        the gap. Fusing them means one gather/scatter pair for all tail
+        moves and one for all region writes, regardless of the
+        delete/insert mix. Rows in ``r`` are distinct, so the ops are
+        independent; all gathers land before any scatter.
+        """
+        cap = np.maximum(1, (n_ * _BLOCK_FRACTION).astype(np.int64))
+        length = 1 + (b * cap).astype(np.int64)
+        # Delete's block start and insert's clone source share a formula.
+        src = (a * (n_ - length + 1)).astype(np.int64)
+        dst = (c * (n_ + 1)).astype(np.int64)  # unused for deletes
+        # Region contents: zeros (delete), cloned block or constant
+        # fill (insert) — gathered before any scatter lands.
+        within, src_cols = self._block_scatter(src, length)
+        rep_r = np.repeat(r, length)
+        region_vals = np.where(
+            np.repeat(is_del, length), np.uint8(0),
+            np.where(np.repeat(d < 0.75, length),
+                     mat[rep_r, src_cols], np.repeat(v, length)))
+        # Tail move: [move_from, n) shifts to start at move_to.
+        move_from = np.where(is_del, src + length, dst)
+        move_to = np.where(is_del, src, dst + length)
+        tail_len = n_ - move_from
+        _, from_cols = self._block_scatter(move_from, tail_len)
+        tail_rows = np.repeat(r, tail_len)
+        tail_vals = mat[tail_rows, from_cols]
+        to_cols = from_cols + np.repeat(move_to - move_from, tail_len)
+        if to_cols.size and int(to_cols.max()) >= width:
+            keep = to_cols < width
+            tail_rows, to_cols = tail_rows[keep], to_cols[keep]
+            tail_vals = tail_vals[keep]
+        mat[tail_rows, to_cols] = tail_vals
+        # Region write: the vacated end (delete) or the gap (insert).
+        region_start = np.where(is_del, n_ - length, dst)
+        region_cols = src_cols + np.repeat(region_start - src, length)
+        if region_cols.size and int(region_cols.max()) >= width:
+            keep = region_cols < width
+            rep_r, region_cols = rep_r[keep], region_cols[keep]
+            region_vals = region_vals[keep]
+        mat[rep_r, region_cols] = region_vals
+        lengths[r] = np.where(
+            is_del, np.maximum(self.min_len, n_ - length),
+            np.minimum(width, n_ + length))
 
     def _splice(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         cut_a = int(self.rng.integers(1, a.size))

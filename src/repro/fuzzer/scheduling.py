@@ -96,7 +96,15 @@ class Scheduler:
             self._cursor += 1
             if not self._should_skip(seed, pending):
                 return seed
-        return self.pool.seeds[self._cursor % len(self.pool.seeds)]
+        # Full pass skipped everything: fuzz the entry under the cursor
+        # anyway, and *advance past it* so the next call starts from the
+        # following entry (and wrap-arounds keep counting queue cycles).
+        if self._cursor >= len(self.pool.seeds):
+            self._cursor = 0
+            self.queue_cycles += 1
+        seed = self.pool.seeds[self._cursor]
+        self._cursor += 1
+        return seed
 
     def energy_for(self, seed: Seed) -> int:
         max_locs = max((s.n_locations for s in self.pool.seeds), default=0)

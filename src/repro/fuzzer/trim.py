@@ -62,22 +62,29 @@ def trim_input(data: bytes,
     current = data
     steps = TRIM_START_STEPS
     while steps <= TRIM_END_STEPS and len(current) > TRIM_MIN_BYTES:
-        chunk = max(len(current) // steps, 1)
+        # AFL's trim_case geometry: the removal unit is fixed for the
+        # round (recomputed from the *current* length each round, so it
+        # never goes stale after successful removals), the final
+        # partial chunk is still attempted, and the unit always halves
+        # from one round to the next regardless of progress.
+        remove_len = max(len(current) // steps, 1)
         pos = 0
-        progress = False
-        while pos < len(current) and len(current) - chunk >= \
-                TRIM_MIN_BYTES:
+        while pos < len(current):
             if executions >= max_executions:
                 return TrimResult(current, executions,
                                   len(data) - len(current))
-            candidate = current[:pos] + current[pos + chunk:]
+            avail = min(remove_len, len(current) - pos)
+            if len(current) - avail < TRIM_MIN_BYTES:
+                # Removing this chunk would undershoot the minimum;
+                # skip over it rather than aborting the round.
+                pos += avail
+                continue
+            candidate = current[:pos] + current[pos + avail:]
             executions += 1
             if trace_hash_of(candidate) == target_hash:
                 current = candidate
-                progress = True
                 # Do not advance: the next chunk slid into place.
             else:
-                pos += chunk
-        if not progress:
-            steps *= 2
+                pos += avail
+        steps *= 2
     return TrimResult(current, executions, len(data) - len(current))

@@ -31,7 +31,7 @@ from typing import Tuple
 import numpy as np
 
 from ..target.cfg import Program
-from ..target.executor import ExecResult
+from ..target.executor import BatchExecResult, ExecResult
 from .edge_ids import Instrumentation
 
 
@@ -92,6 +92,10 @@ class CollAflInstrumentation(Instrumentation):
 
     def keys_for(self, result: ExecResult,
                  input_bytes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return self.edge_keys[result.edges], result.counts
+
+    def keys_for_batch(self, result: BatchExecResult, input_rows) \
+            -> Tuple[np.ndarray, np.ndarray]:
         return self.edge_keys[result.edges], result.counts
 
     def distinct_keys_possible(self) -> int:

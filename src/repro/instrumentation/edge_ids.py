@@ -16,12 +16,12 @@ to runtime hashing (paper §II-A2).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from ..target.cfg import Program
-from ..target.executor import ExecResult
+from ..target.executor import BatchExecResult, ExecResult
 
 
 class Instrumentation(ABC):
@@ -45,6 +45,27 @@ class Instrumentation(ABC):
     def keys_for(self, result: ExecResult,
                  input_bytes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(keys, counts)`` for one execution's trace."""
+
+    def keys_for_batch(self, result: BatchExecResult,
+                       input_rows: Sequence[np.ndarray]) \
+            -> Tuple[np.ndarray, np.ndarray]:
+        """Flat ``(keys, counts)`` for a whole batch, trace-segmented.
+
+        Output arrays align with ``result.edges`` / ``result.offsets``;
+        segment ``i`` holds exactly ``keys_for(result.result_for(i),
+        input_rows[i])``. This base implementation loops per trace
+        (input-dependent metrics like context/ngram need the exact
+        per-row bytes); gather-table metrics override it with one flat
+        gather.
+        """
+        keys = np.empty(result.edges.size, dtype=np.int64)
+        counts = np.empty(result.edges.size, dtype=np.int64)
+        for i in range(result.n):
+            lo, hi = int(result.offsets[i]), int(result.offsets[i + 1])
+            k, c = self.keys_for(result.result_for(i), input_rows[i])
+            keys[lo:hi] = k
+            counts[lo:hi] = c
+        return keys, counts
 
     @abstractmethod
     def distinct_keys_possible(self) -> int:
@@ -94,6 +115,11 @@ class AflEdgeInstrumentation(Instrumentation):
                  input_bytes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         return self.edge_keys[result.edges], result.counts
 
+    def keys_for_batch(self, result: BatchExecResult,
+                       input_rows: Sequence[np.ndarray]) \
+            -> Tuple[np.ndarray, np.ndarray]:
+        return self.edge_keys[result.edges], result.counts
+
     def distinct_keys_possible(self) -> int:
         return int(np.unique(self.edge_keys).size)
 
@@ -128,6 +154,11 @@ class TracePCGuardInstrumentation(Instrumentation):
 
     def keys_for(self, result: ExecResult,
                  input_bytes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return self.edge_keys[result.edges], result.counts
+
+    def keys_for_batch(self, result: BatchExecResult,
+                       input_rows: Sequence[np.ndarray]) \
+            -> Tuple[np.ndarray, np.ndarray]:
         return self.edge_keys[result.edges], result.counts
 
     def distinct_keys_possible(self) -> int:

@@ -39,6 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+import numpy as np
+
 from ..core.errors import CalibrationError
 from .machine import Machine, XEON_E5645
 from .tlb import scattered_walk_fraction, sweep_walk_cycles
@@ -111,6 +113,39 @@ class OpCycles:
         return {"execution": self.execution, "reset": self.reset,
                 "classify": self.classify, "compare": self.compare,
                 "hash": self.hash, "others": self.others}
+
+
+@dataclass(frozen=True)
+class BatchOpCycles:
+    """Vectorized :class:`OpCycles` for a batch of non-interesting execs.
+
+    ``execution`` varies per trace; the sweep components depend only on
+    the (shared) coverage state, so they are scalars. ``row(i)`` must be
+    bit-identical to ``exec_cycles(ExecShape(...))`` for that trace —
+    the batched campaign relies on this for cycle-exact determinism.
+    """
+
+    execution: np.ndarray
+    reset: float
+    classify: float
+    compare: float
+    hash: float
+    others: float
+
+    @property
+    def n(self) -> int:
+        return int(self.execution.size)
+
+    def totals(self) -> np.ndarray:
+        """Per-trace total cycles, accumulated in ``OpCycles.total`` order."""
+        return ((((self.execution + self.reset) + self.classify) +
+                 self.compare) + self.hash) + self.others
+
+    def row(self, i: int) -> OpCycles:
+        return OpCycles(execution=float(self.execution[i]),
+                        reset=self.reset, classify=self.classify,
+                        compare=self.compare, hash=self.hash,
+                        others=self.others)
 
 
 class BitmapCostModel:
@@ -267,6 +302,82 @@ class BitmapCostModel:
         return OpCycles(execution=execution, reset=reset,
                         classify=classify, compare=compare,
                         hash=hash_cycles, others=self.others_cycles)
+
+    def exec_cycles_batch(self, traversals: np.ndarray,
+                          unique_locations: np.ndarray, *,
+                          used_bytes: int = 0) -> BatchOpCycles:
+        """Price a batch of non-interesting executions at once.
+
+        Equivalent to calling :meth:`exec_cycles` per trace with
+        ``ExecShape(traversals[i], unique_locations[i], used_bytes)`` —
+        and bit-identical to it, because every per-row term is computed
+        with the same elementary float operations in the same order.
+        ``used_bytes`` is a scalar: within one batch the coverage state
+        is fixed (interesting traces replay the scalar path, and the
+        caller re-prices the remainder when ``used_key`` moves).
+        """
+        cfg = self.config
+        trav = np.asarray(traversals, dtype=np.int64)
+        uniq = np.asarray(unique_locations, dtype=np.int64)
+        execution = ((self.exec_base_cycles + self.fork_overhead_cycles) +
+                     trav * self.per_traversal_cycles)
+
+        if cfg.kind == AFL:
+            # AFL's working set is shape-independent, so one residency
+            # level covers the whole batch.
+            level_w = self._level_index(
+                2 * cfg.map_size + self.target_ws_bytes)
+            walk = scattered_walk_fraction(cfg.map_size, self.machine,
+                                           cfg.huge_pages)
+            per_access = self._scat_latency(level_w) + \
+                walk * self.machine.walk_cycles
+            execution = execution + uniq * per_access
+            active = cfg.map_size
+            reset_level = level_w
+        else:
+            # BigMap's working set varies with unique_locations, so the
+            # residency level of the index scatter is per-row.
+            line = self.machine.line_size
+            working_set = (2 * used_bytes + uniq * line +
+                           self.target_ws_bytes)
+            sizes = np.array([lvl.size_bytes
+                              for lvl in self.machine.levels],
+                             dtype=np.int64)
+            level_rows = np.searchsorted(sizes, working_set, side="left")
+            latency = np.array(
+                [self._scat_latency(i)
+                 for i in range(len(self.machine.levels) + 1)])
+            execution = execution + trav * self.indirection_cycles
+            index_region = cfg.map_size * cfg.index_entry_bytes
+            walk_idx = scattered_walk_fraction(index_region, self.machine,
+                                               cfg.huge_pages)
+            per_access_idx = latency[level_rows] + \
+                walk_idx * self.machine.walk_cycles
+            execution = execution + uniq * per_access_idx
+            dense_level = self._level_index(2 * used_bytes)
+            walk_dense = scattered_walk_fraction(
+                max(used_bytes, 1), self.machine, cfg.huge_pages)
+            per_access_dense = self._scat_latency(dense_level) + \
+                walk_dense * self.machine.walk_cycles
+            execution = execution + uniq * per_access_dense
+            active = used_bytes
+            reset_level = dense_level
+
+        sweep_level = reset_level
+        reset = self._sweep(active, reset_level, write=True,
+                            non_temporal=cfg.non_temporal_reset)
+        if cfg.merged_classify_compare:
+            classify = 0.0
+            compare = (self._sweep(active, sweep_level, read_write=True) +
+                       self._sweep(active, sweep_level))
+        else:
+            classify = self._sweep(active, sweep_level, read_write=True)
+            compare = (self._sweep(active, sweep_level) +
+                       self._sweep(active, sweep_level))
+
+        return BatchOpCycles(execution=execution, reset=reset,
+                             classify=classify, compare=compare,
+                             hash=0.0, others=self.others_cycles)
 
     # -- cycle attribution -------------------------------------------------
 

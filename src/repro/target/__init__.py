@@ -16,7 +16,7 @@ from .benchmarks import (FIG3_BENCHMARK_NAMES, FIG8_BENCHMARK_NAMES,
 from .cfg import (MAX_MAGIC_WIDTH, NO_CRASH, NO_LOOP, NO_PARENT, Guard,
                   Program)
 from .crashes import CrashInfo
-from .executor import ExecResult, Executor
+from .executor import BatchExecResult, ExecResult, Executor
 from .generator import ProgramSpec, _build_csr, generate_program
 from .seeds import generate_seed_corpus
 
@@ -24,6 +24,7 @@ __all__ = [
     "BenchmarkConfig",
     "BuiltBenchmark",
     "CrashInfo",
+    "BatchExecResult",
     "ExecResult",
     "Executor",
     "FIG3_BENCHMARK_NAMES",

@@ -52,6 +52,46 @@ class ExecResult:
         return int(self.edges.size)
 
 
+@dataclass
+class BatchExecResult:
+    """Outcome of one batched execution of ``n`` inputs.
+
+    Per-trace edge lists are concatenated into flat arrays; trace ``i``
+    owns the segment ``[offsets[i], offsets[i+1])``. Within a segment
+    edges are ascending, exactly as :class:`ExecResult` orders them.
+
+    Attributes:
+        edges: flat ``int64`` edge indices for all traces.
+        counts: flat hit counts aligned with ``edges``.
+        offsets: ``int64`` array of ``n + 1`` segment boundaries.
+        traversals: per-trace total traversals (``int64``, length n).
+        crashes: per-trace :class:`CrashInfo` or ``None``.
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray
+    offsets: np.ndarray
+    traversals: np.ndarray
+    crashes: List[Optional[CrashInfo]]
+
+    @property
+    def n(self) -> int:
+        """Number of traces in the batch."""
+        return int(self.offsets.size - 1)
+
+    def segment(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(edges, counts) views for trace ``i``."""
+        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+        return self.edges[lo:hi], self.counts[lo:hi]
+
+    def result_for(self, i: int) -> ExecResult:
+        """Materialize trace ``i`` as a scalar :class:`ExecResult`."""
+        edges, counts = self.segment(i)
+        return ExecResult(edges=edges, counts=counts,
+                          traversals=int(self.traversals[i]),
+                          crash=self.crashes[i])
+
+
 class Executor:
     """Executes inputs against one :class:`Program`.
 
@@ -159,3 +199,93 @@ class Executor:
                                    % self._loop_cap[live])
         return ExecResult(edges=edges, counts=counts,
                           traversals=int(counts.sum()), crash=crash)
+
+    # ------------------------------------------------------------------
+    # batched execution
+
+    def _guards_ok_batch(self, bufs: np.ndarray) -> np.ndarray:
+        n_rows = bufs.shape[0]
+        ok = np.ones((n_rows, self.program.n_edges), dtype=bool)
+        ok[:, self._never] = False
+        if self._lt.size:
+            ok[:, self._lt] = bufs[:, self._lt_off] < self._lt_val
+        if self._eq.size:
+            ok[:, self._eq] = bufs[:, self._eq_off] == self._eq_val
+        if self._multi.size:
+            acc = np.ones((n_rows, self._multi.size), dtype=bool)
+            for j in range(int(self._multi_width.max())):
+                sel = self._multi_width > j
+                acc[:, sel] &= (bufs[:, self._multi_off[sel] + j] ==
+                                self._multi_magic[sel, j])
+            ok[:, self._multi] = acc
+        return ok
+
+    def execute_batch(self, data: np.ndarray,
+                      lengths: np.ndarray = None) -> BatchExecResult:
+        """Run a ``(n, width)`` uint8 matrix of inputs in one pass.
+
+        Rows must be zero-padded past their logical lengths — exactly
+        the layout :meth:`Mutator.havoc_batch` produces — because the
+        scalar path zero-fills its buffer; any padding width is
+        accepted (rows are truncated or zero-extended to the program's
+        ``input_len``). Each trace is bit-identical to
+        ``execute(row_bytes)``.
+
+        Args:
+            data: 2-D uint8 matrix, one input per row.
+            lengths: unused (row semantics come from the zero padding);
+                accepted so callers can pass a mutant batch's metadata
+                through unchanged.
+
+        Returns:
+            :class:`BatchExecResult` with flat per-trace segments.
+        """
+        program = self.program
+        n_rows, width = data.shape
+        n = program.n_edges
+        bufs = np.zeros((n_rows, program.input_len), dtype=np.uint8)
+        w = min(width, program.input_len)
+        bufs[:, :w] = data[:, :w]
+
+        reach = self._guards_ok_batch(bufs)
+        for idx, parents in self._levels:
+            reach[:, idx] &= reach[:, parents]
+
+        crashes: List[Optional[CrashInfo]] = [None] * n_rows
+        if self._crash_edges.size:
+            hit = reach[:, self._crash_edges]
+            crashed_rows = np.flatnonzero(hit.any(axis=1))
+            if crashed_rows.size:
+                ranks = np.where(hit[crashed_rows], self._crash_rank,
+                                 np.iinfo(np.int64).max)
+                first = np.argmin(ranks, axis=1)
+                crash_edges = self._crash_edges[first]
+                for row, edge in zip(crashed_rows, crash_edges):
+                    crashes[row] = self._crash_info(int(edge))
+                d = self._depth[crash_edges][:, None]
+                arange = np.arange(n)
+                reach[crashed_rows] &= (self._depth < d) | (
+                    (self._depth == d) & (arange <= crash_edges[:, None]))
+
+        rows, cols = np.nonzero(reach)
+        edges = cols.astype(np.int64)
+        offsets = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n_rows), out=offsets[1:])
+        counts = np.ones(edges.size, dtype=np.int64)
+        if self._loops.size:
+            lrows, lidx = np.nonzero(reach[:, self._loops])
+            if lrows.size:
+                # Flat position of (row, col): the flat array is sorted
+                # by the global key row * n_edges + col.
+                key = rows.astype(np.int64) * n + cols
+                pos = np.searchsorted(
+                    key, lrows.astype(np.int64) * n + self._loops[lidx])
+                counts[pos] = 1 + (bufs[lrows, self._loop_off[lidx]]
+                                   .astype(np.int64)
+                                   % self._loop_cap[lidx])
+        csum = np.zeros(edges.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=csum[1:])
+        traversals = csum[offsets[1:]] - csum[offsets[:-1]]
+        return BatchExecResult(edges=edges, counts=counts,
+                               offsets=offsets, traversals=traversals,
+                               crashes=crashes)

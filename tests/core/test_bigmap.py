@@ -185,3 +185,50 @@ def test_invariants_hold_under_arbitrary_traces(traces):
         cov.check_invariants()
     distinct = len({k for trace in traces for k, _ in trace})
     assert cov.used_key == distinct
+
+
+class TestHashSingleScan:
+    def test_hash_scans_the_condensed_region_once(self, monkeypatch):
+        """The last-nonzero scan feeds both the access log and the CRC
+        trim; it must run exactly once per hash() call."""
+        import repro.core.bigmap as bigmap_mod
+        import repro.core.hashing as hashing_mod
+        from repro.core.hashing import last_nonzero_index
+
+        calls = []
+
+        def counting(bitmap, search_limit=None):
+            calls.append(1)
+            return last_nonzero_index(bitmap, search_limit)
+
+        monkeypatch.setattr(bigmap_mod, "last_nonzero_index", counting)
+        monkeypatch.setattr(hashing_mod, "last_nonzero_index", counting)
+
+        cov = BigMapCoverage(MAP)
+        cov.update(arr([5, 900, 33]), arr([1, 2, 3]))
+        cov.classify()
+        digest = cov.hash()
+        assert len(calls) == 1
+
+        from repro.core.hashing import crc32_trimmed
+        assert digest == crc32_trimmed(cov.cov, cov.used_key)
+
+    def test_hash_of_empty_map_single_scan(self, monkeypatch):
+        import repro.core.bigmap as bigmap_mod
+        import repro.core.hashing as hashing_mod
+        from repro.core.hashing import last_nonzero_index
+
+        calls = []
+
+        def counting(bitmap, search_limit=None):
+            calls.append(1)
+            return last_nonzero_index(bitmap, search_limit)
+
+        monkeypatch.setattr(bigmap_mod, "last_nonzero_index", counting)
+        monkeypatch.setattr(hashing_mod, "last_nonzero_index", counting)
+
+        cov = BigMapCoverage(MAP)
+        digest = cov.hash()
+        assert len(calls) == 1
+        import zlib
+        assert digest == zlib.crc32(b"")

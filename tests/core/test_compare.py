@@ -147,3 +147,55 @@ class TestDiscoveredAndMergeFrom:
     def test_invalid_size(self):
         with pytest.raises(MapSizeError):
             VirginMap(0)
+
+
+class TestMergeSparseDuplicates:
+    def _dense_from_pairs(self, pairs, size=MAP):
+        dense = np.zeros(size, dtype=np.uint8)
+        for idx, val in pairs:
+            dense[idx] |= val  # the dense map holds the union of buckets
+        return dense
+
+    def test_duplicate_indices_match_dense_merge(self):
+        pairs = [(3, 0x01), (3, 0x08), (9, 0x02), (9, 0x02), (9, 0x20)]
+        indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        values = np.asarray([p[1] for p in pairs], dtype=np.uint8)
+
+        sparse_virgin, dense_virgin = VirginMap(MAP), VirginMap(MAP)
+        sparse = sparse_virgin.merge_sparse(indices, values)
+        dense = dense_virgin.merge(self._dense_from_pairs(pairs))
+
+        assert (sparse.level, sparse.new_edges, sparse.new_buckets) == \
+            (dense.level, dense.new_edges, dense.new_buckets)
+        assert np.array_equal(sparse_virgin.virgin, dense_virgin.virgin)
+
+    def test_duplicate_indices_on_partially_known_map(self):
+        sparse_virgin, dense_virgin = VirginMap(MAP), VirginMap(MAP)
+        for v in (sparse_virgin, dense_virgin):
+            v.merge(classified([(3, 1), (7, 1)]))
+
+        pairs = [(3, 0x01), (3, 0x02), (7, 0x01), (11, 0x04), (11, 0x04)]
+        indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        values = np.asarray([p[1] for p in pairs], dtype=np.uint8)
+        sparse = sparse_virgin.merge_sparse(indices, values)
+        dense = dense_virgin.merge(self._dense_from_pairs(pairs))
+
+        assert (sparse.level, sparse.new_edges, sparse.new_buckets) == \
+            (dense.level, dense.new_edges, dense.new_buckets)
+        assert np.array_equal(sparse_virgin.virgin, dense_virgin.virgin)
+
+    @given(st.lists(st.tuples(st.integers(0, MAP - 1),
+                              st.sampled_from([1, 2, 4, 8, 16, 32, 64,
+                                               128])),
+                    min_size=0, max_size=40))
+    def test_merge_sparse_always_matches_dense(self, pairs):
+        indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        values = np.asarray([p[1] for p in pairs], dtype=np.uint8)
+
+        sparse_virgin, dense_virgin = VirginMap(MAP), VirginMap(MAP)
+        sparse = sparse_virgin.merge_sparse(indices, values)
+        dense = dense_virgin.merge(self._dense_from_pairs(pairs))
+
+        assert (sparse.level, sparse.new_edges, sparse.new_buckets) == \
+            (dense.level, dense.new_edges, dense.new_buckets)
+        assert np.array_equal(sparse_virgin.virgin, dense_virgin.virgin)

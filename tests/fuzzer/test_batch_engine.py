@@ -1,0 +1,189 @@
+"""Batched-vs-serial engine equivalence (the batch equivalence contract).
+
+``batch_execution`` is an execution strategy, not a semantic change:
+with the same config and RNG seed, the batched and serial engines must
+produce bit-identical campaigns — same executions, same admitted corpus,
+same coverage curves, same charged cycles, same crash/hang records, and
+byte-identical checkpoints. DESIGN.md documents why this holds; these
+tests pin it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fuzzer import Campaign, CampaignConfig, run_campaign
+from repro.target import get_benchmark
+
+
+def _config(fuzzer, benchmark, *, batch, rng_seed=3, **overrides):
+    base = dict(benchmark=benchmark, fuzzer=fuzzer, map_size=1 << 16,
+                scale=0.2, seed_scale=1.0, virtual_seconds=0.5,
+                max_real_execs=3_000, rng_seed=rng_seed,
+                batch_execution=batch)
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def _assert_seeds_equal(a, b):
+    assert len(a) == len(b)
+    for sa, sb in zip(a, b):
+        assert sa.seed_id == sb.seed_id
+        assert sa.data == sb.data
+        assert sa.exec_cycles == sb.exec_cycles
+        assert sa.coverage_hash == sb.coverage_hash
+        assert np.array_equal(sa.covered_locations, sb.covered_locations)
+        assert sa.depth == sb.depth
+        assert sa.found_at == sb.found_at
+        assert sa.parent_id == sb.parent_id
+        assert sa.favored == sb.favored
+        assert sa.fuzzed == sb.fuzzed
+
+
+def assert_checkpoints_equal(a, b):
+    assert a.clock_cycles == b.clock_cycles
+    assert a.execs == b.execs
+    assert a.hangs == b.hangs
+    assert a.unique_hangs == b.unique_hangs
+    assert a.next_seed_id == b.next_seed_id
+    assert a.rng_state == b.rng_state
+    _assert_seeds_equal(a.seeds, b.seeds)
+    assert a.top_rated == b.top_rated
+    assert a.scheduler_cursor == b.scheduler_cursor
+    assert a.queue_cycles == b.queue_cycles
+    assert np.array_equal(a.virgin, b.virgin)
+    assert a.crash_records.keys() == b.crash_records.keys()
+    assert np.array_equal(a.afl_crash_virgin, b.afl_crash_virgin)
+    assert a.afl_unique_crashes == b.afl_unique_crashes
+    assert np.array_equal(a.tmout_virgin, b.tmout_virgin)
+    assert a.tmout_unique_crashes == b.tmout_unique_crashes
+    assert a.op_cycles == b.op_cycles
+    assert a.coverage_curve == b.coverage_curve
+    assert a.next_sample == b.next_sample
+    assert a.coverage_state.keys() == b.coverage_state.keys()
+    for key in a.coverage_state:
+        va, vb = a.coverage_state[key], b.coverage_state[key]
+        if key == "touched":
+            assert len(va) == len(vb)
+            for ta, tb in zip(va, vb):
+                assert np.array_equal(ta, tb)
+        elif isinstance(va, np.ndarray):
+            assert np.array_equal(va, vb), key
+        else:
+            assert va == vb, key
+
+
+def _run_pair(fuzzer, benchmark, **overrides):
+    built = get_benchmark(benchmark).build(scale=0.2, seed_scale=1.0)
+    serial = Campaign(_config(fuzzer, benchmark, batch=False,
+                              **overrides), built=built)
+    batched = Campaign(_config(fuzzer, benchmark, batch=True,
+                               **overrides), built=built)
+    rs = serial.run()
+    rb = batched.run()
+    return serial, batched, rs, rb
+
+
+@pytest.mark.parametrize("fuzzer", ["afl", "bigmap"])
+@pytest.mark.parametrize("bench", ["zlib", "libpng"])
+class TestBatchSerialEquivalence:
+    def test_results_bit_identical(self, fuzzer, bench):
+        serial, batched, rs, rb = _run_pair(fuzzer, bench)
+        assert rs.execs == rb.execs
+        assert rs.virtual_seconds == rb.virtual_seconds
+        assert rs.corpus == rb.corpus
+        assert rs.coverage_curve == rb.coverage_curve
+        assert rs.crash_curve == rb.crash_curve
+        assert rs.op_cycles == rb.op_cycles
+        assert rs.discovered_locations == rb.discovered_locations
+        assert rs.used_key == rb.used_key
+        assert rs.unique_crashes == rb.unique_crashes
+        assert rs.afl_unique_crashes == rb.afl_unique_crashes
+        assert rs.hangs == rb.hangs
+        assert rs.unique_hangs == rb.unique_hangs
+        assert rs.interesting_execs == rb.interesting_execs
+        assert rs.stopped_by == rb.stopped_by
+        assert_checkpoints_equal(serial.snapshot(), batched.snapshot())
+
+    def test_work_was_actually_found(self, fuzzer, bench):
+        """Guard against vacuous equivalence: the workload must admit
+        seeds (and exercise crash handling on libpng)."""
+        _, _, rs, _ = _run_pair(fuzzer, bench)
+        assert len(rs.corpus) > len(
+            get_benchmark(bench).build(scale=0.2,
+                                       seed_scale=1.0).seeds)
+
+
+class TestBatchCoversDispatchPaths:
+    def test_crash_dispatch_reached_and_identical(self):
+        """The pair run must exercise crash triage — otherwise the
+        equivalence above never tested the replay dispatch."""
+        serial, batched, rs, rb = _run_pair(
+            "bigmap", "zlib", rng_seed=1, virtual_seconds=1.0,
+            max_real_execs=4_000)
+        assert rs.unique_crashes > 0
+        assert rs.unique_crashes == rb.unique_crashes
+        assert rs.crash_curve == rb.crash_curve
+        assert_checkpoints_equal(serial.snapshot(), batched.snapshot())
+
+    @pytest.mark.parametrize("fuzzer", ["afl", "bigmap"])
+    def test_hang_dispatch_reached_and_identical(self, fuzzer):
+        """A tight hang budget forces the timeout path: the batched
+        engine must predict hangs from the cheap-path cycle totals and
+        replay them, matching the serial engine's verdicts exactly."""
+        serial, batched, rs, rb = _run_pair(
+            fuzzer, "zlib", rng_seed=2, hang_factor=1.5)
+        assert rs.hangs > 0
+        assert rs.hangs == rb.hangs
+        assert rs.unique_hangs == rb.unique_hangs
+        assert rs.corpus == rb.corpus
+        assert rs.op_cycles == rb.op_cycles
+        assert_checkpoints_equal(serial.snapshot(), batched.snapshot())
+
+
+class TestBatchedTelemetryIdentity:
+    def test_span_profile_and_events_match_serial(self):
+        """Telemetry is part of the equivalence contract: the batched
+        engine deposits the same per-exec span calls (execute,
+        classify_compare, cost_eval) and emits the same event stream
+        the scalar pipeline records."""
+        from repro.telemetry.recorder import TelemetryRecorder
+        built = get_benchmark("zlib").build(scale=0.2, seed_scale=1.0)
+        profiles, events, results = [], [], []
+        for batch in (False, True):
+            recorder = TelemetryRecorder(instance=0)
+            result = Campaign(_config("bigmap", "zlib", batch=batch),
+                              built=built, telemetry=recorder).run()
+            profiles.append(recorder.tracer.profile())
+            events.append(recorder.events)
+            results.append(result)
+        assert results[0] == results[1]
+        assert profiles[0] == profiles[1]
+        assert events[0] == events[1]
+        execs = results[0].execs
+        for name in ("execute", "classify_compare", "cost_eval"):
+            assert profiles[1][name]["calls"] == execs, name
+
+
+class TestBatchedCheckpointResume:
+    @pytest.mark.parametrize("fuzzer", ["afl", "bigmap"])
+    def test_resume_replays_identically(self, fuzzer):
+        built = get_benchmark("zlib").build(scale=0.2, seed_scale=1.0)
+        config = _config(fuzzer, "zlib", batch=True)
+        straight = Campaign(config, built=built)
+        straight.start()
+        straight.step_until(0.25)
+        mid = straight.snapshot()
+        straight.step_until(config.virtual_seconds)
+        final = straight.finish()
+
+        resumed = Campaign(config, built=built)
+        resumed.start()
+        resumed.restore(mid)
+        resumed.step_until(config.virtual_seconds)
+        replay = resumed.finish()
+
+        assert final.execs == replay.execs
+        assert final.corpus == replay.corpus
+        assert final.coverage_curve == replay.coverage_curve
+        assert final.op_cycles == replay.op_cycles
+        assert_checkpoints_equal(straight.snapshot(), resumed.snapshot())

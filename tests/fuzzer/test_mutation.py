@@ -98,3 +98,73 @@ class TestDeterministicStage:
         data = bytes(16)
         for m in mutator.deterministic(data, max_mutants=500):
             assert len(m) == 16
+
+
+class TestHavocBatch:
+    def test_deterministic_for_same_stream(self):
+        a, b = make_mutator(7), make_mutator(7)
+        data = bytes(range(64))
+        for _ in range(5):
+            ba = a.havoc_batch(data, 16, splice_with=bytes(range(32)))
+            bb = b.havoc_batch(data, 16, splice_with=bytes(range(32)))
+            assert np.array_equal(ba.data, bb.data)
+            assert np.array_equal(ba.lengths, bb.lengths)
+
+    def test_zero_padding_invariant(self):
+        mutator = make_mutator(3)
+        for trial in range(10):
+            batch = mutator.havoc_batch(bytes(range(40)), 32,
+                                        splice_with=bytes(range(20)))
+            for i in range(batch.n):
+                tail = batch.data[i, int(batch.lengths[i]):]
+                assert not tail.any(), f"trial {trial} row {i}"
+
+    def test_length_bounds(self):
+        mutator = make_mutator(5, max_len=128, min_len=4)
+        for data_len in (1, 4, 40, 128):
+            batch = mutator.havoc_batch(bytes(data_len), 24)
+            assert batch.width <= 128
+            # Deletes never shrink below min_len; shorter inputs can
+            # only grow (as in scalar havoc).
+            assert (batch.lengths >= min(data_len, 4)).all()
+            assert (batch.lengths <= batch.width).all()
+
+    def test_usually_changes_input(self):
+        mutator = make_mutator(1)
+        data = bytes(64)
+        batch = mutator.havoc_batch(data, 50)
+        changed = sum(batch.tobytes(i) != data for i in range(50))
+        assert changed >= 45
+
+    def test_rows_are_diverse(self):
+        mutator = make_mutator(9)
+        batch = mutator.havoc_batch(bytes(range(64)), 64)
+        assert len({batch.tobytes(i) for i in range(64)}) >= 32
+
+    def test_empty_input_yields_min_len_rows(self):
+        mutator = make_mutator(2, min_len=4)
+        batch = mutator.havoc_batch(b"", 8)
+        assert (batch.lengths >= 4).all()
+        assert any(batch.row(i).any() for i in range(batch.n))
+
+    def test_splice_mixes_partner_bytes(self):
+        mutator = make_mutator(11)
+        data, partner = b"\x01" * 64, b"\x02" * 64
+        batch = mutator.havoc_batch(data, 40, splice_with=partner)
+        has_partner = sum(bool((batch.row(i) == 2).any())
+                          for i in range(batch.n))
+        assert has_partner >= 10
+
+    def test_dictionary_tokens_appear(self):
+        token = b"MAGICTOKEN"
+        mutator = Mutator(np.random.default_rng(np.random.PCG64(4)),
+                          dictionary=[token])
+        batch = mutator.havoc_batch(bytes(64), 80)
+        stamped = sum(token in batch.tobytes(i) for i in range(batch.n))
+        assert stamped >= 5
+
+    def test_row_views_match_tobytes(self):
+        mutator = make_mutator(6)
+        batch = mutator.havoc_batch(bytes(range(32)), 10)
+        for i, view in enumerate(batch.rows()):
+            assert view.tobytes() == batch.tobytes(i)

@@ -123,3 +123,121 @@ class TestScheduler:
         seed, energy = next(stream)
         assert isinstance(energy, int)
         assert seed in pool.seeds
+
+
+class _AlwaysSkipRNG:
+    """Stub generator whose skip rolls always land below the threshold."""
+
+    def random(self):
+        return 0.0
+
+
+class TestFullSkipFallback:
+    def _pool_of_unfavorables(self, n=3):
+        pool = SeedPool()
+        for i in range(n):
+            pool.add(make_seed(i, []))  # no coverage → never favored
+        pool.cull()
+        assert not any(s.favored for s in pool)
+        return pool
+
+    def test_fallback_walks_the_queue(self):
+        """When every seed is skipped, successive calls must still walk
+        the queue instead of pinning the same entry forever."""
+        pool = self._pool_of_unfavorables()
+        scheduler = Scheduler(pool, _AlwaysSkipRNG())
+        ids = [scheduler.next_seed().seed_id for _ in range(6)]
+        assert ids == [0, 1, 2, 0, 1, 2]
+
+    def test_fallback_counts_queue_cycles(self):
+        pool = self._pool_of_unfavorables()
+        scheduler = Scheduler(pool, _AlwaysSkipRNG())
+        for _ in range(6):
+            scheduler.next_seed()
+        # Six full-skip selections walk the queue at least six times.
+        assert scheduler.queue_cycles >= 6
+
+    def test_fallback_distributes_energy_evenly(self):
+        pool = self._pool_of_unfavorables(4)
+        scheduler = Scheduler(pool, _AlwaysSkipRNG())
+        counts = {i: 0 for i in range(4)}
+        for _ in range(40):
+            counts[scheduler.next_seed().seed_id] += 1
+        assert all(c == 10 for c in counts.values())
+
+
+class TestCullInvariants:
+    """Invariants the favored cull must hold for any pool.
+
+    The scheduler starves non-favored seeds, so a cull that drops a
+    location (or flaps between equally-good covers) silently loses
+    coverage from the fuzzing rotation.
+    """
+
+    def _random_pool(self, rng, n_seeds=40, n_locations=64):
+        pool = SeedPool()
+        for i in range(n_seeds):
+            n_loc = int(rng.integers(1, 9))
+            locations = rng.choice(n_locations, size=n_loc,
+                                   replace=False)
+            pool.add(make_seed(
+                i, sorted(int(x) for x in locations),
+                exec_cycles=float(rng.integers(10, 10_000)),
+                data=b"x" * int(rng.integers(1, 200))))
+        return pool
+
+    def test_every_discovered_location_has_a_favored_cover(self):
+        for trial in range(20):
+            rng = np.random.default_rng(trial)
+            pool = self._random_pool(rng)
+            pool.cull()
+            all_locations = set()
+            favored_locations = set()
+            for seed in pool:
+                all_locations.update(seed.covered_locations.tolist())
+                if seed.favored:
+                    favored_locations.update(
+                        seed.covered_locations.tolist())
+            assert favored_locations == all_locations
+
+    def test_repeated_cull_is_stable(self):
+        rng = np.random.default_rng(7)
+        pool = self._random_pool(rng)
+        first = pool.cull()
+        baseline = [s.favored for s in pool]
+        for _ in range(3):
+            # Force a full recompute: the favored set must not flap.
+            pool._cull_pending = True
+            assert pool.cull() == first
+            assert [s.favored for s in pool] == baseline
+
+    def test_cull_count_matches_flags(self):
+        rng = np.random.default_rng(11)
+        pool = self._random_pool(rng)
+        count = pool.cull()
+        assert count == sum(1 for s in pool if s.favored)
+
+    def test_favored_survive_checkpoint_restore(self):
+        """Restoring a campaign checkpoint must reproduce the favored
+        set exactly — the scheduler's rotation depends on it."""
+        from repro.fuzzer import Campaign, CampaignConfig
+        from repro.target import get_benchmark
+        built = get_benchmark("zlib").build(scale=0.2, seed_scale=1.0)
+        config = CampaignConfig(
+            benchmark="zlib", fuzzer="bigmap", map_size=1 << 16,
+            scale=0.2, seed_scale=1.0, virtual_seconds=0.4,
+            max_real_execs=2_000, rng_seed=5)
+        campaign = Campaign(config, built=built)
+        campaign.run()
+        campaign.pool.cull()
+        snap = campaign.snapshot()
+
+        resumed = Campaign(config, built=built)
+        resumed.start()
+        resumed.restore(snap)
+        resumed.pool.cull()
+        assert [s.seed_id for s in resumed.pool] == \
+            [s.seed_id for s in campaign.pool]
+        assert [s.favored for s in resumed.pool] == \
+            [s.favored for s in campaign.pool]
+        assert resumed.pool._top_rated == campaign.pool._top_rated

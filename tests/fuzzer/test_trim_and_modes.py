@@ -56,18 +56,30 @@ class TestTrimInput:
 
 
 class TestCampaignTrim:
-    def test_trimmed_corpus_is_shorter(self):
+    def test_trimmed_corpus_is_shorter(self, monkeypatch):
+        """Paired check: every admitted entry passes through trim, trim
+        never grows an input, and it removes bytes somewhere. (Comparing
+        mean corpus length across two *different* campaigns is noise:
+        trim charges executions, so the fuzzing streams diverge.)"""
+        from repro.fuzzer import trim as trim_mod
+        recorded = []
+        real = trim_mod.trim_input
+
+        def spy(data, oracle, **kwargs):
+            result = real(data, oracle, **kwargs)
+            recorded.append((len(data), len(result.data)))
+            return result
+
+        monkeypatch.setattr(trim_mod, "trim_input", spy)
         built = get_benchmark("libpng").build(scale=0.2, seed_scale=1.0)
-        base = dict(benchmark="libpng", fuzzer="bigmap",
-                    map_size=1 << 16, scale=0.2, seed_scale=1.0,
-                    virtual_seconds=0.3, max_real_execs=1_000,
-                    rng_seed=4)
-        plain = run_campaign(CampaignConfig(**base), built=built)
-        trimmed = run_campaign(CampaignConfig(trim_seeds=True, **base),
-                               built=built)
-        mean_plain = np.mean([len(d) for d in plain.corpus])
-        mean_trim = np.mean([len(d) for d in trimmed.corpus])
-        assert mean_trim < mean_plain
+        trimmed = run_campaign(CampaignConfig(
+            benchmark="libpng", fuzzer="bigmap", map_size=1 << 16,
+            scale=0.2, seed_scale=1.0, virtual_seconds=0.3,
+            max_real_execs=1_000, rng_seed=4, trim_seeds=True),
+            built=built)
+        assert len(recorded) == len(trimmed.corpus)
+        assert all(after <= before for before, after in recorded)
+        assert sum(before - after for before, after in recorded) > 0
 
     def test_trimmed_corpus_preserves_coverage(self):
         """Trimming must not lose the coverage the corpus encodes."""
@@ -139,3 +151,57 @@ class TestEnsemble:
                       for r in summary.per_instance]
         # Both members end with substantial coverage (syncs worked).
         assert min(discovered) > 0.5 * max(discovered)
+
+
+def _multiset_oracle(data):
+    """Trace stand-in that depends only on the non-zero bytes."""
+    return hash(bytes(b for b in data if b))
+
+
+class TestTrimGeometry:
+    """AFL ``trim_case`` parity: the removal unit is recomputed from the
+    current length each round, the final partial chunk is attempted, and
+    the unit halves every round whether or not progress was made."""
+
+    def test_budget_capped_trim_reaches_afl_result(self):
+        # 21 essential bytes scattered through 38; under a 40-execution
+        # budget the AFL geometry gets down to 28 bytes. The stale
+        # pre-fix geometry burned the budget re-scanning at one unit
+        # size and left 33.
+        data = bytes.fromhex(
+            '00c5010001000101010000000001010100d5010105010000'
+            '0001010000e401003a0000010001')
+        result = trim_input(data, _multiset_oracle, max_executions=40)
+        assert len(result.data) == 28
+
+    def test_unit_halves_even_after_progress(self):
+        # One essential byte every 8 over 96 bytes. Always-halving
+        # geometry finishes in 125 executions; repeating the same unit
+        # after a fruitful round took 163.
+        data = bytearray(96)
+        for i in range(0, 96, 8):
+            data[i] = (i // 8) + 1
+        result = trim_input(bytes(data), _multiset_oracle,
+                            max_executions=100_000)
+        assert len(result.data) == 12
+        assert result.executions == 125
+
+    def test_final_partial_chunk_is_attempted(self):
+        # Essential prefix plus a tail shorter than the removal unit:
+        # the partial chunk must still be tried, not skipped.
+        data = bytes([1, 2, 3, 4]) + bytes(60)
+        result = trim_input(data, _multiset_oracle, max_executions=24)
+        assert result.data == bytes([1, 2, 3, 4])
+        assert result.executions <= 24
+
+    def test_budget_never_exceeded_by_geometry(self):
+        data = bytes([1, 2, 3, 4]) + bytes(60)
+        for budget in (1, 5, 12, 24):
+            calls = []
+
+            def oracle(d):
+                calls.append(1)
+                return _multiset_oracle(d)
+
+            trim_input(data, oracle, max_executions=budget)
+            assert len(calls) <= budget

@@ -156,3 +156,54 @@ class TestDramTraffic:
         rate = m.throughput(SHAPE)
         assert rate == pytest.approx(
             XEON_E5645.frequency_hz / m.exec_cycles(SHAPE).total)
+
+
+class TestExecCyclesBatch:
+    """exec_cycles_batch must be bit-identical to per-shape exec_cycles."""
+
+    CONFIGS = [
+        dict(kind=AFL, map_size=1 << 16),
+        dict(kind=AFL, map_size=1 << 23, huge_pages=False,
+             non_temporal_reset=True),
+        dict(kind=AFL, map_size=1 << 21, merged_classify_compare=False),
+        dict(kind=BIGMAP, map_size=1 << 23),
+        dict(kind=BIGMAP, map_size=1 << 26, huge_pages=False),
+        dict(kind=BIGMAP, map_size=1 << 21,
+             merged_classify_compare=False),
+    ]
+
+    @pytest.mark.parametrize("cfg", CONFIGS,
+                             ids=lambda c: f"{c['kind']}-{c['map_size']}")
+    @pytest.mark.parametrize("used_bytes", [0, 900, 30_000, 1 << 21])
+    def test_bit_identical_to_scalar(self, cfg, used_bytes):
+        import numpy as np
+        m = model(cfg["kind"], cfg["map_size"],
+                  **{k: v for k, v in cfg.items()
+                     if k not in ("kind", "map_size")})
+        rng = np.random.default_rng(7)
+        trav = rng.integers(0, 200_000, size=64)
+        uniq = rng.integers(0, 50_000, size=64)
+        batch = m.exec_cycles_batch(trav, uniq, used_bytes=used_bytes)
+        totals = batch.totals()
+        for i in range(64):
+            ref = m.exec_cycles(ExecShape(
+                traversals=int(trav[i]),
+                unique_locations=int(uniq[i]),
+                used_bytes=used_bytes))
+            row = batch.row(i)
+            assert row.execution == ref.execution, f"row {i} execution"
+            assert row.reset == ref.reset
+            assert row.classify == ref.classify
+            assert row.compare == ref.compare
+            assert row.hash == ref.hash == 0.0
+            assert row.others == ref.others
+            assert float(totals[i]) == ref.total, f"row {i} total"
+
+    def test_fork_overhead_included(self):
+        import numpy as np
+        m = BitmapCostModel(MapCostConfig(AFL, 1 << 16),
+                            fork_overhead_cycles=600_000.0)
+        batch = m.exec_cycles_batch(np.array([100]), np.array([50]))
+        ref = m.exec_cycles(ExecShape(traversals=100,
+                                      unique_locations=50))
+        assert batch.row(0).execution == ref.execution
