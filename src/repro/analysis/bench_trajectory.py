@@ -1,0 +1,135 @@
+"""Bench-trajectory registry: recorded ``BENCH_*.json`` artifacts.
+
+Each PR that lands a performance change records a host-throughput
+baseline as ``BENCH_<n>.json`` at the repo root (see
+``benchmarks/test_bench_*.py``), and EXPERIMENTS.md documents the
+trajectory as a markdown table. This module is the single source of
+truth binding the two: it loads every recorded artifact and renders
+the exact table the doc must carry, so
+``tests/analysis/test_bench_trajectory.py`` can fail whenever an
+artifact lands without its doc row (or a doc row drifts from the
+recorded numbers).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from ..core.errors import ExperimentError
+
+#: Recorded bench artifacts live at the repo root as BENCH_<pr>.json.
+BENCH_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Markdown header of the trajectory table in EXPERIMENTS.md.
+TABLE_HEADER = ("| Artifact | Bench | Workload | Serial execs/s | "
+                "Batched execs/s | Speedup | Identical |")
+TABLE_RULE = "|---|---|---|---|---|---|---|"
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One recorded bench artifact.
+
+    Attributes:
+        pr: PR number encoded in the file name (``BENCH_<pr>.json``).
+        path: artifact path.
+        bench: bench id (e.g. ``batch_engine``).
+        workload: short human label of the measured workload.
+        serial_execs_per_sec / batched_execs_per_sec: recorded rates.
+        speedup: recorded ratio.
+        identical_results: equivalence re-check outcome.
+    """
+
+    pr: int
+    path: Path
+    bench: str
+    workload: str
+    serial_execs_per_sec: float
+    batched_execs_per_sec: float
+    speedup: float
+    identical_results: bool
+
+
+def _workload_label(payload: dict) -> str:
+    workload = payload.get("workload", {})
+    benchmark = workload.get("benchmark", "?")
+    fuzzer = workload.get("fuzzer", "?")
+    map_size = int(workload.get("map_size", 0))
+    execs = int(payload.get("execs", 0))
+    if map_size >= 1 << 20 and map_size % (1 << 20) == 0:
+        size = f"{map_size >> 20}M"
+    elif map_size >= 1 << 10 and map_size % (1 << 10) == 0:
+        size = f"{map_size >> 10}k"
+    else:
+        size = str(map_size)
+    return f"{benchmark}/{fuzzer} @ {size}, {execs // 1000}k execs"
+
+
+def load_bench_records(root: Optional[Path] = None
+                       ) -> List[BenchRecord]:
+    """Load every ``BENCH_*.json`` at the repo root, PR-ordered."""
+    if root is None:
+        root = Path(__file__).resolve().parents[3]
+    found: List[Tuple[int, Path]] = []
+    for path in root.glob("BENCH_*.json"):
+        match = BENCH_PATTERN.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    records = []
+    for pr, path in sorted(found):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ExperimentError(
+                f"unreadable bench artifact {path.name}: {exc}") from exc
+        try:
+            records.append(BenchRecord(
+                pr=pr, path=path, bench=str(payload["bench"]),
+                workload=_workload_label(payload),
+                serial_execs_per_sec=float(
+                    payload["serial_execs_per_sec"]),
+                batched_execs_per_sec=float(
+                    payload["batched_execs_per_sec"]),
+                speedup=float(payload["speedup"]),
+                identical_results=bool(payload["identical_results"])))
+        except KeyError as exc:
+            raise ExperimentError(
+                f"bench artifact {path.name} is missing field "
+                f"{exc.args[0]!r}") from exc
+    return records
+
+
+def render_trajectory_table(records: List[BenchRecord]) -> str:
+    """The markdown table EXPERIMENTS.md must carry, byte-exact."""
+    lines = [TABLE_HEADER, TABLE_RULE]
+    for record in records:
+        check = "yes" if record.identical_results else "NO"
+        lines.append(
+            f"| `{record.path.name}` | {record.bench} | "
+            f"{record.workload} | "
+            f"{record.serial_execs_per_sec:,.1f} | "
+            f"{record.batched_execs_per_sec:,.1f} | "
+            f"{record.speedup:.2f}x | {check} |")
+    return "\n".join(lines)
+
+
+def documented_trajectory_table(experiments_md: Path) -> str:
+    """Extract the trajectory table block from EXPERIMENTS.md."""
+    text = experiments_md.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    try:
+        start = lines.index(TABLE_HEADER)
+    except ValueError:
+        raise ExperimentError(
+            f"{experiments_md.name} has no bench-trajectory table "
+            f"(expected header: {TABLE_HEADER!r})") from None
+    block = [lines[start]]
+    for line in lines[start + 1:]:
+        if not line.startswith("|"):
+            break
+        block.append(line)
+    return "\n".join(block)

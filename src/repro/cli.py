@@ -16,6 +16,13 @@ flushed directory::
 
     repro-fuzz zlib --telemetry-dir /tmp/t
     repro-fuzz telemetry --telemetry-dir /tmp/t
+
+The ``fleet`` subcommand dispatches multi-trial comparison experiments
+to worker processes and reports Mann-Whitney/bootstrap statistics over
+the trials (see :mod:`repro.fleet.cli`)::
+
+    repro-fuzz fleet --fuzzers afl,bigmap --benchmarks zlib,libpng \\
+        --trials 5 --workers 4
 """
 
 from __future__ import annotations
@@ -101,6 +108,10 @@ def _print_summary(title: str, rows) -> None:
 
 def main(argv=None) -> int:
     parser = build_parser()
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if raw and raw[0] == "fleet":
+        from .fleet.cli import main as fleet_main
+        return fleet_main(raw[1:])
     if argv and "--list-benchmarks" in argv or \
             (argv is None and "--list-benchmarks" in sys.argv):
         for name in benchmark_names("all"):

@@ -126,3 +126,24 @@ class ExperimentError(ReproError, RuntimeError):
     experiment failed (and, with ``--keep-going``, continue with the
     rest) while preserving the original traceback as ``__cause__``.
     """
+
+
+class FleetSpecError(ReproError, ValueError):
+    """A fleet experiment spec (:mod:`repro.fleet`) was malformed.
+
+    Raised for empty fuzzer/benchmark/map-size axes, non-positive trial
+    counts, or injected faults addressed to trials the spec does not
+    expand to.
+    """
+
+
+class FleetDispatchError(ReproError, RuntimeError):
+    """The fleet dispatcher could not complete an experiment.
+
+    Raised when a worker backend fails structurally (a worker process
+    that can neither produce a result nor be retried within the retry
+    budget is *not* this — such trials are recorded as lost) — e.g. a
+    result artifact that exists but cannot be loaded, or a backend
+    driven after shutdown. The underlying exception, when any, is
+    chained as ``__cause__``.
+    """

@@ -1,0 +1,83 @@
+"""Extension experiment: a statistically-grounded fleet comparison.
+
+The paper's evaluation compares fuzzers on single runs; Klees et al.
+(*Evaluating Fuzz Testing*, CCS'18) showed that single-run comparisons
+of randomized fuzzers are noise. This harness runs the comparison the
+way the fleet orchestrator intends it to be run: a (fuzzer × benchmark)
+grid of seed-paired trial replicas, dispatched through
+:class:`repro.fleet.FleetDispatcher`, with one deterministic injected
+worker kill to exercise the checkpoint-retry path, and a report that
+carries Mann-Whitney p-values, Vargha–Delaney Â₁₂ effect sizes and
+seeded bootstrap CIs instead of bare point estimates.
+
+Uses the in-process backend, so the whole experiment — including the
+injected fault and its retry — reproduces bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..fleet import (FleetDispatcher, FleetSpec, ResultsStore,
+                     TrialFault, render_report)
+from ..fleet.spec import KILL
+from .common import BenchmarkCache, Profile, get_profile
+
+#: Runner registry id for this experiment (statlint EXP001 keeps the
+#: module, the registry and ORDER consistent).
+EXPERIMENT_ID = "fleet"
+
+BENCHMARKS = ("zlib", "libpng")
+FUZZERS = ("afl", "bigmap")
+MAP_SIZE = 1 << 16
+#: Trial that loses its worker to the injected kill (retried from its
+#: checkpoint; the report must still carry every trial).
+FAULTED_TRIAL = 1
+
+
+def _spec(profile: Profile, n_trials: int) -> FleetSpec:
+    return FleetSpec(
+        fuzzers=FUZZERS, benchmarks=BENCHMARKS,
+        map_sizes=(MAP_SIZE,), n_trials=n_trials,
+        scale=profile.scale, seed_scale=profile.seed_scale,
+        virtual_seconds=profile.campaign_virtual_seconds,
+        max_real_execs=profile.campaign_max_execs,
+        faults={FAULTED_TRIAL: TrialFault(kind=KILL, at_segment=1)})
+
+
+def compute(profile: Profile, cache: BenchmarkCache = None) -> Dict:
+    # Replica count: enough trials for the rank statistics to mean
+    # something, scaled down with the profile.
+    n_trials = max(5, profile.replicas * 5)
+    if profile.name == "quick":
+        n_trials = 3
+    spec = _spec(profile, n_trials)
+    store = ResultsStore()
+    summary = FleetDispatcher(spec, store=store, measure=False).run()
+    return {"spec": spec, "store": store, "summary": summary}
+
+
+def run(profile: Profile, cache: BenchmarkCache = None) -> str:
+    data = compute(profile, cache)
+    summary = data["summary"]
+    report = render_report(data["store"], data["spec"])
+    header = (f"Extension — fleet comparison: "
+              f"{summary.completed}/{summary.n_trials} trials, "
+              f"{summary.retries} worker fault(s) retried from "
+              f"checkpoints, {len(summary.lost)} lost\n\n")
+    footer = ("\n\nReading: trials are seed-paired across fuzzers "
+              "(replica k draws the same seed everywhere), the injected "
+              "worker kill is recovered via checkpoint retry without "
+              "changing any row, and every comparison carries a "
+              "Mann-Whitney p-value, an A12 effect size and seeded "
+              "bootstrap CIs per Klees et al.")
+    data["store"].close()
+    return header + report + footer
+
+
+def main() -> None:
+    print(run(get_profile("default")))
+
+
+if __name__ == "__main__":
+    main()

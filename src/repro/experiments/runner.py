@@ -36,9 +36,9 @@ from typing import Callable, Dict, List
 from ..core.errors import ExperimentError
 from ..core.walltime import Stopwatch
 from . import (extra_collafl, extra_dedup_bias, extra_ensemble,
-               extra_fault_tolerance, fig2_collision, fig3_runtime,
-               fig6_throughput, fig7_edge_coverage, fig8_crashes,
-               fig9_scalability, fig10_parallel_crashes,
+               extra_fault_tolerance, extra_fleet, fig2_collision,
+               fig3_runtime, fig6_throughput, fig7_edge_coverage,
+               fig8_crashes, fig9_scalability, fig10_parallel_crashes,
                table2_benchmarks, table3_composition)
 from .common import TELEMETRY, BenchmarkCache, Profile, get_profile
 from .reporter import JSON, QUIET, TEXT, Reporter
@@ -58,12 +58,13 @@ EXPERIMENTS: Dict[str, Callable] = {
     "dedup-bias": extra_dedup_bias.run,
     "ensemble": extra_ensemble.run,
     "fault-tolerance": extra_fault_tolerance.run,
+    "fleet": extra_fleet.run,
 }
 
 #: Paper order for ``all``.
 ORDER = ("fig2", "fig3", "table2", "fig6", "fig7", "fig8", "table3",
          "fig9", "fig10", "collafl", "dedup-bias", "ensemble",
-         "fault-tolerance")
+         "fault-tolerance", "fleet")
 
 
 def run_experiment(name: str, profile: Profile,

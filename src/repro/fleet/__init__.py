@@ -1,0 +1,47 @@
+"""Campaign-fleet orchestration: multi-trial experiments on real
+worker processes, with statistics worth believing.
+
+The paper's headline claims rest on *comparisons* — bigmap vs afl,
+across benchmarks and map sizes — and Klees et al. (*Evaluating Fuzz
+Testing*) showed such comparisons are noise without many trials and
+rank statistics over them. This package is the layer that produces
+those trials and those statistics:
+
+* :class:`FleetSpec` expands a (fuzzer × benchmark × map-size × trial)
+  grid into a deterministic queue of :class:`TrialSpec` rows;
+* :class:`FleetDispatcher` drives the queue through a worker backend —
+  :class:`ProcessBackend` (real OS processes, heartbeat stall
+  watchdog) or :class:`InlineBackend` (deterministic, in-process) —
+  retrying failed or stalled workers from persisted campaign
+  checkpoints via the :class:`repro.faults.SessionSupervisor`;
+* :class:`SnapshotMeasurer` measures corpus snapshots out-of-band with
+  the collision-free coverage evaluator (fuzzbench's runner/measurer
+  split);
+* :class:`ResultsStore` lands per-trial rows in SQLite;
+* :mod:`repro.fleet.stats` supplies Mann–Whitney U, Vargha–Delaney
+  Â₁₂ and seeded bootstrap CIs, and :func:`render_report` refuses to
+  print a comparison without them.
+
+Entry point: ``repro-fuzz fleet`` (see :mod:`repro.fleet.cli`).
+"""
+
+from .dispatcher import FleetDispatcher, FleetSummary, run_fleet
+from .measurer import SnapshotMeasurer
+from .report import render_report
+from .spec import (KILL, STALL, FleetSpec, TrialFault, TrialSpec)
+from .stats import (MannWhitneyResult, bootstrap_ci, bootstrap_diff_ci,
+                    mann_whitney_u, vargha_delaney_a12)
+from .store import ResultsStore
+from .workers import (InlineBackend, ProcessBackend, TrialCompletion,
+                      TrialRequest, execute_trial)
+
+__all__ = [
+    "FleetSpec", "TrialSpec", "TrialFault", "KILL", "STALL",
+    "FleetDispatcher", "FleetSummary", "run_fleet",
+    "InlineBackend", "ProcessBackend", "TrialRequest",
+    "TrialCompletion", "execute_trial",
+    "SnapshotMeasurer", "ResultsStore",
+    "mann_whitney_u", "MannWhitneyResult", "vargha_delaney_a12",
+    "bootstrap_ci", "bootstrap_diff_ci",
+    "render_report",
+]

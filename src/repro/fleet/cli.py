@@ -1,0 +1,174 @@
+"""``repro-fuzz fleet`` — the campaign-fleet orchestration CLI.
+
+Runs a multi-trial fleet experiment end-to-end: expand the grid,
+dispatch trials to worker processes (or the deterministic in-process
+backend), retry faulted workers from checkpoints, measure coverage
+out-of-band, and print the statistical comparison report::
+
+    repro-fuzz fleet --fuzzers afl,bigmap --benchmarks zlib,libpng \\
+        --trials 5 --workers 4 --budget 5 --scale 0.05
+    repro-fuzz fleet --backend inline --trials 3 --store fleet.sqlite
+
+``--inject-kill`` / ``--inject-stall`` plant a deterministic worker
+fault into one trial (fault-tolerance smoke: the CI job kills a worker
+mid-trial and the report must still carry every trial's row).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core.errors import FleetSpecError
+from ..target import get_benchmark
+from .dispatcher import FleetDispatcher
+from .report import render_report
+from .spec import KILL, STALL, FleetSpec, TrialFault
+from .store import ResultsStore
+from .workers import InlineBackend, ProcessBackend
+
+
+def _parse_size(text: str) -> int:
+    from ..cli import parse_size
+    return parse_size(text)
+
+
+def _csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _parse_fault(text: str, kind: str) -> "tuple":
+    """``TRIAL`` or ``TRIAL:SEGMENT`` → (trial_id, TrialFault)."""
+    trial_text, _, segment_text = text.partition(":")
+    try:
+        trial_id = int(trial_text)
+        segment = int(segment_text) if segment_text else 1
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected TRIAL[:SEGMENT], got {text!r}") from None
+    return trial_id, TrialFault(kind=kind, at_segment=segment)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz fleet",
+        description="Run a multi-trial fleet comparison with "
+                    "Mann-Whitney/bootstrap statistics.")
+    parser.add_argument("--fuzzers", type=_csv, default=["afl", "bigmap"],
+                        help="comma-separated fuzzers (default "
+                             "afl,bigmap)")
+    parser.add_argument("--benchmarks", type=_csv, default=["zlib"],
+                        help="comma-separated benchmark names")
+    parser.add_argument("--map-sizes", type=_csv, default=["64k"],
+                        help="comma-separated map sizes (64k, 2M, ...)")
+    parser.add_argument("--trials", type=int, default=5,
+                        help="trial replicas per cell (default 5)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (default 2)")
+    parser.add_argument("--backend", choices=["process", "inline"],
+                        default="process",
+                        help="process: real OS workers; inline: "
+                             "deterministic in-process (default "
+                             "process)")
+    parser.add_argument("--budget", type=float, default=5.0,
+                        help="virtual seconds per trial (default 5)")
+    parser.add_argument("--max-execs", type=int, default=20_000,
+                        help="real-execution cap per trial")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="benchmark scale (default 0.1)")
+    parser.add_argument("--seed-scale", type=float, default=None,
+                        help="seed-corpus scale (default: --scale)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base RNG seed (replica k adds k*1000)")
+    parser.add_argument("--snapshot-interval", type=float, default=None,
+                        help="virtual seconds between checkpoints "
+                             "(default: budget/4)")
+    parser.add_argument("--stall-timeout", type=float, default=10.0,
+                        help="wall seconds without worker heartbeat "
+                             "before a stall retry (process backend)")
+    parser.add_argument("--store", default=":memory:", metavar="PATH",
+                        help="SQLite results store path (default "
+                             "in-memory)")
+    parser.add_argument("--workdir", default=None, metavar="DIR",
+                        help="trial artifact directory (default: "
+                             "temporary)")
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="flush fleet telemetry events under DIR")
+    parser.add_argument("--no-measure", action="store_true",
+                        help="skip out-of-band coverage measurement")
+    parser.add_argument("--inject-kill", default=None,
+                        metavar="TRIAL[:SEG]",
+                        help="kill TRIAL's worker after checkpoint SEG "
+                             "(default 1) on its first attempt")
+    parser.add_argument("--inject-stall", default=None,
+                        metavar="TRIAL[:SEG]",
+                        help="stall TRIAL's worker after checkpoint "
+                             "SEG on its first attempt")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    for name in args.benchmarks:
+        try:
+            get_benchmark(name)
+        except KeyError as exc:
+            parser.error(str(exc))
+
+    faults = {}
+    if args.inject_kill is not None:
+        trial_id, fault = _parse_fault(args.inject_kill, KILL)
+        faults[trial_id] = fault
+    if args.inject_stall is not None:
+        trial_id, fault = _parse_fault(args.inject_stall, STALL)
+        faults[trial_id] = fault
+
+    try:
+        spec = FleetSpec(
+            fuzzers=tuple(args.fuzzers),
+            benchmarks=tuple(args.benchmarks),
+            map_sizes=tuple(_parse_size(s) for s in args.map_sizes),
+            n_trials=args.trials, base_seed=args.seed,
+            scale=args.scale, seed_scale=args.seed_scale,
+            virtual_seconds=args.budget,
+            max_real_execs=args.max_execs,
+            snapshot_interval=args.snapshot_interval, faults=faults)
+    except FleetSpecError as exc:
+        parser.error(str(exc))
+
+    if args.backend == "inline":
+        backend = InlineBackend()
+    else:
+        backend = ProcessBackend(n_workers=args.workers,
+                                 stall_timeout=args.stall_timeout)
+
+    telemetry = None
+    if args.telemetry_dir is not None:
+        from ..telemetry.recorder import SessionTelemetry
+        telemetry = SessionTelemetry()
+
+    store = ResultsStore(args.store)
+    dispatcher = FleetDispatcher(
+        spec, store=store, backend=backend, telemetry=telemetry,
+        workdir=args.workdir, measure=not args.no_measure)
+    summary = dispatcher.run()
+
+    if telemetry is not None:
+        telemetry.flush(args.telemetry_dir)
+        print(f"telemetry artifacts: {args.telemetry_dir}")
+
+    print(f"fleet: {summary.completed}/{summary.n_trials} trials "
+          f"completed, {summary.retries} retries, "
+          f"{len(summary.lost)} lost, "
+          f"{summary.measured_snapshots} snapshots measured")
+    print()
+    print(render_report(store, spec))
+    store.close()
+    return 1 if summary.lost else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""The fleet dispatcher: spec → trial queue → workers → store.
+
+:class:`FleetDispatcher` expands a :class:`~repro.fleet.spec.FleetSpec`
+into its trial queue, keeps every backend worker slot busy, and routes
+each completion:
+
+* ``ok`` — the trial row (and its out-of-band coverage measurements)
+  land in the :class:`~repro.fleet.store.ResultsStore`;
+* ``crashed`` / ``stalled`` — the failure goes through the *existing*
+  :class:`repro.faults.SessionSupervisor`: exponential-backoff retry
+  accounting, per-trial failure logs, and ``fault`` / ``restart``
+  telemetry events, exactly as parallel-session instances are
+  supervised. A retried attempt resumes from the trial's persisted
+  checkpoint (losing at most one segment); a trial whose retry budget
+  runs out is recorded as *lost*, and the fleet completes with the
+  survivors.
+
+Telemetry ``t`` values on fleet events are a logical dispatch clock (a
+monotone per-event counter), keeping the in-process backend's event
+stream byte-identical across runs; see
+:mod:`repro.telemetry.events`.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from collections import deque
+
+from ..faults import DEAD, RestartPolicy, SessionSupervisor
+from ..telemetry.recorder import SessionTelemetry
+from .measurer import SnapshotMeasurer
+from .spec import FleetSpec, TrialSpec
+from .store import ResultsStore
+from .workers import (CHECKPOINT_FILE, OK, InlineBackend,
+                      TrialCompletion, TrialRequest)
+
+
+@dataclass
+class FleetSummary:
+    """Aggregate outcome of one dispatched fleet.
+
+    Attributes:
+        n_trials: trials the spec expanded to.
+        completed: trials that landed a result row.
+        lost: trial ids whose retry budget ran out.
+        retries: total retry dispatches across the fleet.
+        attempts: per-trial attempt counts (1 = clean first run).
+        measured_snapshots: coverage snapshots measured out-of-band.
+    """
+
+    n_trials: int
+    completed: int
+    lost: List[int] = field(default_factory=list)
+    retries: int = 0
+    attempts: Dict[int, int] = field(default_factory=dict)
+    measured_snapshots: int = 0
+
+
+class FleetDispatcher:
+    """Runs one fleet experiment to completion (see module docstring).
+
+    Args:
+        spec: the experiment grid.
+        store: results store (defaults to in-memory).
+        backend: worker backend (defaults to
+            :class:`~repro.fleet.workers.InlineBackend`).
+        retry_policy: supervisor retry budget/backoff (defaults to
+            :class:`repro.faults.RestartPolicy`).
+        telemetry: optional
+            :class:`~repro.telemetry.SessionTelemetry`; trial
+            lifecycle, retry, fault/restart and measurement events are
+            emitted session-level, tagged with the trial id.
+        workdir: root directory for per-trial artifacts (checkpoints,
+            corpus snapshots, heartbeats); a temporary directory is
+            created when omitted.
+        measure: measure corpus snapshots out-of-band after each trial
+            completes (on by default).
+    """
+
+    def __init__(self, spec: FleetSpec, *,
+                 store: Optional[ResultsStore] = None,
+                 backend=None,
+                 retry_policy: Optional[RestartPolicy] = None,
+                 telemetry: Optional[SessionTelemetry] = None,
+                 workdir: Optional[str] = None,
+                 measure: bool = True) -> None:
+        self.spec = spec
+        self.trials = spec.expand()
+        self.store = store if store is not None else ResultsStore()
+        self.backend = backend if backend is not None else InlineBackend()
+        self.telemetry = telemetry
+        if workdir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="fleet-")
+            workdir = self._tmpdir.name
+        else:
+            self._tmpdir = None
+        self.workdir = workdir
+        self.supervisor = SessionSupervisor(
+            len(self.trials), retry_policy or RestartPolicy(),
+            telemetry=telemetry)
+        self.measurer = SnapshotMeasurer() if measure else None
+        self._attempts: Dict[int, int] = {}
+        self._clock = 0
+
+    # -- plumbing ------------------------------------------------------
+
+    def trial_workdir(self, trial_id: int) -> str:
+        return os.path.join(self.workdir, f"trial-{trial_id:04d}")
+
+    def _tick(self) -> float:
+        """Advance and return the logical event clock."""
+        self._clock += 1
+        return float(self._clock)
+
+    def _emit(self, kind: str, trial_id: int, **payload) -> None:
+        if self.telemetry is not None:
+            self.telemetry.session.emit(kind, self._tick(),
+                                        instance=trial_id, **payload)
+
+    # -- dispatch loop -------------------------------------------------
+
+    def _request_for(self, trial: TrialSpec, attempt: int
+                     ) -> TrialRequest:
+        return TrialRequest(
+            trial=trial, attempt=attempt,
+            workdir=self.trial_workdir(trial.trial_id),
+            snapshot_interval=self.spec.checkpoint_interval)
+
+    def _dispatch(self, queue: Deque[TrialRequest]) -> int:
+        dispatched = 0
+        while queue and self.backend.in_flight < self.backend.n_workers:
+            request = queue.popleft()
+            trial = request.trial
+            self._emit("trial_dispatch", trial.trial_id,
+                       trial=trial.trial_id, attempt=request.attempt,
+                       fuzzer=trial.fuzzer, benchmark=trial.benchmark,
+                       map_size=trial.map_size,
+                       rng_seed=trial.rng_seed)
+            self._attempts[trial.trial_id] = request.attempt + 1
+            self.backend.submit(request)
+            dispatched += 1
+            if self.backend.n_workers <= 1:
+                # A synchronous backend completes at submit; drain
+                # before dispatching more so completions interleave in
+                # queue order.
+                break
+        return dispatched
+
+    def _complete_ok(self, completion: TrialCompletion,
+                     summary: FleetSummary) -> None:
+        trial = completion.request.trial
+        result = completion.result
+        self.store.record_trial(
+            trial, result, attempts=self._attempts[trial.trial_id])
+        self._emit("trial_finish", trial.trial_id,
+                   trial=trial.trial_id,
+                   attempt=completion.request.attempt, status=OK,
+                   execs=result.execs,
+                   edges=result.discovered_locations,
+                   crashes=result.unique_crashes)
+        summary.completed += 1
+        if self.measurer is not None:
+            summary.measured_snapshots += self.measurer.measure_trial(
+                trial, completion.request.workdir, self.store,
+                telemetry=(self.telemetry.session
+                           if self.telemetry is not None else None),
+                now=self._tick())
+
+    def _complete_failed(self, completion: TrialCompletion,
+                         queue: Deque[TrialRequest],
+                         summary: FleetSummary) -> None:
+        trial = completion.request.trial
+        trial_id = trial.trial_id
+        reason = f"{completion.status}: {completion.reason}"
+        status = self.supervisor.mark_failed(
+            trial_id, now=self._tick(), reason=reason)
+        if status == DEAD:
+            self.supervisor.mark_restarted(trial_id, now=self._tick())
+            attempt = completion.request.attempt + 1
+            has_checkpoint = os.path.exists(os.path.join(
+                self.trial_workdir(trial_id), CHECKPOINT_FILE))
+            self._emit("trial_retry", trial_id, trial=trial_id,
+                       attempt=attempt, reason=reason,
+                       resumed_from_checkpoint=int(has_checkpoint))
+            summary.retries += 1
+            queue.append(self._request_for(trial, attempt))
+        else:
+            self.store.record_lost(
+                trial, attempts=self._attempts[trial_id])
+            self._emit("trial_finish", trial_id, trial=trial_id,
+                       attempt=completion.request.attempt,
+                       status="lost", execs=0, edges=0, crashes=0)
+            summary.lost.append(trial_id)
+
+    def run(self) -> FleetSummary:
+        """Dispatch every trial; block until the fleet drains."""
+        summary = FleetSummary(n_trials=len(self.trials), completed=0)
+        queue: Deque[TrialRequest] = deque(
+            self._request_for(trial, attempt=0)
+            for trial in self.trials)
+        try:
+            while queue or self.backend.in_flight:
+                self._dispatch(queue)
+                for completion in self.backend.poll():
+                    if completion.status == OK:
+                        self._complete_ok(completion, summary)
+                    else:
+                        self._complete_failed(completion, queue,
+                                              summary)
+        finally:
+            self.backend.shutdown()
+            if self._tmpdir is not None:
+                self._tmpdir.cleanup()
+        summary.attempts = dict(self._attempts)
+        return summary
+
+
+def run_fleet(spec: FleetSpec, **kwargs) -> FleetSummary:
+    """Convenience wrapper: construct and run a dispatcher."""
+    return FleetDispatcher(spec, **kwargs).run()

@@ -1,0 +1,104 @@
+"""Out-of-band coverage measurement of trial corpus snapshots.
+
+Fuzzbench separates *running* fuzzers from *measuring* them: trial
+runners archive their corpora, and a measurer process replays each
+archive against an independent coverage build. The same split here
+keeps the comparison fair (the paper's §V-A3 argument: a fuzzer's own
+map under-counts at high collision rates, and differently per map
+size) and keeps measurement cost out of the trial's virtual clock.
+
+:class:`SnapshotMeasurer` walks the ``snap-NNN.pkl`` files a worker
+left in its trial directory, re-executes each corpus through the
+collision-free evaluator (:func:`repro.analysis.coverage_eval.
+evaluate_corpus` — true program edges, no hashing, no map), and lands
+one measurement row per snapshot in the results store. The wall-clock
+delay between a worker producing a snapshot and the measurer consuming
+it is reported as *measurement lag* telemetry — the fleet's analogue of
+fuzzbench's measurer falling behind its runners.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.coverage_eval import evaluate_corpus
+from ..core.walltime import wall_now
+from ..target import Executor, get_benchmark
+from .spec import TrialSpec
+from .store import ResultsStore
+
+_SNAP_PATTERN = re.compile(r"snap-(\d+)\.pkl$")
+
+
+class SnapshotMeasurer:
+    """Measures corpus snapshots against independent coverage builds.
+
+    One measurer serves a whole fleet: programs (and their executors)
+    are cached per (benchmark, scale, seed_scale), so measuring N
+    trials of one cell builds the benchmark once.
+    """
+
+    def __init__(self) -> None:
+        self._programs: Dict[Tuple[str, float, Optional[float]],
+                             Executor] = {}
+
+    def _executor_for(self, trial: TrialSpec) -> Executor:
+        key = (trial.benchmark, trial.config.scale,
+               trial.config.seed_scale)
+        executor = self._programs.get(key)
+        if executor is None:
+            built = get_benchmark(trial.benchmark).build(
+                trial.config.scale, seed_scale=trial.config.seed_scale)
+            executor = Executor(built.program)
+            self._programs[key] = executor
+        return executor
+
+    def snapshot_files(self, workdir: str) -> List[Tuple[int, str]]:
+        """(snapshot index, path) pairs present in ``workdir``, sorted."""
+        found: List[Tuple[int, str]] = []
+        try:
+            names = os.listdir(workdir)
+        except FileNotFoundError:
+            return []
+        for name in names:
+            match = _SNAP_PATTERN.match(name)
+            if match:
+                found.append((int(match.group(1)),
+                              os.path.join(workdir, name)))
+        return sorted(found)
+
+    def measure_trial(self, trial: TrialSpec, workdir: str,
+                      store: ResultsStore,
+                      telemetry=None, now: float = 0.0) -> int:
+        """Measure every snapshot of one trial; returns the count.
+
+        ``telemetry`` is an optional
+        :class:`~repro.telemetry.TelemetryRecorder`-like object whose
+        ``emit`` receives one ``measurement`` event per snapshot
+        (logical time ``now``); measurement lag rides in the event and
+        the store row.
+        """
+        executor = self._executor_for(trial)
+        measured = 0
+        for snapshot, path in self.snapshot_files(workdir):
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            lag = max(wall_now() - payload["produced_at"], 0.0)
+            true_edges = evaluate_corpus(
+                executor.program, payload["corpus"], executor=executor)
+            store.record_measurement(
+                trial.trial_id, snapshot,
+                virtual_seconds=payload["virtual_seconds"],
+                corpus_size=len(payload["corpus"]),
+                true_edges=true_edges, lag_seconds=lag)
+            if telemetry is not None:
+                telemetry.emit(
+                    "measurement", now, instance=trial.trial_id,
+                    trial=trial.trial_id, snapshot=snapshot,
+                    corpus_size=len(payload["corpus"]),
+                    true_edges=true_edges, lag_seconds=lag)
+            measured += 1
+        return measured

@@ -1,0 +1,116 @@
+"""Fleet report rendering: multi-trial comparisons with significance.
+
+Klees et al.'s complaint about fuzzing evaluations is that they report
+point estimates; this renderer refuses to. For every (benchmark,
+map-size) group and metric it reports, per fuzzer, the median over
+trials with a seeded bootstrap CI — and for every fuzzer pair, the
+Mann–Whitney p-value, the Vargha–Delaney Â₁₂ effect size, and a
+bootstrap CI on the median difference. Output is deterministic: groups
+and fuzzers render in sorted order, and every interval comes from the
+seeded resampler in :mod:`repro.fleet.stats`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .spec import FleetSpec
+from .stats import (bootstrap_ci, bootstrap_diff_ci, mann_whitney_u,
+                    vargha_delaney_a12)
+from .store import ResultsStore
+
+#: Metrics every fleet report compares, in render order.
+REPORT_METRICS: Tuple[str, ...] = ("edges", "throughput",
+                                   "unique_crashes")
+
+#: Two-sided Mann–Whitney significance threshold flagged in reports.
+ALPHA = 0.05
+
+
+def _size_label(map_size: int) -> str:
+    if map_size >= 1 << 20 and map_size % (1 << 20) == 0:
+        return f"{map_size >> 20}M"
+    if map_size >= 1 << 10 and map_size % (1 << 10) == 0:
+        return f"{map_size >> 10}k"
+    return str(map_size)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _fmt(value: float) -> str:
+    return f"{value:,.1f}" if abs(value) < 1e6 else f"{value:,.3g}"
+
+
+def _metric_section(store: ResultsStore, benchmark: str,
+                    map_size: int, fuzzers: List[str], metric: str,
+                    seed: int) -> List[str]:
+    lines = [f"  metric: {metric}"]
+    samples = {}
+    for fuzzer in fuzzers:
+        values = store.sample(metric, benchmark=benchmark,
+                              fuzzer=fuzzer, map_size=map_size)
+        samples[fuzzer] = values
+        if not values:
+            lines.append(f"    {fuzzer:<8} no completed trials")
+            continue
+        lo, hi = bootstrap_ci(values, seed=seed)
+        lines.append(
+            f"    {fuzzer:<8} n={len(values):<3d} "
+            f"median={_fmt(_median(values)):>12} "
+            f"95% CI [{_fmt(lo)}, {_fmt(hi)}]")
+    for i, first in enumerate(fuzzers):
+        for second in fuzzers[i + 1:]:
+            x, y = samples[first], samples[second]
+            if not x or not y:
+                continue
+            test = mann_whitney_u(x, y)
+            a12 = vargha_delaney_a12(x, y)
+            dlo, dhi = bootstrap_diff_ci(x, y, seed=seed)
+            marker = " *" if test.p_value < ALPHA else ""
+            lines.append(
+                f"    {first} vs {second}: U={test.u1:.1f} "
+                f"p={test.p_value:.4f}{marker} A12={a12:.3f} "
+                f"dmedian 95% CI [{_fmt(dlo)}, {_fmt(dhi)}]")
+    return lines
+
+
+def render_report(store: ResultsStore,
+                  spec: Optional[FleetSpec] = None,
+                  metrics: Sequence[str] = REPORT_METRICS,
+                  seed: int = 0) -> str:
+    """Render the fleet comparison report over a results store.
+
+    ``spec``, when given, pins fuzzer order to the spec's axis order
+    (otherwise sorted) and adds the experiment header. ``seed`` feeds
+    every bootstrap resampler.
+    """
+    fuzzers = (list(spec.fuzzers) if spec is not None
+               else store.fuzzers())
+    lines: List[str] = ["Fleet comparison (multi-trial, "
+                        "Mann-Whitney + bootstrap CIs)"]
+    if spec is not None:
+        lines.append(
+            f"grid: {len(spec.fuzzers)} fuzzers x "
+            f"{len(spec.benchmarks)} benchmarks x "
+            f"{len(spec.map_sizes)} map sizes x "
+            f"{spec.n_trials} trials "
+            f"(budget {spec.virtual_seconds:g}s virtual)")
+    lost = store.lost_trials()
+    if lost:
+        lines.append(f"lost trials (retry budget exhausted): "
+                     f"{', '.join(str(t) for t in lost)}")
+    lines.append(f"significance: two-sided Mann-Whitney, "
+                 f"* marks p < {ALPHA}")
+    for benchmark, map_size in store.groups():
+        lines.append("")
+        lines.append(f"{benchmark} @ {_size_label(map_size)} map")
+        for metric in metrics:
+            lines.extend(_metric_section(
+                store, benchmark, map_size, fuzzers, metric, seed))
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Fleet experiment specs: the (fuzzer × benchmark × map-size × trial)
+grid and its deterministic expansion into a trial queue.
+
+A :class:`FleetSpec` names the axes of a multi-trial comparison — the
+shape fuzzbench calls an *experiment config* — and :meth:`expand` turns
+it into a flat, deterministically-ordered list of :class:`TrialSpec`
+rows, one per campaign the fleet will run. Trial ids are dense and
+stable: the same spec always expands to the same queue, which is what
+lets a fleet be re-dispatched, resumed, or replayed on the in-process
+backend with identical results.
+
+Seed pairing follows Klees et al. (*Evaluating Fuzz Testing*): replica
+``k`` of every fuzzer draws the same ``rng_seed``, so cross-fuzzer
+comparisons are paired on randomness and differences are attributable
+to the fuzzer, not the draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import FleetSpecError
+from ..fuzzer.campaign import CampaignConfig
+
+#: Seed stride between trial replicas — the same stride
+#: :class:`repro.fuzzer.ParallelSession` uses between instances, so a
+#: fleet replica and a parallel-session instance with the same index
+#: see the same stream.
+REPLICA_SEED_STRIDE = 1000
+
+#: Injected-fault kinds a trial spec can carry (process-kill and
+#: worker-stall; the virtual-time kinds live in repro.faults.plan).
+KILL = "kill"
+STALL = "stall"
+TRIAL_FAULT_KINDS: Tuple[str, ...] = (KILL, STALL)
+
+
+@dataclass(frozen=True)
+class TrialFault:
+    """A deterministic fault injected into one trial's worker.
+
+    Attributes:
+        kind: ``"kill"`` (the worker process dies mid-trial) or
+            ``"stall"`` (the worker stops making progress but stays
+            alive, so the dispatcher's heartbeat watchdog must catch
+            it).
+        at_segment: fire after this many completed checkpoint segments
+            (0 = before the first checkpoint exists, forcing a
+            from-scratch retry).
+        on_attempt: only fire on this attempt number (default 0: the
+            first attempt fails, the retry runs clean).
+    """
+
+    kind: str
+    at_segment: int = 1
+    on_attempt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRIAL_FAULT_KINDS:
+            raise FleetSpecError(
+                f"unknown trial fault kind {self.kind!r}; known: "
+                f"{', '.join(TRIAL_FAULT_KINDS)}")
+        if self.at_segment < 0:
+            raise FleetSpecError("at_segment must be >= 0")
+        if self.on_attempt < 0:
+            raise FleetSpecError("on_attempt must be >= 0")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One cell of the expanded trial queue.
+
+    Attributes:
+        trial_id: dense index into the expansion (stable across runs).
+        fuzzer / benchmark / map_size: the compared configuration axes.
+        replica: trial replica index within the cell (0-based).
+        rng_seed: campaign RNG seed (paired across fuzzers per replica).
+        config: the full :class:`CampaignConfig` the worker runs.
+        fault: optional injected fault (fault-tolerance testing).
+    """
+
+    trial_id: int
+    fuzzer: str
+    benchmark: str
+    map_size: int
+    replica: int
+    rng_seed: int
+    config: CampaignConfig
+    fault: Optional[TrialFault] = None
+
+    @property
+    def cell(self) -> Tuple[str, str, int]:
+        """The comparison cell this trial belongs to."""
+        return (self.benchmark, self.fuzzer, self.map_size)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A multi-trial fleet experiment (see module docstring).
+
+    Attributes:
+        fuzzers / benchmarks / map_sizes: grid axes, in report order.
+        n_trials: replicas per (fuzzer, benchmark, map-size) cell.
+        base_seed: seed of replica 0 (replica k adds
+            ``k * REPLICA_SEED_STRIDE``).
+        scale / seed_scale / virtual_seconds / max_real_execs / metric /
+            lafintel: forwarded into every trial's
+            :class:`CampaignConfig`.
+        snapshot_interval: virtual seconds between worker checkpoints +
+            corpus snapshots; defaults to a quarter of the budget.
+        faults: injected faults, keyed by trial id (validated against
+            the expansion).
+    """
+
+    fuzzers: Tuple[str, ...]
+    benchmarks: Tuple[str, ...]
+    map_sizes: Tuple[int, ...]
+    n_trials: int
+    base_seed: int = 0
+    scale: float = 0.25
+    seed_scale: Optional[float] = None
+    virtual_seconds: float = 30.0
+    max_real_execs: int = 50_000
+    metric: str = "afl-edge"
+    lafintel: bool = False
+    snapshot_interval: Optional[float] = None
+    faults: Dict[int, TrialFault] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for axis, values in (("fuzzers", self.fuzzers),
+                             ("benchmarks", self.benchmarks),
+                             ("map_sizes", self.map_sizes)):
+            if not values:
+                raise FleetSpecError(f"spec has an empty {axis} axis")
+        if self.n_trials < 1:
+            raise FleetSpecError(
+                f"n_trials must be >= 1, got {self.n_trials}")
+        if (self.snapshot_interval is not None and
+                self.snapshot_interval <= 0):
+            raise FleetSpecError("snapshot_interval must be positive")
+        n = self.n_expanded
+        for trial_id in sorted(self.faults):
+            if not 0 <= trial_id < n:
+                raise FleetSpecError(
+                    f"fault addressed to trial {trial_id}, but the "
+                    f"spec expands to {n} trials")
+
+    @property
+    def n_expanded(self) -> int:
+        return (len(self.benchmarks) * len(self.map_sizes) *
+                len(self.fuzzers) * self.n_trials)
+
+    @property
+    def checkpoint_interval(self) -> float:
+        """Resolved snapshot/checkpoint cadence in virtual seconds."""
+        if self.snapshot_interval is not None:
+            return self.snapshot_interval
+        return max(self.virtual_seconds / 4.0, 1e-9)
+
+    def expand(self) -> List[TrialSpec]:
+        """The deterministic trial queue: benchmark-major, then map
+        size, fuzzer, replica — the order reports group by."""
+        trials: List[TrialSpec] = []
+        for benchmark in self.benchmarks:
+            for map_size in self.map_sizes:
+                for fuzzer in self.fuzzers:
+                    for replica in range(self.n_trials):
+                        trial_id = len(trials)
+                        seed = (self.base_seed +
+                                replica * REPLICA_SEED_STRIDE)
+                        config = CampaignConfig(
+                            benchmark=benchmark, fuzzer=fuzzer,
+                            map_size=map_size, metric=self.metric,
+                            lafintel=self.lafintel, scale=self.scale,
+                            seed_scale=self.seed_scale,
+                            virtual_seconds=self.virtual_seconds,
+                            max_real_execs=self.max_real_execs,
+                            rng_seed=seed)
+                        trials.append(TrialSpec(
+                            trial_id=trial_id, fuzzer=fuzzer,
+                            benchmark=benchmark, map_size=map_size,
+                            replica=replica, rng_seed=seed,
+                            config=config,
+                            fault=self.faults.get(trial_id)))
+        return trials

@@ -1,0 +1,223 @@
+"""SQLite-backed per-trial results store for fleet experiments.
+
+One row per trial (configuration echo, attempt count, terminal status,
+headline campaign metrics) plus one row per out-of-band coverage
+measurement (fuzzbench's ``measurer`` shape: corpus snapshots measured
+independently of the trial runner). The store is the query surface the
+stats layer and the report renderer sit on — nothing downstream touches
+:class:`~repro.fuzzer.stats.CampaignResult` objects, so a report can be
+regenerated from a store file long after the campaigns are gone.
+
+Paths: a filesystem path persists across processes (the dispatcher and
+CLI default to ``fleet.sqlite`` in the fleet work directory);
+``":memory:"`` keeps everything in-process for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..fuzzer.stats import CampaignResult
+from .spec import TrialSpec
+
+#: Terminal trial statuses.
+DONE = "done"          # result recorded
+LOST = "lost"          # retry budget exhausted, no result
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS trials (
+    trial_id     INTEGER PRIMARY KEY,
+    benchmark    TEXT    NOT NULL,
+    fuzzer       TEXT    NOT NULL,
+    map_size     INTEGER NOT NULL,
+    replica      INTEGER NOT NULL,
+    rng_seed     INTEGER NOT NULL,
+    status       TEXT    NOT NULL,
+    attempts     INTEGER NOT NULL,
+    execs        INTEGER,
+    virtual_seconds REAL,
+    throughput   REAL,
+    edges        INTEGER,
+    unique_crashes INTEGER,
+    unique_hangs INTEGER,
+    corpus_size  INTEGER,
+    stopped_by   TEXT,
+    coverage_curve TEXT
+);
+CREATE TABLE IF NOT EXISTS measurements (
+    trial_id     INTEGER NOT NULL,
+    snapshot     INTEGER NOT NULL,
+    virtual_seconds REAL NOT NULL,
+    corpus_size  INTEGER NOT NULL,
+    true_edges   INTEGER NOT NULL,
+    lag_seconds  REAL    NOT NULL,
+    PRIMARY KEY (trial_id, snapshot)
+);
+"""
+
+#: trials columns holding per-trial outcome metrics that
+#: :meth:`ResultsStore.sample` may select, mapped to a short
+#: description (kept explicit: ``sample`` interpolates the column name
+#: into SQL, so only names from this table are accepted).
+METRIC_COLUMNS: Dict[str, str] = {
+    "execs": "test cases executed",
+    "virtual_seconds": "virtual campaign duration",
+    "throughput": "executions per virtual second",
+    "edges": "distinct map locations discovered",
+    "unique_crashes": "crashwalk-deduplicated crashes",
+    "unique_hangs": "deduplicated hangs",
+    "corpus_size": "final queue length",
+}
+
+
+class ResultsStore:
+    """Queryable fleet results (see module docstring).
+
+    Args:
+        path: SQLite database path, or ``":memory:"``.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        if path != ":memory:":
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- writing -------------------------------------------------------
+
+    def record_trial(self, trial: TrialSpec, result: CampaignResult,
+                     attempts: int) -> None:
+        """Land one completed trial's row (idempotent per trial id)."""
+        curve = json.dumps(
+            [[t, int(edges)] for t, edges in result.coverage_curve])
+        self._conn.execute(
+            "INSERT OR REPLACE INTO trials VALUES "
+            "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (trial.trial_id, trial.benchmark, trial.fuzzer,
+             trial.map_size, trial.replica, trial.rng_seed, DONE,
+             attempts, result.execs, result.virtual_seconds,
+             result.throughput, result.discovered_locations,
+             result.unique_crashes, result.unique_hangs,
+             result.corpus_size, result.stopped_by, curve))
+        self._conn.commit()
+
+    def record_lost(self, trial: TrialSpec, attempts: int) -> None:
+        """Land a trial whose retry budget ran out without a result."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO trials (trial_id, benchmark, "
+            "fuzzer, map_size, replica, rng_seed, status, attempts) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (trial.trial_id, trial.benchmark, trial.fuzzer,
+             trial.map_size, trial.replica, trial.rng_seed, LOST,
+             attempts))
+        self._conn.commit()
+
+    def record_measurement(self, trial_id: int, snapshot: int,
+                           virtual_seconds: float, corpus_size: int,
+                           true_edges: int, lag_seconds: float) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO measurements VALUES "
+            "(?, ?, ?, ?, ?, ?)",
+            (trial_id, snapshot, virtual_seconds, corpus_size,
+             true_edges, lag_seconds))
+        self._conn.commit()
+
+    # -- querying ------------------------------------------------------
+
+    def trial_rows(self, *, benchmark: Optional[str] = None,
+                   fuzzer: Optional[str] = None,
+                   map_size: Optional[int] = None,
+                   status: Optional[str] = None) -> List[sqlite3.Row]:
+        """Trial rows matching the filters, ordered by trial id."""
+        clauses, params = [], []
+        for column, value in (("benchmark", benchmark),
+                              ("fuzzer", fuzzer),
+                              ("map_size", map_size),
+                              ("status", status)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        self._conn.row_factory = sqlite3.Row
+        rows = self._conn.execute(
+            f"SELECT * FROM trials{where} ORDER BY trial_id",
+            params).fetchall()
+        self._conn.row_factory = None
+        return rows
+
+    def sample(self, metric: str, *, benchmark: str, fuzzer: str,
+               map_size: int) -> List[float]:
+        """One cell's per-trial values of ``metric``, replica-ordered —
+        the shape the stats layer consumes."""
+        if metric not in METRIC_COLUMNS:
+            raise ValueError(
+                f"unknown metric {metric!r}; known: "
+                f"{', '.join(sorted(METRIC_COLUMNS))}")
+        rows = self._conn.execute(
+            f"SELECT {metric} FROM trials WHERE benchmark = ? AND "
+            f"fuzzer = ? AND map_size = ? AND status = ? "
+            f"ORDER BY replica",
+            (benchmark, fuzzer, map_size, DONE)).fetchall()
+        return [float(value) for (value,) in rows]
+
+    def groups(self) -> List[Tuple[str, int]]:
+        """Distinct (benchmark, map_size) comparison groups, sorted."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT benchmark, map_size FROM trials "
+            "ORDER BY benchmark, map_size").fetchall()
+        return [(benchmark, int(size)) for benchmark, size in rows]
+
+    def fuzzers(self) -> List[str]:
+        """Distinct fuzzers present, sorted."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT fuzzer FROM trials ORDER BY fuzzer"
+        ).fetchall()
+        return [fuzzer for (fuzzer,) in rows]
+
+    def attempts(self, trial_id: int) -> int:
+        row = self._conn.execute(
+            "SELECT attempts FROM trials WHERE trial_id = ?",
+            (trial_id,)).fetchone()
+        return 0 if row is None else int(row[0])
+
+    def lost_trials(self) -> List[int]:
+        rows = self._conn.execute(
+            "SELECT trial_id FROM trials WHERE status = ? "
+            "ORDER BY trial_id", (LOST,)).fetchall()
+        return [int(trial_id) for (trial_id,) in rows]
+
+    def coverage_curve(self, trial_id: int) -> List[Tuple[float, int]]:
+        row = self._conn.execute(
+            "SELECT coverage_curve FROM trials WHERE trial_id = ?",
+            (trial_id,)).fetchone()
+        if row is None or row[0] is None:
+            return []
+        return [(float(t), int(edges)) for t, edges in json.loads(row[0])]
+
+    def measurements(self, trial_id: int) -> List[sqlite3.Row]:
+        self._conn.row_factory = sqlite3.Row
+        rows = self._conn.execute(
+            "SELECT * FROM measurements WHERE trial_id = ? "
+            "ORDER BY snapshot", (trial_id,)).fetchall()
+        self._conn.row_factory = None
+        return rows
+
+    def n_trials(self) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM trials").fetchone()
+        return int(count)

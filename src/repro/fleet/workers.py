@@ -1,0 +1,402 @@
+"""Trial execution: the worker loop and the two dispatch backends.
+
+One code path (:func:`execute_trial`) runs a trial on both backends:
+the campaign is stepped in *checkpoint segments* (``snapshot_interval``
+virtual seconds each); after every segment the worker persists, into
+the trial's work directory,
+
+* ``checkpoint.pkl`` — the pickled
+  :class:`~repro.fuzzer.checkpoint.CampaignCheckpoint` (plus the
+  segment counter), written atomically. A retried attempt restores it
+  and continues — bit-identically, per the checkpoint contract — so a
+  worker killed mid-trial loses at most one segment of work;
+* ``snap-NNN.pkl`` — the corpus snapshot (queue inputs + virtual time
+  + a wall timestamp) the out-of-band measurer consumes, fuzzbench's
+  runner→measurer handoff shape;
+* ``heartbeat`` — a monotone segment counter the dispatcher's stall
+  watchdog reads.
+
+Backends:
+
+* :class:`InlineBackend` — runs trials synchronously in-process, in
+  deterministic queue order. Injected faults surface as exceptions.
+  This is the backend tests and the ``fleet`` experiment harness use:
+  every run of the same spec produces byte-identical results.
+* :class:`ProcessBackend` — real OS worker processes
+  (:mod:`multiprocessing`), one per in-flight trial, bounded by
+  ``n_workers``. Injected ``kill`` faults call ``os._exit`` (the
+  process dies exactly as an OOM-killed fuzzer would); ``stall``
+  faults spin without progress until the dispatcher's heartbeat
+  watchdog terminates the process. Campaign determinism makes the two
+  backends agree: a trial's result is a pure function of its config,
+  whichever process computed it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.errors import FleetDispatchError, InstanceFaultError
+from ..core.walltime import Stopwatch, wall_now
+from ..fuzzer.campaign import Campaign
+from ..fuzzer.stats import CampaignResult
+from ..target import BuiltBenchmark, get_benchmark
+from .spec import KILL, STALL, TrialSpec
+
+#: Completion statuses a backend reports to the dispatcher.
+OK = "ok"
+CRASHED = "crashed"
+STALLED = "stalled"
+
+CHECKPOINT_FILE = "checkpoint.pkl"
+HEARTBEAT_FILE = "heartbeat"
+RESULT_FILE = "result.pkl"
+ERROR_FILE = "error.txt"
+
+#: Exit code of a worker killed by an injected ``kill`` fault
+#: (distinguishable from real crashes in worker logs).
+KILL_EXIT_CODE = 173
+
+
+class _InjectedFault(Exception):
+    """Raised by the inline fault hook to simulate a worker death."""
+
+    def __init__(self, kind: str) -> None:
+        super().__init__(f"injected worker fault: {kind}")
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class TrialRequest:
+    """One dispatch of one trial attempt to a backend.
+
+    Attributes:
+        trial: the trial spec (config, fault schedule).
+        attempt: 0-based attempt counter (drives fault ``on_attempt``
+            matching and retry accounting).
+        workdir: this trial's private artifact directory.
+        snapshot_interval: checkpoint segment length, virtual seconds.
+    """
+
+    trial: TrialSpec
+    attempt: int
+    workdir: str
+    snapshot_interval: float
+
+
+@dataclass
+class TrialCompletion:
+    """A backend's verdict on one dispatched attempt.
+
+    ``result`` is present only for ``status == OK``; ``reason`` carries
+    the failure description otherwise. ``resumed_from_checkpoint``
+    reports whether the attempt continued a persisted checkpoint (retry
+    telemetry labels depend on it).
+    """
+
+    request: TrialRequest
+    status: str
+    result: Optional[CampaignResult] = None
+    reason: str = ""
+    resumed_from_checkpoint: bool = False
+
+
+def _atomic_pickle(path: str, payload: object) -> None:
+    """Write-then-rename so readers never observe a torn file."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh)
+    os.replace(tmp, path)
+
+
+def _write_heartbeat(workdir: str, segment: int) -> None:
+    tmp = os.path.join(workdir, HEARTBEAT_FILE + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(str(segment))
+    os.replace(tmp, os.path.join(workdir, HEARTBEAT_FILE))
+
+
+def read_heartbeat(workdir: str) -> int:
+    """Last persisted segment counter (-1 before the first beat)."""
+    path = os.path.join(workdir, HEARTBEAT_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return int(fh.read().strip() or -1)
+    except (FileNotFoundError, ValueError):
+        return -1
+
+
+def _snapshot_corpus(workdir: str, segment: int,
+                     campaign: Campaign) -> None:
+    _atomic_pickle(
+        os.path.join(workdir, f"snap-{segment:03d}.pkl"),
+        {"snapshot": segment,
+         "virtual_seconds": campaign.clock.seconds,
+         "corpus": [seed.data for seed in campaign.pool.seeds],
+         "produced_at": wall_now()})
+
+
+def execute_trial(request: TrialRequest,
+                  fault_hook: Optional[Callable[[str], None]] = None,
+                  built: Optional[BuiltBenchmark] = None
+                  ) -> TrialCompletion:
+    """Run one trial attempt to completion (see module docstring).
+
+    ``fault_hook(kind)`` fires when the trial's injected fault matches
+    this attempt and segment; it is expected not to return normally
+    (``os._exit``, an endless stall, or an exception). ``built`` lets
+    in-process callers share a benchmark build; results are identical
+    either way, builds being deterministic.
+    """
+    trial = request.trial
+    config = trial.config
+    os.makedirs(request.workdir, exist_ok=True)
+    campaign = Campaign(config, built=built)
+    campaign.start()
+
+    segment = 0
+    resumed = False
+    checkpoint_path = os.path.join(request.workdir, CHECKPOINT_FILE)
+    if os.path.exists(checkpoint_path):
+        with open(checkpoint_path, "rb") as fh:
+            segment, checkpoint = pickle.load(fh)
+        campaign.restore(checkpoint)
+        resumed = True
+
+    fault = trial.fault
+    armed = (fault is not None and fault_hook is not None and
+             request.attempt == fault.on_attempt)
+    if armed and fault.at_segment <= segment:
+        # Fires before any further checkpoint exists: segment 0 means
+        # a from-scratch retry, a resumed segment means losing only
+        # the tail.
+        fault_hook(fault.kind)
+
+    budget = config.virtual_seconds
+    interval = request.snapshot_interval
+    while (campaign.clock.before(budget) and
+           campaign.execs < config.max_real_execs):
+        boundary = min((segment + 1) * interval, budget)
+        campaign.step_until(boundary)
+        segment += 1
+        _atomic_pickle(checkpoint_path, (segment, campaign.snapshot()))
+        _snapshot_corpus(request.workdir, segment, campaign)
+        _write_heartbeat(request.workdir, segment)
+        if armed and fault.at_segment == segment:
+            fault_hook(fault.kind)
+
+    result = campaign.finish()
+    _atomic_pickle(os.path.join(request.workdir, RESULT_FILE), result)
+    return TrialCompletion(request=request, status=OK, result=result,
+                           resumed_from_checkpoint=resumed)
+
+
+# -- inline backend ----------------------------------------------------
+
+
+class InlineBackend:
+    """Deterministic in-process backend (tests, experiment harnesses).
+
+    Trials run synchronously at :meth:`submit`; :meth:`poll` drains
+    completions in submission order. A per-(benchmark, scale,
+    seed_scale) build cache keeps repeated cells cheap — semantics are
+    unchanged, benchmark builds being pure functions of their
+    arguments.
+    """
+
+    n_workers = 1
+
+    def __init__(self) -> None:
+        self._completions: List[TrialCompletion] = []
+        self._builds: Dict[tuple, BuiltBenchmark] = {}
+
+    @property
+    def in_flight(self) -> int:
+        return 0
+
+    def _built_for(self, trial: TrialSpec) -> BuiltBenchmark:
+        key = (trial.benchmark, trial.config.scale,
+               trial.config.seed_scale)
+        built = self._builds.get(key)
+        if built is None:
+            built = get_benchmark(trial.benchmark).build(
+                trial.config.scale, seed_scale=trial.config.seed_scale)
+            self._builds[key] = built
+        return built
+
+    def submit(self, request: TrialRequest) -> None:
+        def fault_hook(kind: str) -> None:
+            raise _InjectedFault(kind)
+
+        try:
+            completion = execute_trial(
+                request, fault_hook=fault_hook,
+                built=self._built_for(request.trial))
+        except _InjectedFault as exc:
+            status = CRASHED if exc.kind == KILL else STALLED
+            completion = TrialCompletion(
+                request=request, status=status, reason=str(exc))
+        except Exception as exc:
+            fault = InstanceFaultError.wrap(
+                request.trial.trial_id, exc, during="trial")
+            completion = TrialCompletion(
+                request=request, status=CRASHED, reason=repr(fault))
+        self._completions.append(completion)
+
+    def poll(self) -> List[TrialCompletion]:
+        done, self._completions = self._completions, []
+        return done
+
+    def shutdown(self) -> None:
+        self._completions.clear()
+
+
+# -- process backend ---------------------------------------------------
+
+
+def _process_fault_hook(kind: str) -> None:
+    """Die like a real worker: hard exit or a progress-free spin."""
+    if kind == KILL:
+        os._exit(KILL_EXIT_CODE)
+    if kind == STALL:
+        while True:
+            time.sleep(0.05)
+    raise FleetDispatchError(f"unknown injected fault kind {kind!r}")
+
+
+def _process_trial_main(request: TrialRequest) -> None:
+    """Worker-process entry point: run the trial, artifacts to disk."""
+    try:
+        execute_trial(request, fault_hook=_process_fault_hook)
+    except Exception as exc:
+        fault = InstanceFaultError.wrap(
+            request.trial.trial_id, exc, during="trial")
+        path = os.path.join(request.workdir, ERROR_FILE)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(repr(fault) + "\n")
+        os._exit(1)
+
+
+@dataclass
+class _WorkerSlot:
+    request: TrialRequest
+    process: "object"
+    watch: Stopwatch = field(default_factory=Stopwatch)
+    last_beat: int = -1
+    had_checkpoint: bool = False
+
+
+class ProcessBackend:
+    """Real OS worker processes with a heartbeat stall watchdog.
+
+    Args:
+        n_workers: concurrent worker processes.
+        stall_timeout: wall seconds without heartbeat progress before a
+            live worker is declared stalled and terminated.
+        poll_interval: wall seconds :meth:`poll` sleeps when nothing
+            completed (keeps the dispatcher loop from busy-spinning).
+    """
+
+    def __init__(self, n_workers: int = 2, stall_timeout: float = 10.0,
+                 poll_interval: float = 0.02) -> None:
+        if n_workers < 1:
+            raise FleetDispatchError(
+                f"n_workers must be >= 1, got {n_workers}")
+        import multiprocessing
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            self._ctx = multiprocessing.get_context("spawn")
+        self.n_workers = n_workers
+        self.stall_timeout = stall_timeout
+        self.poll_interval = poll_interval
+        self._slots: List[_WorkerSlot] = []
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._slots)
+
+    def submit(self, request: TrialRequest) -> None:
+        if len(self._slots) >= self.n_workers:
+            raise FleetDispatchError(
+                "submit() with no free worker slot (dispatcher bug)")
+        os.makedirs(request.workdir, exist_ok=True)
+        had_checkpoint = os.path.exists(
+            os.path.join(request.workdir, CHECKPOINT_FILE))
+        process = self._ctx.Process(
+            target=_process_trial_main, args=(request,), daemon=True)
+        process.start()
+        self._slots.append(_WorkerSlot(
+            request=request, process=process,
+            last_beat=read_heartbeat(request.workdir),
+            had_checkpoint=had_checkpoint))
+
+    def _finish_slot(self, slot: _WorkerSlot) -> TrialCompletion:
+        request = slot.request
+        result_path = os.path.join(request.workdir, RESULT_FILE)
+        if os.path.exists(result_path):
+            try:
+                with open(result_path, "rb") as fh:
+                    result = pickle.load(fh)
+            except Exception as exc:
+                raise FleetDispatchError(
+                    f"trial {request.trial.trial_id}: result artifact "
+                    f"unreadable: {exc!r}") from exc
+            return TrialCompletion(
+                request=request, status=OK, result=result,
+                resumed_from_checkpoint=slot.had_checkpoint)
+        reason = f"worker exited {slot.process.exitcode} without result"
+        error_path = os.path.join(request.workdir, ERROR_FILE)
+        if os.path.exists(error_path):
+            with open(error_path, "r", encoding="utf-8") as fh:
+                reason = fh.read().strip()
+        return TrialCompletion(request=request, status=CRASHED,
+                               reason=reason)
+
+    def _check_stall(self, slot: _WorkerSlot
+                     ) -> Optional[TrialCompletion]:
+        beat = read_heartbeat(slot.request.workdir)
+        if beat != slot.last_beat:
+            slot.last_beat = beat
+            slot.watch.restart()
+            return None
+        if slot.watch.elapsed() < self.stall_timeout:
+            return None
+        slot.process.terminate()
+        slot.process.join()
+        return TrialCompletion(
+            request=slot.request, status=STALLED,
+            reason=f"no heartbeat progress for "
+                   f"{self.stall_timeout:.1f}s (last segment {beat})")
+
+    def poll(self) -> List[TrialCompletion]:
+        """Collect finished / dead / stalled workers (non-blocking
+        apart from one ``poll_interval`` sleep when idle)."""
+        done: List[TrialCompletion] = []
+        keep: List[_WorkerSlot] = []
+        for slot in self._slots:
+            if not slot.process.is_alive():
+                slot.process.join()
+                done.append(self._finish_slot(slot))
+                continue
+            stalled = self._check_stall(slot)
+            if stalled is not None:
+                done.append(stalled)
+                continue
+            keep.append(slot)
+        self._slots = keep
+        if not done and self._slots:
+            time.sleep(self.poll_interval)
+        return done
+
+    def shutdown(self) -> None:
+        """Terminate any still-running workers (abandoned dispatch)."""
+        for slot in self._slots:
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join()
+        self._slots = []

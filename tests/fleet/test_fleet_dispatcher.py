@@ -1,0 +1,168 @@
+"""FleetDispatcher on the inline backend: determinism, telemetry,
+retry handling, measurement — everything except real processes."""
+
+import pytest
+
+from repro.faults import RestartPolicy
+from repro.fleet import (FleetDispatcher, FleetSpec, ResultsStore,
+                         TrialFault)
+from repro.fleet.spec import KILL, STALL
+from repro.telemetry.recorder import SessionTelemetry
+
+
+def _spec(**overrides):
+    base = dict(fuzzers=("afl", "bigmap"), benchmarks=("zlib",),
+                map_sizes=(1 << 16,), n_trials=2, scale=0.05,
+                seed_scale=0.02, virtual_seconds=2.0,
+                max_real_execs=1200)
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+def _run(spec, telemetry=None, measure=False):
+    store = ResultsStore()
+    summary = FleetDispatcher(spec, store=store, telemetry=telemetry,
+                              measure=measure).run()
+    return summary, store
+
+
+class TestDispatch:
+    def test_every_trial_lands_a_row(self):
+        summary, store = _run(_spec())
+        assert summary.n_trials == 4
+        assert summary.completed == 4
+        assert summary.lost == []
+        assert store.n_trials() == 4
+        assert all(store.attempts(i) == 1 for i in range(4))
+
+    def test_runs_are_bit_identical(self):
+        _, store_a = _run(_spec())
+        _, store_b = _run(_spec())
+        rows_a = [tuple(row) for row in store_a.trial_rows()]
+        rows_b = [tuple(row) for row in store_b.trial_rows()]
+        assert rows_a == rows_b
+
+    def test_fleet_rows_match_direct_campaigns(self):
+        # The dispatcher adds orchestration, not semantics: each row
+        # must equal a plain run_campaign of the trial's config.
+        from repro.fuzzer import run_campaign
+        spec = _spec(n_trials=1)
+        _, store = _run(spec)
+        for trial in spec.expand():
+            row = store.trial_rows(fuzzer=trial.fuzzer)[0]
+            direct = run_campaign(trial.config)
+            assert row["execs"] == direct.execs
+            assert row["edges"] == direct.discovered_locations
+            assert row["throughput"] == pytest.approx(direct.throughput)
+
+    def test_telemetry_lifecycle_events(self):
+        telemetry = SessionTelemetry()
+        summary, _ = _run(_spec(), telemetry=telemetry, measure=True)
+        events = telemetry.session.events
+        kinds = [event["kind"] for event in events]
+        assert kinds.count("trial_dispatch") == summary.n_trials
+        assert kinds.count("trial_finish") == summary.n_trials
+        assert kinds.count("measurement") == \
+            summary.measured_snapshots > 0
+        dispatches = [e for e in events
+                      if e["kind"] == "trial_dispatch"]
+        assert [e["trial"] for e in dispatches] == list(range(4))
+        assert all(e["attempt"] == 0 for e in dispatches)
+        # Logical clock: strictly increasing event times.
+        times = [e["t"] for e in events]
+        assert times == sorted(times) and len(set(times)) == len(times)
+
+    def test_telemetry_stream_is_deterministic(self):
+        streams = []
+        for _ in range(2):
+            telemetry = SessionTelemetry()
+            _run(_spec(), telemetry=telemetry)
+            streams.append(telemetry.session.events)
+        assert streams[0] == streams[1]
+
+
+class TestRetry:
+    def test_injected_kill_retries_to_identical_result(self):
+        clean_spec = _spec()
+        faulted = _spec(faults={1: TrialFault(kind=KILL,
+                                              at_segment=1)})
+        _, clean_store = _run(clean_spec)
+        telemetry = SessionTelemetry()
+        summary, store = _run(faulted, telemetry=telemetry)
+        assert summary.completed == 4
+        assert summary.retries == 1
+        assert store.attempts(1) == 2
+        clean_rows = [tuple(r) for r in clean_store.trial_rows()]
+        rows = [tuple(r) for r in store.trial_rows()]
+        # Attempt counts differ for the faulted trial; results do not.
+        for clean, seen in zip(clean_rows, rows):
+            assert clean[:7] == seen[:7]
+            assert clean[8:] == seen[8:]
+        retry = [e for e in telemetry.session.events
+                 if e["kind"] == "trial_retry"]
+        assert len(retry) == 1
+        assert retry[0]["trial"] == 1
+        assert retry[0]["resumed_from_checkpoint"] == 1
+        assert "crashed" in retry[0]["reason"]
+
+    def test_stall_fault_labels_reason(self):
+        telemetry = SessionTelemetry()
+        summary, _ = _run(
+            _spec(faults={0: TrialFault(kind=STALL, at_segment=1)}),
+            telemetry=telemetry)
+        assert summary.retries == 1
+        retry = [e for e in telemetry.session.events
+                 if e["kind"] == "trial_retry"]
+        assert "stalled" in retry[0]["reason"]
+
+    def test_fault_at_segment_zero_restarts_from_scratch(self):
+        telemetry = SessionTelemetry()
+        summary, store = _run(
+            _spec(faults={2: TrialFault(kind=KILL, at_segment=0)}),
+            telemetry=telemetry)
+        assert summary.completed == 4
+        retry = [e for e in telemetry.session.events
+                 if e["kind"] == "trial_retry"]
+        assert retry[0]["resumed_from_checkpoint"] == 0
+
+    def test_zero_restart_budget_loses_faulted_trial(self):
+        telemetry = SessionTelemetry()
+        store = ResultsStore()
+        spec = _spec(faults={1: TrialFault(kind=KILL, at_segment=1)})
+        summary = FleetDispatcher(
+            spec, store=store, telemetry=telemetry,
+            retry_policy=RestartPolicy(max_restarts=0),
+            measure=False).run()
+        assert summary.lost == [1]
+        assert summary.completed == 3
+        assert store.lost_trials() == [1]
+        lost_row = store.trial_rows(status="lost")[0]
+        assert lost_row["trial_id"] == 1
+        finishes = [e for e in telemetry.session.events
+                    if e["kind"] == "trial_finish" and
+                    e["status"] == "lost"]
+        assert len(finishes) == 1
+
+
+class TestMeasurement:
+    def test_measurements_recorded_per_snapshot(self):
+        summary, store = _run(_spec(), measure=True)
+        assert summary.measured_snapshots > 0
+        total = 0
+        for trial_id in range(summary.n_trials):
+            rows = store.measurements(trial_id)
+            assert [r["snapshot"] for r in rows] == \
+                list(range(1, len(rows) + 1))
+            for row in rows:
+                assert row["true_edges"] > 0
+                assert row["corpus_size"] > 0
+                assert row["lag_seconds"] >= 0.0
+            total += len(rows)
+        assert total == summary.measured_snapshots
+
+    def test_true_edges_monotone_within_trial(self):
+        _, store = _run(_spec(n_trials=1), measure=True)
+        for trial_id in range(2):
+            edges = [r["true_edges"]
+                     for r in store.measurements(trial_id)]
+            assert edges == sorted(edges)

@@ -1,0 +1,160 @@
+"""Fault-injection integration tests on the real process backend.
+
+These tests dispatch trials to actual OS worker processes, kill or
+stall them mid-trial, and assert the fleet recovers: the supervisor
+retries from the persisted checkpoint and the final rows are
+bit-identical to an unfaulted in-process run of the same spec. This is
+the end-to-end proof behind the fleet's retry contract — campaign
+determinism plus checkpoint replay means a worker death costs at most
+one segment of wall time, never a divergent result.
+
+Kept tight (tiny scale, 2s virtual budget, short stall timeout) so the
+whole module runs in seconds.
+"""
+
+import pytest
+
+from repro.fleet import (FleetDispatcher, FleetSpec, ProcessBackend,
+                         ResultsStore, TrialFault)
+from repro.fleet.spec import KILL, STALL
+from repro.telemetry.recorder import SessionTelemetry
+
+pytestmark = pytest.mark.slow
+
+RESULT_COLUMNS = slice(8, None)   # trial rows after the attempts column
+IDENT_COLUMNS = slice(0, 7)       # id/cell/seed/status echo
+
+
+def _spec(**overrides):
+    base = dict(fuzzers=("afl", "bigmap"), benchmarks=("zlib",),
+                map_sizes=(1 << 16,), n_trials=2, scale=0.05,
+                seed_scale=0.02, virtual_seconds=2.0,
+                max_real_execs=1200)
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+def _reference_rows(spec_kwargs=None):
+    """Unfaulted inline run of the same grid — the determinism oracle."""
+    store = ResultsStore()
+    FleetDispatcher(_spec(**(spec_kwargs or {})), store=store,
+                    measure=False).run()
+    return [tuple(row) for row in store.trial_rows()]
+
+
+def _run_process(spec, telemetry=None, stall_timeout=1.5):
+    store = ResultsStore()
+    backend = ProcessBackend(n_workers=2, stall_timeout=stall_timeout)
+    summary = FleetDispatcher(spec, store=store, backend=backend,
+                              telemetry=telemetry, measure=False).run()
+    return summary, store
+
+
+class TestProcessBackendClean:
+    def test_process_rows_match_inline_reference(self):
+        summary, store = _run_process(_spec())
+        assert summary.completed == 4 and not summary.lost
+        rows = [tuple(row) for row in store.trial_rows()]
+        assert rows == _reference_rows()
+
+
+class TestKillRecovery:
+    def test_killed_worker_retries_to_identical_result(self):
+        telemetry = SessionTelemetry()
+        spec = _spec(faults={1: TrialFault(kind=KILL, at_segment=1)})
+        summary, store = _run_process(spec, telemetry=telemetry)
+
+        assert summary.completed == 4
+        assert summary.retries == 1
+        assert summary.lost == []
+        assert store.attempts(1) == 2
+
+        reference = _reference_rows()
+        rows = [tuple(row) for row in store.trial_rows()]
+        for ref, seen in zip(reference, rows):
+            assert ref[IDENT_COLUMNS] == seen[IDENT_COLUMNS]
+            # Bit-identical results despite the mid-trial kill.
+            assert ref[RESULT_COLUMNS] == seen[RESULT_COLUMNS]
+
+        events = telemetry.session.events
+        retries = [e for e in events if e["kind"] == "trial_retry"]
+        assert len(retries) == 1
+        assert retries[0]["trial"] == 1
+        assert retries[0]["attempt"] == 1
+        assert retries[0]["resumed_from_checkpoint"] == 1
+        assert retries[0]["reason"].startswith("crashed")
+        # The supervisor's own fault/restart events carry the story too.
+        faults = [e for e in events if e["kind"] == "fault"]
+        restarts = [e for e in events if e["kind"] == "restart"]
+        assert len(faults) == len(restarts) == 1
+        assert faults[0]["instance"] == 1
+        assert faults[0]["status"] == "dead"
+
+    def test_kill_before_first_checkpoint_restarts_from_scratch(self):
+        telemetry = SessionTelemetry()
+        spec = _spec(faults={0: TrialFault(kind=KILL, at_segment=0)})
+        summary, store = _run_process(spec, telemetry=telemetry)
+        assert summary.completed == 4 and store.attempts(0) == 2
+        (retry,) = [e for e in telemetry.session.events
+                    if e["kind"] == "trial_retry"]
+        assert retry["resumed_from_checkpoint"] == 0
+        rows = [tuple(row) for row in store.trial_rows()]
+        assert [r[RESULT_COLUMNS] for r in rows] == \
+            [r[RESULT_COLUMNS] for r in _reference_rows()]
+
+
+class TestStallRecovery:
+    def test_stalled_worker_is_terminated_and_retried(self):
+        telemetry = SessionTelemetry()
+        spec = _spec(faults={2: TrialFault(kind=STALL, at_segment=1)})
+        summary, store = _run_process(spec, telemetry=telemetry)
+
+        assert summary.completed == 4
+        assert summary.retries == 1
+        assert store.attempts(2) == 2
+        rows = [tuple(row) for row in store.trial_rows()]
+        assert [r[RESULT_COLUMNS] for r in rows] == \
+            [r[RESULT_COLUMNS] for r in _reference_rows()]
+
+        (retry,) = [e for e in telemetry.session.events
+                    if e["kind"] == "trial_retry"]
+        assert retry["trial"] == 2
+        assert retry["reason"].startswith("stalled")
+        assert retry["resumed_from_checkpoint"] == 1
+
+
+class TestAcceptanceGrid:
+    def test_two_fuzzers_two_benchmarks_five_trials_with_kill(self):
+        # The issue's acceptance run: >= 2 fuzzers x >= 2 benchmarks
+        # x >= 5 trials on real worker processes, surviving an
+        # injected worker kill, with every trial accounted for.
+        spec = _spec(benchmarks=("zlib", "libpng"), n_trials=5,
+                     faults={3: TrialFault(kind=KILL, at_segment=1)})
+        telemetry = SessionTelemetry()
+        store = ResultsStore()
+        backend = ProcessBackend(n_workers=4, stall_timeout=5.0)
+        summary = FleetDispatcher(spec, store=store, backend=backend,
+                                  telemetry=telemetry,
+                                  measure=False).run()
+        assert summary.n_trials == 20
+        assert summary.completed == 20
+        assert summary.lost == []
+        assert summary.retries == 1
+        assert store.attempts(3) == 2
+
+        # Report over real-process rows carries the statistics.
+        from repro.fleet import render_report
+        report = render_report(store, spec)
+        assert "Mann-Whitney" in report
+        assert "p=" in report and "A12=" in report
+        assert "95% CI" in report
+        for benchmark in ("zlib", "libpng"):
+            assert benchmark in report
+
+        # Each cell sampled all five replicas.
+        for fuzzer in spec.fuzzers:
+            for benchmark in spec.benchmarks:
+                values = store.sample("edges", benchmark=benchmark,
+                                      fuzzer=fuzzer,
+                                      map_size=1 << 16)
+                assert len(values) == 5

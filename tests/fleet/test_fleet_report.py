@@ -1,0 +1,55 @@
+"""render_report: structure, statistics presence, determinism."""
+
+from repro.fleet import (FleetDispatcher, FleetSpec, ResultsStore,
+                         render_report)
+from repro.fleet.report import ALPHA, REPORT_METRICS
+
+
+def _store(n_trials=3):
+    spec = FleetSpec(fuzzers=("afl", "bigmap"), benchmarks=("zlib",),
+                     map_sizes=(1 << 16,), n_trials=n_trials,
+                     scale=0.05, seed_scale=0.02, virtual_seconds=2.0,
+                     max_real_execs=1200)
+    store = ResultsStore()
+    FleetDispatcher(spec, store=store, measure=False).run()
+    return spec, store
+
+
+class TestReport:
+    def test_report_carries_all_statistics(self):
+        spec, store = _store()
+        report = render_report(store, spec)
+        assert "Mann-Whitney" in report
+        for metric in REPORT_METRICS:
+            assert f"metric: {metric}" in report
+        for fuzzer in spec.fuzzers:
+            assert fuzzer in report
+        assert "afl vs bigmap:" in report
+        assert "U=" in report and "p=" in report and "A12=" in report
+        assert "95% CI" in report
+        assert f"p < {ALPHA}" in report
+        assert "n=3" in report
+
+    def test_report_is_deterministic(self):
+        spec, store = _store()
+        assert render_report(store, spec) == render_report(store, spec)
+
+    def test_report_without_spec_sorts_fuzzers(self):
+        _, store = _store()
+        report = render_report(store)
+        assert "afl vs bigmap:" in report
+
+    def test_lost_trials_are_listed(self):
+        spec, store = _store()
+        trials = spec.expand()
+        store.record_lost(trials[5], attempts=4)
+        report = render_report(store, spec)
+        assert "lost trials" in report and "5" in report
+
+    def test_empty_cell_renders_gracefully(self):
+        spec, store = _store()
+        # Drop one fuzzer's rows entirely by filtering into a new store.
+        fresh = ResultsStore()
+        # No rows at all: header-only report, no crash.
+        report = render_report(fresh, spec)
+        assert "Fleet comparison" in report

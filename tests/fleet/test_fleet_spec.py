@@ -1,0 +1,102 @@
+"""FleetSpec expansion: determinism, ordering, seed pairing,
+validation."""
+
+import pytest
+
+from repro.core.errors import FleetSpecError
+from repro.fleet.spec import (KILL, REPLICA_SEED_STRIDE, FleetSpec,
+                              TrialFault)
+
+
+def _spec(**overrides):
+    base = dict(fuzzers=("afl", "bigmap"), benchmarks=("zlib", "gvn"),
+                map_sizes=(1 << 14, 1 << 16), n_trials=3)
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+class TestExpansion:
+    def test_count_matches_grid(self):
+        spec = _spec()
+        trials = spec.expand()
+        assert len(trials) == spec.n_expanded == 2 * 2 * 2 * 3
+
+    def test_trial_ids_dense_and_ordered(self):
+        trials = _spec().expand()
+        assert [t.trial_id for t in trials] == list(range(len(trials)))
+
+    def test_benchmark_major_order(self):
+        trials = _spec().expand()
+        # First block: benchmark zlib, smallest map, first fuzzer.
+        first = trials[0]
+        assert (first.benchmark, first.map_size, first.fuzzer,
+                first.replica) == ("zlib", 1 << 14, "afl", 0)
+        # Benchmarks change slowest.
+        boundary = len(trials) // 2
+        assert all(t.benchmark == "zlib" for t in trials[:boundary])
+        assert all(t.benchmark == "gvn" for t in trials[boundary:])
+
+    def test_expansion_is_deterministic(self):
+        assert _spec().expand() == _spec().expand()
+
+    def test_seed_pairing_across_fuzzers(self):
+        # Klees-style pairing: replica k of every fuzzer draws the
+        # same seed, so comparisons are paired on randomness.
+        trials = _spec(base_seed=42).expand()
+        by_key = {}
+        for t in trials:
+            by_key.setdefault((t.benchmark, t.map_size, t.replica),
+                              set()).add(t.rng_seed)
+        for seeds in by_key.values():
+            assert len(seeds) == 1
+        replica_seeds = sorted({t.rng_seed for t in trials})
+        assert replica_seeds == [42 + k * REPLICA_SEED_STRIDE
+                                 for k in range(3)]
+
+    def test_config_carries_cell(self):
+        for t in _spec(scale=0.07, virtual_seconds=9.0).expand():
+            assert t.config.benchmark == t.benchmark
+            assert t.config.fuzzer == t.fuzzer
+            assert t.config.map_size == t.map_size
+            assert t.config.rng_seed == t.rng_seed
+            assert t.config.scale == 0.07
+            assert t.config.virtual_seconds == 9.0
+
+    def test_fault_attaches_to_its_trial_only(self):
+        fault = TrialFault(kind=KILL, at_segment=2)
+        trials = _spec(faults={5: fault}).expand()
+        assert trials[5].fault == fault
+        assert all(t.fault is None for t in trials if t.trial_id != 5)
+
+
+class TestCheckpointInterval:
+    def test_defaults_to_quarter_budget(self):
+        assert _spec(virtual_seconds=8.0).checkpoint_interval == 2.0
+
+    def test_explicit_interval_wins(self):
+        spec = _spec(virtual_seconds=8.0, snapshot_interval=0.5)
+        assert spec.checkpoint_interval == 0.5
+
+
+class TestValidation:
+    @pytest.mark.parametrize("axis", ["fuzzers", "benchmarks",
+                                      "map_sizes"])
+    def test_empty_axis_rejected(self, axis):
+        with pytest.raises(FleetSpecError):
+            _spec(**{axis: ()})
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(FleetSpecError):
+            _spec(n_trials=0)
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(FleetSpecError):
+            _spec(snapshot_interval=0.0)
+
+    def test_out_of_range_fault_rejected(self):
+        with pytest.raises(FleetSpecError):
+            _spec(faults={24: TrialFault(kind=KILL)})
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(FleetSpecError):
+            TrialFault(kind="meteor")

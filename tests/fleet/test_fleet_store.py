@@ -1,0 +1,147 @@
+"""ResultsStore: round-trips, filtering, metric sampling, persistence."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.fleet.spec import FleetSpec
+from repro.fleet.store import DONE, LOST, METRIC_COLUMNS, ResultsStore
+from repro.fuzzer import CampaignConfig, run_campaign
+
+_TEMPLATE = run_campaign(CampaignConfig(
+    benchmark="zlib", fuzzer="bigmap", map_size=1 << 14, scale=0.05,
+    seed_scale=0.02, virtual_seconds=1.0, max_real_execs=400))
+
+
+def _trials(n_trials=2):
+    return FleetSpec(fuzzers=("afl", "bigmap"), benchmarks=("zlib",),
+                     map_sizes=(1 << 16,), n_trials=n_trials).expand()
+
+
+def _result(execs=1000, edges=40, crashes=1):
+    return dataclasses.replace(
+        _TEMPLATE, execs=execs, virtual_seconds=2.0,
+        throughput=execs / 2.0, discovered_locations=edges,
+        unique_crashes=crashes, unique_hangs=0, stopped_by="budget",
+        coverage_curve=[(0.5, edges // 2), (2.0, edges)])
+
+
+class TestRoundTrip:
+    def test_trial_row_round_trips(self):
+        trials = _trials()
+        with ResultsStore() as store:
+            store.record_trial(trials[0], _result(), attempts=1)
+            (row,) = store.trial_rows()
+            assert row["trial_id"] == 0
+            assert row["status"] == DONE
+            assert row["attempts"] == 1
+            assert row["execs"] == 1000
+            assert row["edges"] == 40
+            assert row["unique_crashes"] == 1
+            assert row["stopped_by"] == "budget"
+
+    def test_record_is_idempotent_per_trial(self):
+        trials = _trials()
+        with ResultsStore() as store:
+            store.record_trial(trials[0], _result(execs=10), attempts=1)
+            store.record_trial(trials[0], _result(execs=99), attempts=2)
+            (row,) = store.trial_rows()
+            assert row["execs"] == 99
+            assert row["attempts"] == 2
+
+    def test_coverage_curve_round_trips(self):
+        trials = _trials()
+        with ResultsStore() as store:
+            store.record_trial(trials[0], _result(edges=40), attempts=1)
+            assert store.coverage_curve(0) == [(0.5, 20), (2.0, 40)]
+            assert store.coverage_curve(99) == []
+
+    def test_lost_trial(self):
+        trials = _trials()
+        with ResultsStore() as store:
+            store.record_lost(trials[1], attempts=4)
+            (row,) = store.trial_rows()
+            assert row["status"] == LOST
+            assert row["execs"] is None
+            assert store.lost_trials() == [1]
+            assert store.attempts(1) == 4
+
+    def test_measurements_round_trip(self):
+        with ResultsStore() as store:
+            store.record_measurement(3, snapshot=1, virtual_seconds=0.5,
+                                     corpus_size=8, true_edges=33,
+                                     lag_seconds=0.01)
+            store.record_measurement(3, snapshot=2, virtual_seconds=1.0,
+                                     corpus_size=9, true_edges=35,
+                                     lag_seconds=0.02)
+            rows = store.measurements(3)
+            assert [r["snapshot"] for r in rows] == [1, 2]
+            assert [r["true_edges"] for r in rows] == [33, 35]
+
+
+class TestQueries:
+    def _populated(self):
+        store = ResultsStore()
+        for trial in _trials(n_trials=2):
+            store.record_trial(
+                trial, _result(execs=1000 + trial.trial_id,
+                               edges=30 + trial.trial_id), attempts=1)
+        return store
+
+    def test_sample_is_replica_ordered_per_cell(self):
+        with self._populated() as store:
+            afl = store.sample("execs", benchmark="zlib", fuzzer="afl",
+                               map_size=1 << 16)
+            big = store.sample("execs", benchmark="zlib",
+                               fuzzer="bigmap", map_size=1 << 16)
+            assert afl == [1000.0, 1001.0]
+            assert big == [1002.0, 1003.0]
+
+    def test_sample_excludes_lost_trials(self):
+        trials = _trials(n_trials=2)
+        with ResultsStore() as store:
+            store.record_trial(trials[0], _result(), attempts=1)
+            store.record_lost(trials[1], attempts=4)
+            values = store.sample("execs", benchmark="zlib",
+                                  fuzzer="afl", map_size=1 << 16)
+            assert len(values) == 1
+
+    def test_sample_rejects_unknown_metric(self):
+        with self._populated() as store:
+            with pytest.raises(ValueError):
+                store.sample("trial_id; DROP TABLE trials",
+                             benchmark="zlib", fuzzer="afl",
+                             map_size=1 << 16)
+
+    def test_every_metric_column_samples(self):
+        with self._populated() as store:
+            for metric in METRIC_COLUMNS:
+                values = store.sample(metric, benchmark="zlib",
+                                      fuzzer="afl", map_size=1 << 16)
+                assert len(values) == 2
+
+    def test_groups_and_fuzzers_sorted(self):
+        with self._populated() as store:
+            assert store.groups() == [("zlib", 1 << 16)]
+            assert store.fuzzers() == ["afl", "bigmap"]
+
+    def test_filters(self):
+        with self._populated() as store:
+            assert len(store.trial_rows(fuzzer="afl")) == 2
+            assert len(store.trial_rows(benchmark="nope")) == 0
+            assert store.n_trials() == 4
+
+
+class TestPersistence:
+    def test_reopened_store_serves_report_queries(self, tmp_path):
+        path = os.path.join(str(tmp_path), "fleet.sqlite")
+        trials = _trials()
+        with ResultsStore(path) as store:
+            for trial in trials:
+                store.record_trial(trial, _result(), attempts=1)
+        with ResultsStore(path) as reopened:
+            assert reopened.n_trials() == len(trials)
+            assert reopened.sample(
+                "edges", benchmark="zlib", fuzzer="bigmap",
+                map_size=1 << 16) == [40.0, 40.0]

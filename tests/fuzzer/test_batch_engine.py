@@ -164,6 +164,61 @@ class TestBatchedTelemetryIdentity:
             assert profiles[1][name]["calls"] == execs, name
 
 
+def _draw_sweep_combos(n, seed=0xB16):
+    """Seeded random draws over (fuzzer, benchmark, map_size,
+    rng_seed) — a different slice of the config space than the fixed
+    cases above, but reproducible run to run."""
+    rng = np.random.Generator(np.random.PCG64(seed))
+    fuzzers = ("afl", "bigmap")
+    benchmarks = ("zlib", "libpng")
+    map_sizes = (1 << 14, 1 << 16, 1 << 18)
+    combos, seen = [], set()
+    while len(combos) < n:
+        combo = (fuzzers[rng.integers(len(fuzzers))],
+                 benchmarks[rng.integers(len(benchmarks))],
+                 map_sizes[rng.integers(len(map_sizes))],
+                 int(rng.integers(0, 1000)))
+        if combo not in seen:
+            seen.add(combo)
+            combos.append(combo)
+    return combos
+
+
+SWEEP_COMBOS = _draw_sweep_combos(6)
+
+
+@pytest.mark.parametrize(
+    "fuzzer,bench,map_size,rng_seed", SWEEP_COMBOS,
+    ids=[f"{f}-{b}-{m >> 10}k-s{s}" for f, b, m, s in SWEEP_COMBOS])
+class TestRandomizedCrossConfigSweep:
+    """The equivalence contract over randomly-drawn configurations:
+    the fixed cases above pin known-tricky spots, this sweep guards
+    the rest of the (fuzzer, benchmark, map_size, rng_seed) space.
+    Draws are seeded, so a failing combo reproduces by name."""
+
+    def test_results_checkpoints_and_telemetry_identical(
+            self, fuzzer, bench, map_size, rng_seed):
+        from repro.telemetry.recorder import TelemetryRecorder
+        built = get_benchmark(bench).build(scale=0.2, seed_scale=1.0)
+        campaigns, results, events, profiles = [], [], [], []
+        for batch in (False, True):
+            recorder = TelemetryRecorder(instance=0)
+            campaign = Campaign(
+                _config(fuzzer, bench, batch=batch,
+                        map_size=map_size, rng_seed=rng_seed),
+                built=built, telemetry=recorder)
+            results.append(campaign.run())
+            campaigns.append(campaign)
+            events.append(recorder.events)
+            profiles.append(recorder.tracer.profile())
+        rs, rb = results
+        assert rs == rb
+        assert events[0] == events[1]
+        assert profiles[0] == profiles[1]
+        assert_checkpoints_equal(campaigns[0].snapshot(),
+                                 campaigns[1].snapshot())
+
+
 class TestBatchedCheckpointResume:
     @pytest.mark.parametrize("fuzzer", ["afl", "bigmap"])
     def test_resume_replays_identically(self, fuzzer):
