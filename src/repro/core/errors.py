@@ -147,3 +147,35 @@ class FleetDispatchError(ReproError, RuntimeError):
     driven after shutdown. The underlying exception, when any, is
     chained as ``__cause__``.
     """
+
+
+class ArtifactIntegrityError(ReproError, RuntimeError):
+    """A fleet artifact failed its integrity check.
+
+    Raised by :mod:`repro.fleet.artifacts` when a sealed artifact is
+    truncated, bit-corrupt, or missing its trailer. Fleet readers do
+    not propagate this: the measurer and the worker checkpoint loader
+    quarantine the bad file and fall back to their last good state,
+    recording the incident as an ``integrity``/``artifact_quarantine``
+    telemetry event.
+    """
+
+
+class FleetStateError(ReproError, RuntimeError):
+    """An illegal trial state-machine transition was requested.
+
+    The :class:`repro.fleet.ResultsStore` owns the durable trial state
+    machine (``pending → dispatched → running → measuring →
+    done/lost/quarantined``); any transition outside that graph
+    indicates a dispatcher bug or a store shared between two live
+    dispatchers, and must fail loudly rather than corrupt bookkeeping.
+    """
+
+
+class FleetResumeError(ReproError, RuntimeError):
+    """A fleet resume could not reconcile the store with reality.
+
+    Raised when ``fleet --resume`` is pointed at a store with no
+    persisted spec, a spec that does not match the requested one, or a
+    work directory that no longer exists.
+    """

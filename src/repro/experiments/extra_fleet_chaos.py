@@ -1,0 +1,173 @@
+"""Extension experiment: deterministic recovery under fleet chaos.
+
+The crash-safety contract (DESIGN.md §10) promises that a fleet which
+loses its dispatcher, its workers, its on-disk artifacts, and its store
+writes — and recovers through resume reconciliation, checkpoint retry,
+quarantine, and bounded IO retry — lands **bit-identical** trial
+results and statistics to an undisturbed run. This harness is the
+contract's executable form: it runs the same fleet spec twice on the
+deterministic in-process backend,
+
+1. *reference* — no chaos beyond the plan's worker faults (which are
+   part of the spec either way), uninterrupted;
+2. *chaos* — under a seeded :class:`repro.faults.FleetFaultPlan` that
+   kills the dispatcher mid-fleet (twice), corrupts and truncates
+   checkpoints, and injects transient store lock errors, with
+   :func:`repro.fleet.run_fleet_with_chaos` resuming through each
+   dispatcher death;
+
+and then asserts that trial identity + result columns and the rendered
+statistical report (Mann-Whitney p-values, Â₁₂ effect sizes, bootstrap
+CIs) are equal byte for byte. Only the ``attempts`` bookkeeping column
+may differ — an interrupted trial legitimately took more dispatches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.errors import ExperimentError
+from ..faults.fleetplan import (ARTIFACT_CORRUPT, ARTIFACT_TRUNCATE,
+                                DISPATCHER_KILL, STORE_LOCK,
+                                WORKER_KILL, FleetFaultEvent,
+                                FleetFaultPlan)
+from ..fleet import (ChaosController, FleetSpec, ResultsStore,
+                     render_report, run_fleet, run_fleet_with_chaos)
+from .common import BenchmarkCache, Profile, get_profile
+
+#: Runner registry id for this experiment (statlint EXP001 keeps the
+#: module, the registry and ORDER consistent).
+EXPERIMENT_ID = "fleet-chaos"
+
+BENCHMARK = "zlib"
+FUZZERS = ("afl", "bigmap")
+MAP_SIZE = 1 << 16
+
+#: Row slices of the trials table: identity (trial id through rng
+#: seed + status) and result metrics. Column 7 — ``attempts`` — sits
+#: between them and is excluded on purpose: retry bookkeeping is the
+#: one column chaos is *allowed* to change.
+IDENT_COLUMNS = slice(0, 7)
+RESULT_COLUMNS = slice(8, None)
+
+
+def _spec(profile: Profile, n_trials: int) -> FleetSpec:
+    return FleetSpec(
+        fuzzers=FUZZERS, benchmarks=(BENCHMARK,),
+        map_sizes=(MAP_SIZE,), n_trials=n_trials,
+        scale=profile.scale, seed_scale=profile.seed_scale,
+        virtual_seconds=profile.campaign_virtual_seconds,
+        max_real_execs=profile.campaign_max_execs)
+
+
+def _plan(n_trials_expanded: int) -> FleetFaultPlan:
+    """The chaos schedule: every fault family the contract covers,
+    fixed ticks so the experiment reproduces bit-identically.
+
+    The tick choreography matters: trial 1's worker dies after writing
+    its segment-1 checkpoint, so a checkpoint *exists* when the
+    artifact-corrupt/truncate events target it — and trial 1 is still
+    owed a retry dispatch, so the damaged checkpoint *will be read*,
+    forcing the quarantine → from-scratch-rerun recovery path (which
+    determinism makes result-identical to a checkpoint resume).
+    """
+    return FleetFaultPlan([
+        FleetFaultEvent(at_tick=1, kind=WORKER_KILL, trial=1,
+                        at_segment=1),
+        FleetFaultEvent(at_tick=2, kind=DISPATCHER_KILL),
+        FleetFaultEvent(at_tick=4, kind=STORE_LOCK, lock_count=2),
+        FleetFaultEvent(at_tick=5, kind=ARTIFACT_CORRUPT, trial=1),
+        FleetFaultEvent(at_tick=6, kind=DISPATCHER_KILL),
+        FleetFaultEvent(at_tick=7, kind=ARTIFACT_TRUNCATE, trial=1),
+    ])
+
+
+def _comparable(store: ResultsStore) -> List[Tuple]:
+    return [tuple(row)[IDENT_COLUMNS] + tuple(row)[RESULT_COLUMNS]
+            for row in store.trial_rows()]
+
+
+def compute(profile: Profile, cache: BenchmarkCache = None) -> Dict:
+    n_trials = 3 if profile.name == "quick" else max(3, profile.replicas * 3)
+    spec = _spec(profile, n_trials)
+    plan = _plan(spec.n_expanded)
+
+    # The reference run carries the plan's worker faults too (they are
+    # lowered into the spec, i.e. part of the experiment definition);
+    # the chaos-only delta is dispatcher kills + artifact damage +
+    # store lock errors, which must all be absorbed without a trace.
+    lowered = ChaosController(plan).lower_onto(spec)
+    ref_store = ResultsStore()
+    ref_summary = run_fleet(lowered, store=ref_store, measure=False)
+
+    chaos_store = ResultsStore()
+    outcome = run_fleet_with_chaos(spec, plan, store=chaos_store,
+                                   measure=False)
+
+    if outcome.dispatcher_restarts < 2:
+        raise ExperimentError(
+            f"chaos plan was supposed to kill the dispatcher twice, "
+            f"observed {outcome.dispatcher_restarts} restarts")
+    if outcome.summary.store_retries < 1:
+        raise ExperimentError(
+            "injected store lock errors were never retried — the "
+            "store-lock fault did not reach the retry path")
+    incidents = (outcome.summary.integrity_events +
+                 outcome.summary.quarantined_artifacts)
+    if incidents < 1:
+        raise ExperimentError(
+            "injected artifact damage was never detected — the "
+            "corruption events missed every read path")
+    rows_equal = _comparable(ref_store) == _comparable(chaos_store)
+    ref_report = render_report(ref_store, lowered)
+    chaos_report = render_report(chaos_store, lowered)
+    return {
+        "spec": lowered, "plan": plan,
+        "ref_store": ref_store, "chaos_store": chaos_store,
+        "ref_summary": ref_summary, "outcome": outcome,
+        "rows_equal": rows_equal,
+        "reports_equal": ref_report == chaos_report,
+        "report": chaos_report,
+    }
+
+
+def run(profile: Profile, cache: BenchmarkCache = None) -> str:
+    data = compute(profile, cache)
+    outcome = data["outcome"]
+    summary = outcome.summary
+    if not data["rows_equal"]:
+        raise ExperimentError(
+            "chaos run's trial rows differ from the reference run — "
+            "the crash-safety contract is broken")
+    if not data["reports_equal"]:
+        raise ExperimentError(
+            "chaos run's statistical report differs from the "
+            "reference run — the crash-safety contract is broken")
+    header = (
+        f"Extension — fleet chaos: {summary.completed}/"
+        f"{summary.n_trials} trials through "
+        f"{outcome.dispatcher_restarts} dispatcher kill(s), "
+        f"{outcome.events_fired} chaos events, "
+        f"{summary.store_retries} store IO retries, "
+        f"{summary.quarantined_artifacts + summary.integrity_events} "
+        f"artifact integrity incidents — trial rows and statistics "
+        f"bit-identical to the uninterrupted reference run\n\n")
+    footer = (
+        "\n\nReading: the dispatcher was killed mid-fleet and resumed "
+        "from the results store's durable trial state machine; "
+        "corrupted/truncated checkpoints were caught by their "
+        "integrity seals and quarantined; transient store lock errors "
+        "were absorbed by bounded seeded-jitter retry. Every p-value, "
+        "A12 and bootstrap CI above matches the uninterrupted run "
+        "byte for byte (attempt counters excepted, by design).")
+    for store in (data["ref_store"], data["chaos_store"]):
+        store.close()
+    return header + data["report"] + footer
+
+
+def main() -> None:
+    print(run(get_profile("default")))
+
+
+if __name__ == "__main__":
+    main()

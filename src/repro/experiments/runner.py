@@ -36,10 +36,11 @@ from typing import Callable, Dict, List
 from ..core.errors import ExperimentError
 from ..core.walltime import Stopwatch
 from . import (extra_collafl, extra_dedup_bias, extra_ensemble,
-               extra_fault_tolerance, extra_fleet, fig2_collision,
-               fig3_runtime, fig6_throughput, fig7_edge_coverage,
-               fig8_crashes, fig9_scalability, fig10_parallel_crashes,
-               table2_benchmarks, table3_composition)
+               extra_fault_tolerance, extra_fleet, extra_fleet_chaos,
+               fig2_collision, fig3_runtime, fig6_throughput,
+               fig7_edge_coverage, fig8_crashes, fig9_scalability,
+               fig10_parallel_crashes, table2_benchmarks,
+               table3_composition)
 from .common import TELEMETRY, BenchmarkCache, Profile, get_profile
 from .reporter import JSON, QUIET, TEXT, Reporter
 
@@ -59,12 +60,13 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ensemble": extra_ensemble.run,
     "fault-tolerance": extra_fault_tolerance.run,
     "fleet": extra_fleet.run,
+    "fleet-chaos": extra_fleet_chaos.run,
 }
 
 #: Paper order for ``all``.
 ORDER = ("fig2", "fig3", "table2", "fig6", "fig7", "fig8", "table3",
          "fig9", "fig10", "collafl", "dedup-bias", "ensemble",
-         "fault-tolerance", "fleet")
+         "fault-tolerance", "fleet", "fleet-chaos")
 
 
 def run_experiment(name: str, profile: Profile,

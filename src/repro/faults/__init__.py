@@ -11,8 +11,16 @@ Public surface:
   backoff, retry caps and per-instance health tracking used by
   :class:`repro.fuzzer.ParallelSession` to restart failed instances
   from their checkpoints.
+* :class:`FleetFaultEvent` / :class:`FleetFaultPlan` — the fleet-level
+  analogue: seeded dispatch-tick schedules of dispatcher kills, worker
+  faults, artifact corruption and transient store IO errors, executed
+  by :mod:`repro.fleet.chaos`.
 """
 
+from .fleetplan import (ARTIFACT_CORRUPT, ARTIFACT_TRUNCATE,
+                        DISPATCHER_KILL, FLEET_FAULT_KINDS, STORE_LOCK,
+                        WORKER_KILL, WORKER_STALL, FleetFaultEvent,
+                        FleetFaultPlan)
 from .injector import FaultInjector
 from .plan import (CORRUPT_SYNC, CRASH, FAULT_KINDS, SLOW, STALL,
                    FaultEvent, FaultPlan)
@@ -24,4 +32,7 @@ __all__ = [
     "FaultEvent", "FaultPlan", "FaultInjector",
     "RUNNING", "DEAD", "LOST",
     "InstanceHealth", "RestartPolicy", "SessionSupervisor",
+    "DISPATCHER_KILL", "WORKER_KILL", "WORKER_STALL",
+    "ARTIFACT_CORRUPT", "ARTIFACT_TRUNCATE", "STORE_LOCK",
+    "FLEET_FAULT_KINDS", "FleetFaultEvent", "FleetFaultPlan",
 ]

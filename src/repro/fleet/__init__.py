@@ -17,7 +17,13 @@ those trials and those statistics:
 * :class:`SnapshotMeasurer` measures corpus snapshots out-of-band with
   the collision-free coverage evaluator (fuzzbench's runner/measurer
   split);
-* :class:`ResultsStore` lands per-trial rows in SQLite;
+* :class:`ResultsStore` lands per-trial rows in SQLite — and, since
+  the crash-safety work, owns the durable per-trial state machine that
+  makes a fleet resumable after a dispatcher death
+  (``repro-fuzz fleet --resume``); artifacts carry integrity seals
+  (:mod:`repro.fleet.artifacts`) and the chaos harness
+  (:mod:`repro.fleet.chaos`) injects dispatcher/worker/artifact/store
+  faults and asserts bit-identical recovery;
 * :mod:`repro.fleet.stats` supplies Mann–Whitney U, Vargha–Delaney
   Â₁₂ and seeded bootstrap CIs, and :func:`render_report` refuses to
   print a comparison without them.
@@ -25,13 +31,18 @@ those trials and those statistics:
 Entry point: ``repro-fuzz fleet`` (see :mod:`repro.fleet.cli`).
 """
 
+from .artifacts import (ArtifactIntegrityError, quarantine,
+                        read_artifact, write_artifact)
+from .chaos import (ChaosController, ChaosOutcome, DispatcherKilled,
+                    run_fleet_with_chaos)
 from .dispatcher import FleetDispatcher, FleetSummary, run_fleet
-from .measurer import SnapshotMeasurer
+from .measurer import MeasureOutcome, SnapshotMeasurer
 from .report import render_report
 from .spec import (KILL, STALL, FleetSpec, TrialFault, TrialSpec)
 from .stats import (MannWhitneyResult, bootstrap_ci, bootstrap_diff_ci,
                     mann_whitney_u, vargha_delaney_a12)
-from .store import ResultsStore
+from .store import (DONE, LOST, MEASURING, PENDING, QUARANTINED,
+                    TERMINAL_STATES, TRIAL_STATES, ResultsStore)
 from .workers import (InlineBackend, ProcessBackend, TrialCompletion,
                       TrialRequest, execute_trial)
 
@@ -40,7 +51,13 @@ __all__ = [
     "FleetDispatcher", "FleetSummary", "run_fleet",
     "InlineBackend", "ProcessBackend", "TrialRequest",
     "TrialCompletion", "execute_trial",
-    "SnapshotMeasurer", "ResultsStore",
+    "SnapshotMeasurer", "MeasureOutcome", "ResultsStore",
+    "PENDING", "MEASURING", "DONE", "LOST", "QUARANTINED",
+    "TRIAL_STATES", "TERMINAL_STATES",
+    "ArtifactIntegrityError", "write_artifact", "read_artifact",
+    "quarantine",
+    "ChaosController", "ChaosOutcome", "DispatcherKilled",
+    "run_fleet_with_chaos",
     "mann_whitney_u", "MannWhitneyResult", "vargha_delaney_a12",
     "bootstrap_ci", "bootstrap_diff_ci",
     "render_report",

@@ -1,0 +1,218 @@
+"""Fleet chaos harness: inject crashes everywhere, demand identity.
+
+The crash-safety contract (DESIGN.md §10) is a determinism claim: a
+fleet that loses its dispatcher, its workers, its artifacts, or its
+store writes — and recovers through resume, checkpoint retry,
+quarantine, and IO-retry respectively — must land **bit-identical**
+trial rows and statistics to an undisturbed run. This module is the
+machine that checks it:
+
+* :class:`ChaosController` executes a seeded
+  :class:`repro.faults.fleetplan.FleetFaultPlan` against a live
+  :class:`~repro.fleet.dispatcher.FleetDispatcher`, one plan tick per
+  dispatch-loop iteration. The tick counter is *cumulative across
+  dispatcher incarnations*, so a plan's later events keep firing into
+  the resumed dispatcher.
+* :func:`run_fleet_with_chaos` drives the full kill/resume cycle:
+  run the fleet, catch each injected :class:`DispatcherKilled`, resume
+  from the store (:meth:`FleetDispatcher.from_store`) and keep going
+  until the fleet drains.
+
+``worker-kill`` / ``worker-stall`` events are *lowered* onto the
+spec's per-trial :class:`~repro.fleet.spec.TrialFault` machinery
+before the run, so the existing supervisor retry path handles them;
+the controller itself handles the three fault families that machinery
+cannot express: dispatcher death, on-disk artifact damage, and
+transient store IO errors.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import FleetDispatchError
+from ..faults.fleetplan import (ARTIFACT_CORRUPT, ARTIFACT_TRUNCATE,
+                                DISPATCHER_KILL, STORE_LOCK,
+                                WORKER_KILL, WORKER_STALL,
+                                FleetFaultEvent, FleetFaultPlan)
+from ..telemetry.recorder import SessionTelemetry
+from .dispatcher import FleetDispatcher, FleetSummary
+from .spec import KILL, STALL, FleetSpec, TrialFault
+from .store import ResultsStore
+from .artifacts import TRAILER_SIZE
+from .workers import CHECKPOINT_FILE
+
+
+class DispatcherKilled(RuntimeError):
+    """An injected ``dispatcher-kill`` fired: the dispatcher "died".
+
+    Deliberately *not* part of the :class:`~repro.core.errors.ReproError`
+    taxonomy — nothing may handle it as an ordinary failure; it either
+    reaches :func:`run_fleet_with_chaos`'s resume loop or aborts the
+    process, exactly like the real crash it simulates.
+    """
+
+    def __init__(self, tick: int) -> None:
+        super().__init__(f"injected dispatcher kill at tick {tick}")
+        self.tick = tick
+
+
+class ChaosController:
+    """Fires a :class:`FleetFaultPlan`'s events against a dispatcher.
+
+    One controller serves every dispatcher incarnation of one fleet:
+    its tick counter and fired-event set persist across the kills it
+    causes. ``corruption_seed`` feeds the byte-damage RNG, keeping the
+    injected corruption itself reproducible.
+    """
+
+    def __init__(self, plan: FleetFaultPlan, *,
+                 corruption_seed: int = 0) -> None:
+        self.plan = plan
+        self.tick = 0
+        self.fired: list = []
+        self._pending = [
+            event for event in plan
+            if event.kind not in (WORKER_KILL, WORKER_STALL)]
+        self._rng = np.random.default_rng(corruption_seed)
+
+    def lower_onto(self, spec: FleetSpec) -> FleetSpec:
+        """Merge the plan's worker faults into the spec's per-trial
+        fault table (later plan events override earlier spec ones)."""
+        worker_faults = self.plan.worker_faults()
+        if not worker_faults:
+            return spec
+        faults = dict(spec.faults)
+        for event in worker_faults:
+            faults[event.trial] = TrialFault(
+                kind=KILL if event.kind == WORKER_KILL else STALL,
+                at_segment=event.at_segment)
+        return replace(spec, faults=faults)
+
+    # -- fault execution ----------------------------------------------
+
+    def _damage_artifact(self, dispatcher: FleetDispatcher,
+                         event: FleetFaultEvent) -> None:
+        """Corrupt or truncate the targeted trial's checkpoint on disk
+        (a no-op when no checkpoint exists yet — nothing to damage)."""
+        path = os.path.join(dispatcher.trial_workdir(event.trial),
+                            CHECKPOINT_FILE)
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return
+        if event.kind == ARTIFACT_TRUNCATE:
+            # Tear off half the trailer: the seal's length check must
+            # catch this without even hashing the body.
+            with open(path, "r+b") as fh:
+                fh.truncate(max(size - TRAILER_SIZE // 2, 0))
+            return
+        # Flip one body byte in place (a torn/bit-rotted write the
+        # digest check must catch).
+        offset = int(self._rng.integers(0, max(size - TRAILER_SIZE, 1)))
+        with open(path, "r+b") as fh:
+            fh.seek(offset)
+            byte = fh.read(1) or b"\0"
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+
+    def on_tick(self, dispatcher: FleetDispatcher) -> None:
+        """Advance the fleet tick; fire everything scheduled on it.
+
+        Called by the dispatcher at the top of each run-loop iteration.
+        A ``dispatcher-kill`` raises :class:`DispatcherKilled` — after
+        the tick's other events have fired, so same-tick damage is not
+        lost in the crash.
+        """
+        self.tick += 1
+        due = [e for e in self._pending if e.at_tick == self.tick]
+        if not due:
+            return
+        self._pending = [e for e in self._pending if e.at_tick != self.tick]
+        self.fired.extend(due)
+        kill: Optional[FleetFaultEvent] = None
+        for event in due:
+            if event.kind == DISPATCHER_KILL:
+                kill = event
+            elif event.kind == STORE_LOCK:
+                dispatcher.store.inject_io_faults(event.lock_count)
+            elif event.kind in (ARTIFACT_CORRUPT, ARTIFACT_TRUNCATE):
+                self._damage_artifact(dispatcher, event)
+        if kill is not None:
+            raise DispatcherKilled(self.tick)
+
+
+@dataclass
+class ChaosOutcome:
+    """What surviving a chaos plan looked like.
+
+    Attributes:
+        summary: the final (fully drained) fleet summary.
+        dispatcher_restarts: injected dispatcher kills survived via
+            ``--resume``-style reconciliation.
+        ticks: total dispatch-loop ticks across all incarnations.
+        events_fired: chaos events actually executed (worker faults
+            are lowered onto the spec and not counted here).
+    """
+
+    summary: FleetSummary
+    dispatcher_restarts: int
+    ticks: int
+    events_fired: int
+
+
+def run_fleet_with_chaos(spec: FleetSpec, plan: FleetFaultPlan, *,
+                         store: Optional[ResultsStore] = None,
+                         workdir: Optional[str] = None,
+                         telemetry: Optional[SessionTelemetry] = None,
+                         measure: bool = True,
+                         max_dispatcher_restarts: int = 10
+                         ) -> ChaosOutcome:
+    """Run ``spec`` under ``plan``, resuming through every injected
+    dispatcher kill; returns once the fleet fully drains.
+
+    The store must be a real one if the caller wants to inspect it
+    afterwards (an implicit in-memory store is created otherwise —
+    note this *also* exercises resume: the in-memory store object
+    survives the simulated dispatcher death just as a store file
+    survives a real one). ``workdir`` defaults to a temporary
+    directory removed on return.
+    """
+    plan.validate_for(spec.n_expanded)
+    controller = ChaosController(plan)
+    spec = controller.lower_onto(spec)
+    if store is None:
+        store = ResultsStore()
+    own_workdir = workdir is None
+    if own_workdir:
+        workdir = tempfile.mkdtemp(prefix="fleet-chaos-")
+    try:
+        dispatcher = FleetDispatcher(
+            spec, store=store, workdir=workdir, telemetry=telemetry,
+            measure=measure, chaos=controller)
+        restarts = 0
+        while True:
+            try:
+                summary = dispatcher.run()
+                break
+            except DispatcherKilled:
+                restarts += 1
+                if restarts > max_dispatcher_restarts:
+                    raise FleetDispatchError(
+                        f"chaos plan killed the dispatcher more than "
+                        f"{max_dispatcher_restarts} times; giving up")
+                dispatcher = FleetDispatcher.from_store(
+                    store, workdir=workdir, telemetry=telemetry,
+                    measure=measure, chaos=controller)
+    finally:
+        if own_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return ChaosOutcome(summary=summary, dispatcher_restarts=restarts,
+                        ticks=controller.tick,
+                        events_fired=len(controller.fired))

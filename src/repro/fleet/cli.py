@@ -12,11 +12,21 @@ out-of-band, and print the statistical comparison report::
 ``--inject-kill`` / ``--inject-stall`` plant a deterministic worker
 fault into one trial (fault-tolerance smoke: the CI job kills a worker
 mid-trial and the report must still carry every trial's row).
+
+Crash safety (DESIGN.md §10): ``--resume STORE`` picks up a fleet whose
+dispatcher died — the spec and work directory are read back from the
+store's ``fleet_meta``, store state is reconciled against on-disk
+worker artifacts, and only unfinished work re-runs; the final report is
+bit-identical to an uninterrupted run. ``--chaos-kill-after N`` hard-
+kills this dispatcher (``os._exit``) after N dispatch-loop iterations —
+the CI chaos smoke runs a fleet with it, resumes, and diffs the
+reports. Both require a persistent ``--store`` and ``--workdir``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -26,7 +36,25 @@ from .dispatcher import FleetDispatcher
 from .report import render_report
 from .spec import KILL, STALL, FleetSpec, TrialFault
 from .store import ResultsStore
-from .workers import InlineBackend, ProcessBackend
+from .workers import KILL_EXIT_CODE, InlineBackend, ProcessBackend
+
+
+class _HardKillAfter:
+    """``--chaos-kill-after``: die like a crashed dispatcher.
+
+    ``os._exit`` (no cleanup, no handlers) after N dispatch-loop
+    ticks — the store and worker artifacts are left exactly as a real
+    dispatcher death would leave them, which is what ``--resume`` must
+    recover from.
+    """
+
+    def __init__(self, ticks: int) -> None:
+        self.remaining = ticks
+
+    def on_tick(self, dispatcher) -> None:
+        self.remaining -= 1
+        if self.remaining < 0:
+            os._exit(KILL_EXIT_CODE)
 
 
 def _parse_size(text: str) -> int:
@@ -105,12 +133,24 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="TRIAL[:SEG]",
                         help="stall TRIAL's worker after checkpoint "
                              "SEG on its first attempt")
+    parser.add_argument("--resume", default=None, metavar="STORE",
+                        help="resume the fleet persisted in STORE "
+                             "(grid flags are ignored; the spec comes "
+                             "from the store)")
+    parser.add_argument("--chaos-kill-after", type=int, default=None,
+                        metavar="N",
+                        help="hard-kill this dispatcher (os._exit) "
+                             "after N dispatch-loop iterations (chaos "
+                             "testing; pair with --resume)")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.resume is not None:
+        return _main_resume(parser, args)
 
     for name in args.benchmarks:
         try:
@@ -150,24 +190,70 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..telemetry.recorder import SessionTelemetry
         telemetry = SessionTelemetry()
 
-    store = ResultsStore(args.store)
-    dispatcher = FleetDispatcher(
-        spec, store=store, backend=backend, telemetry=telemetry,
-        workdir=args.workdir, measure=not args.no_measure)
-    summary = dispatcher.run()
+    chaos = None
+    if args.chaos_kill_after is not None:
+        if args.store == ":memory:" or args.workdir is None:
+            parser.error("--chaos-kill-after needs a persistent "
+                         "--store and --workdir to resume from")
+        chaos = _HardKillAfter(args.chaos_kill_after)
 
+    with ResultsStore(args.store) as store:
+        dispatcher = FleetDispatcher(
+            spec, store=store, backend=backend, telemetry=telemetry,
+            workdir=args.workdir, measure=not args.no_measure,
+            chaos=chaos)
+        summary = dispatcher.run()
+        _report(args, telemetry, store, summary, spec)
+    return 1 if summary.lost else 0
+
+
+def _main_resume(parser: argparse.ArgumentParser,
+                 args: argparse.Namespace) -> int:
+    """``--resume STORE``: reconcile and finish a dead dispatcher's
+    fleet. The spec (and thus the backendable work) comes from the
+    store; only backend/measure/telemetry flags apply."""
+    if not os.path.exists(args.resume):
+        parser.error(f"--resume: store {args.resume!r} does not exist")
+
+    if args.backend == "inline":
+        backend = InlineBackend()
+    else:
+        backend = ProcessBackend(n_workers=args.workers,
+                                 stall_timeout=args.stall_timeout)
+    telemetry = None
+    if args.telemetry_dir is not None:
+        from ..telemetry.recorder import SessionTelemetry
+        telemetry = SessionTelemetry()
+
+    chaos = None
+    if args.chaos_kill_after is not None:
+        chaos = _HardKillAfter(args.chaos_kill_after)
+
+    with ResultsStore(args.resume) as store:
+        dispatcher = FleetDispatcher.from_store(
+            store, backend=backend, telemetry=telemetry,
+            measure=not args.no_measure, chaos=chaos)
+        summary = dispatcher.run()
+        _report(args, telemetry, store, summary, dispatcher.spec)
+    return 1 if summary.lost else 0
+
+
+def _report(args, telemetry, store, summary, spec) -> None:
     if telemetry is not None:
         telemetry.flush(args.telemetry_dir)
         print(f"telemetry artifacts: {args.telemetry_dir}")
 
+    resumed = ""
+    if summary.resumed:
+        resumed = (f" (resumed: {summary.reconciled} reconciled, "
+                   f"{summary.requeued} requeued, "
+                   f"{summary.remeasured} remeasured)")
     print(f"fleet: {summary.completed}/{summary.n_trials} trials "
           f"completed, {summary.retries} retries, "
           f"{len(summary.lost)} lost, "
-          f"{summary.measured_snapshots} snapshots measured")
+          f"{summary.measured_snapshots} snapshots measured{resumed}")
     print()
     print(render_report(store, spec))
-    store.close()
-    return 1 if summary.lost else 0
 
 
 if __name__ == "__main__":

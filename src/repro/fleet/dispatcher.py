@@ -12,8 +12,24 @@ each completion:
   telemetry events, exactly as parallel-session instances are
   supervised. A retried attempt resumes from the trial's persisted
   checkpoint (losing at most one segment); a trial whose retry budget
-  runs out is recorded as *lost*, and the fleet completes with the
+  runs out is recorded as *lost* — or *quarantined*, when the budget
+  died on artifact corruption — and the fleet completes with the
   survivors.
+
+**Crash safety.** Fleet progress lives in the store's durable trial
+state machine (``pending → dispatched → running → measuring →
+done/lost/quarantined``, one transaction per transition), not in
+dispatcher memory: the dispatcher advances each trial's state as it
+dispatches, records, and measures it, so a dispatcher that dies at any
+point leaves a store from which ``FleetDispatcher.from_store`` (the
+``repro-fuzz fleet --resume`` path) can reconstruct the fleet exactly.
+Resume *reconciles* store state against on-disk worker artifacts:
+terminal trials are skipped, a trial whose worker finished but whose
+row was never recorded is completed from its (integrity-checked)
+result artifact, a trial owed only measurement is re-measured, and
+interrupted trials are re-queued to continue from their last good
+checkpoint — yielding trial rows and statistics bit-identical to an
+uninterrupted run (campaign determinism + the checkpoint contract).
 
 Telemetry ``t`` values on fleet events are a logical dispatch clock (a
 monotone per-event counter), keeping the in-process backend's event
@@ -30,13 +46,22 @@ from typing import Deque, Dict, List, Optional
 
 from collections import deque
 
+from ..core.errors import (ArtifactIntegrityError, FleetDispatchError,
+                           FleetResumeError)
 from ..faults import DEAD, RestartPolicy, SessionSupervisor
 from ..telemetry.recorder import SessionTelemetry
+from .artifacts import log_integrity, quarantine, read_artifact, \
+    read_integrity_log
 from .measurer import SnapshotMeasurer
 from .spec import FleetSpec, TrialSpec
-from .store import ResultsStore
-from .workers import (CHECKPOINT_FILE, OK, InlineBackend,
+from .store import (DISPATCHED, DONE, LOST, MEASURING, PENDING,
+                    QUARANTINED, RUNNING, ResultsStore)
+from .workers import (CHECKPOINT_FILE, OK, RESULT_FILE, InlineBackend,
                       TrialCompletion, TrialRequest)
+
+#: ``fleet_meta`` keys the dispatcher persists for resume.
+META_SPEC = "spec"
+META_WORKDIR = "workdir"
 
 
 @dataclass
@@ -45,11 +70,22 @@ class FleetSummary:
 
     Attributes:
         n_trials: trials the spec expanded to.
-        completed: trials that landed a result row.
-        lost: trial ids whose retry budget ran out.
+        completed: trials whose result row is in the store (after a
+            resume this counts previously-finished trials too — it
+            describes the fleet, not one dispatcher incarnation).
+        lost: trial ids terminal without a result (lost + quarantined).
         retries: total retry dispatches across the fleet.
         attempts: per-trial attempt counts (1 = clean first run).
         measured_snapshots: coverage snapshots measured out-of-band.
+        reconciled: trials completed during resume from a worker's
+            result artifact (the worker finished; the old dispatcher
+            died before recording it).
+        remeasured: trials that only needed measurement re-run.
+        requeued: trials a resume sent back to the dispatch queue.
+        quarantined_artifacts: corrupt artifacts renamed aside.
+        integrity_events: integrity incidents surfaced via telemetry.
+        store_retries: transient store IO errors absorbed by backoff.
+        resumed: whether this run reconciled an existing store.
     """
 
     n_trials: int
@@ -58,6 +94,13 @@ class FleetSummary:
     retries: int = 0
     attempts: Dict[int, int] = field(default_factory=dict)
     measured_snapshots: int = 0
+    reconciled: int = 0
+    remeasured: int = 0
+    requeued: int = 0
+    quarantined_artifacts: int = 0
+    integrity_events: int = 0
+    store_retries: int = 0
+    resumed: bool = False
 
 
 class FleetDispatcher:
@@ -72,13 +115,21 @@ class FleetDispatcher:
             :class:`repro.faults.RestartPolicy`).
         telemetry: optional
             :class:`~repro.telemetry.SessionTelemetry`; trial
-            lifecycle, retry, fault/restart and measurement events are
-            emitted session-level, tagged with the trial id.
+            lifecycle, retry, fault/restart, measurement, integrity and
+            resume events are emitted session-level, tagged with the
+            trial id.
         workdir: root directory for per-trial artifacts (checkpoints,
             corpus snapshots, heartbeats); a temporary directory is
             created when omitted.
         measure: measure corpus snapshots out-of-band after each trial
             completes (on by default).
+        resume: reconcile an existing store instead of starting fresh
+            (usually via :meth:`from_store`).
+        chaos: optional chaos controller
+            (:class:`repro.fleet.chaos.ChaosController`); its
+            ``on_tick(dispatcher)`` runs once per dispatch-loop
+            iteration and may inject faults, including killing this
+            dispatcher.
     """
 
     def __init__(self, spec: FleetSpec, *,
@@ -87,12 +138,16 @@ class FleetDispatcher:
                  retry_policy: Optional[RestartPolicy] = None,
                  telemetry: Optional[SessionTelemetry] = None,
                  workdir: Optional[str] = None,
-                 measure: bool = True) -> None:
+                 measure: bool = True,
+                 resume: bool = False,
+                 chaos=None) -> None:
         self.spec = spec
         self.trials = spec.expand()
         self.store = store if store is not None else ResultsStore()
         self.backend = backend if backend is not None else InlineBackend()
         self.telemetry = telemetry
+        self.resume = resume
+        self.chaos = chaos
         if workdir is None:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="fleet-")
             workdir = self._tmpdir.name
@@ -104,7 +159,52 @@ class FleetDispatcher:
             telemetry=telemetry)
         self.measurer = SnapshotMeasurer() if measure else None
         self._attempts: Dict[int, int] = {}
+        self._integrity_seen: Dict[int, int] = {}
         self._clock = 0
+        self._bind_store()
+
+    def _bind_store(self) -> None:
+        """Make the store the fleet's source of truth: persist the
+        spec + workdir, create state rows, wire retry telemetry."""
+        spec_json = self.spec.to_json()
+        persisted = self.store.get_meta(META_SPEC)
+        if persisted is None:
+            self.store.set_meta(META_SPEC, spec_json)
+        elif persisted != spec_json:
+            if self.resume:
+                raise FleetResumeError(
+                    "the store's persisted spec differs from the "
+                    "requested one; resume with the persisted spec "
+                    "(FleetDispatcher.from_store) or use a fresh store")
+            raise FleetDispatchError(
+                "results store already holds a different fleet's spec; "
+                "use a fresh store or resume the existing fleet")
+        self.store.set_meta(META_WORKDIR, os.path.abspath(self.workdir))
+        self.store.init_states(
+            [trial.trial_id for trial in self.trials])
+        if self.telemetry is not None:
+            self.store.on_retry = self._on_store_retry
+
+    @classmethod
+    def from_store(cls, store: ResultsStore, *,
+                   workdir: Optional[str] = None,
+                   **kwargs) -> "FleetDispatcher":
+        """Reconstruct a dispatcher for ``fleet --resume``: the spec
+        and work directory come from the store's ``fleet_meta``."""
+        spec_json = store.get_meta(META_SPEC)
+        if spec_json is None:
+            raise FleetResumeError(
+                f"store {store.path!r} has no persisted fleet spec; "
+                f"it was not written by a fleet dispatcher")
+        spec = FleetSpec.from_json(spec_json)
+        if workdir is None:
+            workdir = store.get_meta(META_WORKDIR)
+        if workdir is None or not os.path.isdir(workdir):
+            raise FleetResumeError(
+                f"fleet work directory {workdir!r} is missing; worker "
+                f"artifacts are required to reconcile the store")
+        return cls(spec, store=store, workdir=workdir, resume=True,
+                   **kwargs)
 
     # -- plumbing ------------------------------------------------------
 
@@ -121,6 +221,23 @@ class FleetDispatcher:
             self.telemetry.session.emit(kind, self._tick(),
                                         instance=trial_id, **payload)
 
+    def _on_store_retry(self, op: str, attempt: int,
+                        error: str) -> None:
+        self._emit("store_retry", -1, op=op, attempt=attempt,
+                   error=error)
+
+    def _drain_integrity(self, trial_id: int, summary: FleetSummary
+                         ) -> None:
+        """Surface integrity incidents a worker logged on disk as
+        telemetry (each incident exactly once across attempts)."""
+        entries = read_integrity_log(self.trial_workdir(trial_id))
+        seen = self._integrity_seen.get(trial_id, 0)
+        for artifact, reason in entries[seen:]:
+            summary.integrity_events += 1
+            self._emit("integrity", trial_id, trial=trial_id,
+                       artifact=artifact, detail=reason)
+        self._integrity_seen[trial_id] = len(entries)
+
     # -- dispatch loop -------------------------------------------------
 
     def _request_for(self, trial: TrialSpec, attempt: int
@@ -130,18 +247,24 @@ class FleetDispatcher:
             workdir=self.trial_workdir(trial.trial_id),
             snapshot_interval=self.spec.checkpoint_interval)
 
-    def _dispatch(self, queue: Deque[TrialRequest]) -> int:
+    def _dispatch(self, queue: Deque[TrialSpec]) -> int:
         dispatched = 0
         while queue and self.backend.in_flight < self.backend.n_workers:
-            request = queue.popleft()
-            trial = request.trial
+            trial = queue.popleft()
+            # Durable intent first: the attempt counter increments
+            # before the backend sees the request, so a dispatcher
+            # crash inside submit() can never under-count attempts.
+            attempt = self.store.transition(
+                trial.trial_id, DISPATCHED) - 1
+            request = self._request_for(trial, attempt)
             self._emit("trial_dispatch", trial.trial_id,
-                       trial=trial.trial_id, attempt=request.attempt,
+                       trial=trial.trial_id, attempt=attempt,
                        fuzzer=trial.fuzzer, benchmark=trial.benchmark,
                        map_size=trial.map_size,
                        rng_seed=trial.rng_seed)
-            self._attempts[trial.trial_id] = request.attempt + 1
+            self._attempts[trial.trial_id] = attempt + 1
             self.backend.submit(request)
+            self.store.transition(trial.trial_id, RUNNING)
             dispatched += 1
             if self.backend.n_workers <= 1:
                 # A synchronous backend completes at submit; drain
@@ -149,6 +272,20 @@ class FleetDispatcher:
                 # queue order.
                 break
         return dispatched
+
+    def _measure_and_finish(self, trial: TrialSpec,
+                            summary: FleetSummary) -> None:
+        """Measure a recorded trial's snapshots, then mark it done."""
+        if self.measurer is not None:
+            outcome = self.measurer.measure_trial(
+                trial, self.trial_workdir(trial.trial_id), self.store,
+                telemetry=(self.telemetry.session
+                           if self.telemetry is not None else None),
+                now=self._tick())
+            summary.measured_snapshots += outcome.measured
+            summary.quarantined_artifacts += outcome.quarantined
+            summary.integrity_events += outcome.clamped_lags
+        self.store.transition(trial.trial_id, DONE)
 
     def _complete_ok(self, completion: TrialCompletion,
                      summary: FleetSummary) -> None:
@@ -162,20 +299,16 @@ class FleetDispatcher:
                    execs=result.execs,
                    edges=result.discovered_locations,
                    crashes=result.unique_crashes)
-        summary.completed += 1
-        if self.measurer is not None:
-            summary.measured_snapshots += self.measurer.measure_trial(
-                trial, completion.request.workdir, self.store,
-                telemetry=(self.telemetry.session
-                           if self.telemetry is not None else None),
-                now=self._tick())
+        self._drain_integrity(trial.trial_id, summary)
+        self._measure_and_finish(trial, summary)
 
     def _complete_failed(self, completion: TrialCompletion,
-                         queue: Deque[TrialRequest],
+                         queue: Deque[TrialSpec],
                          summary: FleetSummary) -> None:
         trial = completion.request.trial
         trial_id = trial.trial_id
         reason = f"{completion.status}: {completion.reason}"
+        self._drain_integrity(trial_id, summary)
         status = self.supervisor.mark_failed(
             trial_id, now=self._tick(), reason=reason)
         if status == DEAD:
@@ -187,23 +320,113 @@ class FleetDispatcher:
                        attempt=attempt, reason=reason,
                        resumed_from_checkpoint=int(has_checkpoint))
             summary.retries += 1
-            queue.append(self._request_for(trial, attempt))
+            self.store.transition(trial_id, PENDING)
+            queue.append(trial)
         else:
             self.store.record_lost(
-                trial, attempts=self._attempts[trial_id])
+                trial, attempts=self._attempts[trial_id],
+                quarantined=completion.integrity_failure)
             self._emit("trial_finish", trial_id, trial=trial_id,
                        attempt=completion.request.attempt,
-                       status="lost", execs=0, edges=0, crashes=0)
+                       status=(QUARANTINED if completion.integrity_failure
+                               else "lost"),
+                       execs=0, edges=0, crashes=0)
             summary.lost.append(trial_id)
 
+    # -- resume reconciliation -----------------------------------------
+
+    def _reconcile(self, queue: Deque[TrialSpec],
+                   summary: FleetSummary) -> None:
+        """Rebuild the dispatch queue from the store + worker artifacts
+        (see module docstring for the reconciliation rules)."""
+        summary.resumed = True
+        states = self.store.trial_states()
+        counts = {"done": 0, "lost": 0, "reconciled": 0,
+                  "requeued": 0, "remeasured": 0}
+        for trial in self.trials:
+            trial_id = trial.trial_id
+            state, attempt = states.get(trial_id, (PENDING, 0))
+            self._attempts[trial_id] = attempt
+            if attempt > 1:
+                # Restart budgets persist across dispatcher deaths:
+                # attempt N means N-1 restarts already happened.
+                self.supervisor.health[trial_id].restarts = attempt - 1
+            if state == DONE:
+                counts["done"] += 1
+                continue
+            if state in (LOST, QUARANTINED):
+                counts["lost"] += 1
+                summary.lost.append(trial_id)
+                continue
+            if state == MEASURING:
+                # The result row landed; only measurement is owed.
+                counts["remeasured"] += 1
+                summary.remeasured += 1
+                self._drain_integrity(trial_id, summary)
+                self._measure_and_finish(trial, summary)
+                continue
+            if state in (DISPATCHED, RUNNING):
+                if self._reconcile_from_result(trial, attempt, summary):
+                    counts["reconciled"] += 1
+                    continue
+                self.store.transition(trial_id, PENDING)
+            counts["requeued"] += 1
+            summary.requeued += 1
+            queue.append(trial)
+        self._emit("fleet_resume", -1, **counts)
+
+    def _reconcile_from_result(self, trial: TrialSpec, attempt: int,
+                               summary: FleetSummary) -> bool:
+        """Land a trial whose worker finished but whose completion the
+        dead dispatcher never processed. Returns True when recovered."""
+        trial_id = trial.trial_id
+        workdir = self.trial_workdir(trial_id)
+        result_path = os.path.join(workdir, RESULT_FILE)
+        if not os.path.exists(result_path):
+            return False
+        try:
+            result = read_artifact(result_path)
+        except ArtifactIntegrityError as exc:
+            quarantine(result_path)
+            log_integrity(workdir, RESULT_FILE, str(exc))
+            summary.quarantined_artifacts += 1
+            return False
+        attempts = max(attempt, 1)
+        self._attempts[trial_id] = attempts
+        self.store.record_trial(trial, result, attempts=attempts)
+        self._emit("trial_finish", trial_id, trial=trial_id,
+                   attempt=attempts - 1, status=OK,
+                   execs=result.execs,
+                   edges=result.discovered_locations,
+                   crashes=result.unique_crashes)
+        summary.reconciled += 1
+        self._drain_integrity(trial_id, summary)
+        self._measure_and_finish(trial, summary)
+        return True
+
+    # -- main loop -----------------------------------------------------
+
     def run(self) -> FleetSummary:
-        """Dispatch every trial; block until the fleet drains."""
+        """Dispatch every trial; block until the fleet drains.
+
+        On a clean exit the summary reflects the whole fleet's durable
+        state. If the dispatcher dies mid-run (including an injected
+        :class:`~repro.fleet.chaos.DispatcherKilled`), the store
+        remains consistent and a later :meth:`from_store` dispatcher
+        finishes the fleet; the temporary work directory, when one was
+        created, is deliberately left on disk in that case so the
+        resume can reconcile its artifacts.
+        """
         summary = FleetSummary(n_trials=len(self.trials), completed=0)
-        queue: Deque[TrialRequest] = deque(
-            self._request_for(trial, attempt=0)
-            for trial in self.trials)
+        queue: Deque[TrialSpec] = deque()
+        if self.resume:
+            self._reconcile(queue, summary)
+        else:
+            queue.extend(self.trials)
         try:
             while queue or self.backend.in_flight:
+                if self.chaos is not None:
+                    self.chaos.on_tick(self)
                 self._dispatch(queue)
                 for completion in self.backend.poll():
                     if completion.status == OK:
@@ -213,9 +436,15 @@ class FleetDispatcher:
                                               summary)
         finally:
             self.backend.shutdown()
-            if self._tmpdir is not None:
-                self._tmpdir.cleanup()
+        if self._tmpdir is not None:
+            # Reached only on a clean drain: a killed dispatcher must
+            # leave artifacts behind for --resume to reconcile.
+            self._tmpdir.cleanup()
         summary.attempts = dict(self._attempts)
+        summary.store_retries = self.store.write_retries
+        counts = self.store.state_counts()
+        summary.completed = counts.get(DONE, 0)
+        summary.lost = sorted(set(summary.lost))
         return summary
 
 

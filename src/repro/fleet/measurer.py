@@ -15,22 +15,50 @@ one measurement row per snapshot in the results store. The wall-clock
 delay between a worker producing a snapshot and the measurer consuming
 it is reported as *measurement lag* telemetry — the fleet's analogue of
 fuzzbench's measurer falling behind its runners.
+
+Robustness contract (DESIGN.md §10): a corrupt or truncated snapshot
+must never crash the measurer or silently poison a measurement row.
+Snapshots carry the :mod:`repro.fleet.artifacts` integrity seal; one
+that fails validation is quarantined (renamed aside) and reported as an
+``artifact_quarantine`` event, and measurement falls back to the
+remaining good snapshots. A *negative* measurement lag — a snapshot
+claiming to have been produced in the future, i.e. clock skew or a
+corrupt-but-sealed timestamp — is clamped to zero **and flagged** as an
+``integrity`` event rather than silently maxed away.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
 import re
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.coverage_eval import evaluate_corpus
+from ..core.errors import ArtifactIntegrityError
 from ..core.walltime import wall_now
 from ..target import Executor, get_benchmark
+from .artifacts import quarantine, read_artifact
 from .spec import TrialSpec
 from .store import ResultsStore
 
 _SNAP_PATTERN = re.compile(r"snap-(\d+)\.pkl$")
+
+
+@dataclass
+class MeasureOutcome:
+    """What measuring one trial's snapshots produced.
+
+    Attributes:
+        measured: measurement rows landed in the store.
+        quarantined: corrupt snapshots renamed aside and skipped.
+        clamped_lags: negative measurement lags clamped to zero (each
+            also emitted as an ``integrity`` event).
+    """
+
+    measured: int = 0
+    quarantined: int = 0
+    clamped_lags: int = 0
 
 
 class SnapshotMeasurer:
@@ -72,21 +100,43 @@ class SnapshotMeasurer:
 
     def measure_trial(self, trial: TrialSpec, workdir: str,
                       store: ResultsStore,
-                      telemetry=None, now: float = 0.0) -> int:
-        """Measure every snapshot of one trial; returns the count.
+                      telemetry=None,
+                      now: float = 0.0) -> MeasureOutcome:
+        """Measure every readable snapshot of one trial.
 
         ``telemetry`` is an optional
         :class:`~repro.telemetry.TelemetryRecorder`-like object whose
         ``emit`` receives one ``measurement`` event per snapshot
-        (logical time ``now``); measurement lag rides in the event and
-        the store row.
+        (logical time ``now``), an ``artifact_quarantine`` event per
+        corrupt snapshot, and an ``integrity`` event per clamped
+        negative lag.
         """
         executor = self._executor_for(trial)
-        measured = 0
+        outcome = MeasureOutcome()
         for snapshot, path in self.snapshot_files(workdir):
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-            lag = max(wall_now() - payload["produced_at"], 0.0)
+            artifact = os.path.basename(path)
+            try:
+                payload = read_artifact(path)
+            except ArtifactIntegrityError as exc:
+                quarantine(path)
+                outcome.quarantined += 1
+                if telemetry is not None:
+                    telemetry.emit(
+                        "artifact_quarantine", now,
+                        instance=trial.trial_id, trial=trial.trial_id,
+                        artifact=artifact, reason=str(exc))
+                continue
+            lag = wall_now() - payload["produced_at"]
+            if lag < 0.0:
+                outcome.clamped_lags += 1
+                if telemetry is not None:
+                    telemetry.emit(
+                        "integrity", now, instance=trial.trial_id,
+                        trial=trial.trial_id, artifact=artifact,
+                        detail=f"negative measurement lag "
+                               f"{lag:.6f}s clamped to 0 (clock skew "
+                               f"or corrupt timestamp)")
+                lag = 0.0
             true_edges = evaluate_corpus(
                 executor.program, payload["corpus"], executor=executor)
             store.record_measurement(
@@ -100,5 +150,5 @@ class SnapshotMeasurer:
                     trial=trial.trial_id, snapshot=snapshot,
                     corpus_size=len(payload["corpus"]),
                     true_edges=true_edges, lag_seconds=lag)
-            measured += 1
-        return measured
+            outcome.measured += 1
+        return outcome

@@ -17,6 +17,7 @@ to the fuzzer, not the draw.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -157,6 +158,72 @@ class FleetSpec:
         if self.snapshot_interval is not None:
             return self.snapshot_interval
         return max(self.virtual_seconds / 4.0, 1e-9)
+
+    def to_json(self) -> str:
+        """Canonical JSON echo of the spec (sorted keys, so equal specs
+        serialize byte-identically — the resume path compares these).
+
+        Persisted into the results store's ``fleet_meta`` table, this
+        is what lets ``repro-fuzz fleet --resume <store>`` reconstruct
+        the exact grid a dead dispatcher was running without the
+        original command line.
+        """
+        payload = {
+            "fuzzers": list(self.fuzzers),
+            "benchmarks": list(self.benchmarks),
+            "map_sizes": [int(s) for s in self.map_sizes],
+            "n_trials": self.n_trials,
+            "base_seed": self.base_seed,
+            "scale": self.scale,
+            "seed_scale": self.seed_scale,
+            "virtual_seconds": self.virtual_seconds,
+            "max_real_execs": self.max_real_execs,
+            "metric": self.metric,
+            "lafintel": self.lafintel,
+            "snapshot_interval": self.snapshot_interval,
+            "faults": {
+                str(trial_id): {"kind": fault.kind,
+                                "at_segment": fault.at_segment,
+                                "on_attempt": fault.on_attempt}
+                for trial_id, fault in sorted(self.faults.items())},
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetSpec":
+        """Inverse of :meth:`to_json` (round-trips exactly)."""
+        try:
+            payload = json.loads(text)
+        except (TypeError, ValueError) as exc:
+            raise FleetSpecError(
+                f"unparseable persisted fleet spec: {exc}") from exc
+        try:
+            faults = {
+                int(trial_id): TrialFault(
+                    kind=fault["kind"],
+                    at_segment=int(fault["at_segment"]),
+                    on_attempt=int(fault["on_attempt"]))
+                for trial_id, fault in payload["faults"].items()}
+            return cls(
+                fuzzers=tuple(payload["fuzzers"]),
+                benchmarks=tuple(payload["benchmarks"]),
+                map_sizes=tuple(int(s) for s in payload["map_sizes"]),
+                n_trials=int(payload["n_trials"]),
+                base_seed=int(payload["base_seed"]),
+                scale=float(payload["scale"]),
+                seed_scale=(None if payload["seed_scale"] is None
+                            else float(payload["seed_scale"])),
+                virtual_seconds=float(payload["virtual_seconds"]),
+                max_real_execs=int(payload["max_real_execs"]),
+                metric=str(payload["metric"]),
+                lafintel=bool(payload["lafintel"]),
+                snapshot_interval=(
+                    None if payload["snapshot_interval"] is None
+                    else float(payload["snapshot_interval"])),
+                faults=faults)
+        except KeyError as exc:
+            raise FleetSpecError(
+                f"persisted fleet spec missing field {exc}") from exc
 
     def expand(self) -> List[TrialSpec]:
         """The deterministic trial queue: benchmark-major, then map

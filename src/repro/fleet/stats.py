@@ -164,6 +164,10 @@ def bootstrap_ci(values: Sequence[float],
     arr = np.asarray(values, dtype=np.float64)
     if arr.size == 0:
         raise ValueError("bootstrap_ci needs a non-empty sample")
+    if n_resamples < 1:
+        raise ValueError(
+            f"n_resamples must be >= 1, got {n_resamples} (an empty "
+            f"resample set has no percentiles)")
     if not 0.0 < confidence < 1.0:
         raise ValueError(f"confidence must be in (0, 1), "
                          f"got {confidence}")
@@ -188,6 +192,10 @@ def bootstrap_diff_ci(x: Sequence[float], y: Sequence[float],
     ya = np.asarray(y, dtype=np.float64)
     if xa.size == 0 or ya.size == 0:
         raise ValueError("bootstrap_diff_ci needs non-empty samples")
+    if n_resamples < 1:
+        raise ValueError(
+            f"n_resamples must be >= 1, got {n_resamples} (an empty "
+            f"resample set has no percentiles)")
     if xa.size == 1 and ya.size == 1:
         point = float(stat(xa)) - float(stat(ya))
         return point, point

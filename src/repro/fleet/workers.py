@@ -35,16 +35,18 @@ Backends:
 from __future__ import annotations
 
 import os
-import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..core.errors import FleetDispatchError, InstanceFaultError
+from ..core.errors import (ArtifactIntegrityError, FleetDispatchError,
+                           InstanceFaultError)
 from ..core.walltime import Stopwatch, wall_now
 from ..fuzzer.campaign import Campaign
 from ..fuzzer.stats import CampaignResult
 from ..target import BuiltBenchmark, get_benchmark
+from .artifacts import (log_integrity, quarantine, read_artifact,
+                        read_heartbeat, write_artifact, write_heartbeat)
 from .spec import KILL, STALL, TrialSpec
 
 #: Completion statuses a backend reports to the dispatcher.
@@ -53,7 +55,7 @@ CRASHED = "crashed"
 STALLED = "stalled"
 
 CHECKPOINT_FILE = "checkpoint.pkl"
-HEARTBEAT_FILE = "heartbeat"
+HEARTBEAT_FILE = "heartbeat"   # format/IO owned by repro.fleet.artifacts
 RESULT_FILE = "result.pkl"
 ERROR_FILE = "error.txt"
 
@@ -95,7 +97,10 @@ class TrialCompletion:
     ``result`` is present only for ``status == OK``; ``reason`` carries
     the failure description otherwise. ``resumed_from_checkpoint``
     reports whether the attempt continued a persisted checkpoint (retry
-    telemetry labels depend on it).
+    telemetry labels depend on it); ``integrity_failure`` marks
+    failures caused by a corrupt/truncated artifact (the dispatcher
+    quarantines such trials — rather than recording them lost — when
+    the retry budget runs out on corruption).
     """
 
     request: TrialRequest
@@ -103,36 +108,12 @@ class TrialCompletion:
     result: Optional[CampaignResult] = None
     reason: str = ""
     resumed_from_checkpoint: bool = False
-
-
-def _atomic_pickle(path: str, payload: object) -> None:
-    """Write-then-rename so readers never observe a torn file."""
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as fh:
-        pickle.dump(payload, fh)
-    os.replace(tmp, path)
-
-
-def _write_heartbeat(workdir: str, segment: int) -> None:
-    tmp = os.path.join(workdir, HEARTBEAT_FILE + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        fh.write(str(segment))
-    os.replace(tmp, os.path.join(workdir, HEARTBEAT_FILE))
-
-
-def read_heartbeat(workdir: str) -> int:
-    """Last persisted segment counter (-1 before the first beat)."""
-    path = os.path.join(workdir, HEARTBEAT_FILE)
-    try:
-        with open(path, "r", encoding="utf-8") as fh:
-            return int(fh.read().strip() or -1)
-    except (FileNotFoundError, ValueError):
-        return -1
+    integrity_failure: bool = False
 
 
 def _snapshot_corpus(workdir: str, segment: int,
                      campaign: Campaign) -> None:
-    _atomic_pickle(
+    write_artifact(
         os.path.join(workdir, f"snap-{segment:03d}.pkl"),
         {"snapshot": segment,
          "virtual_seconds": campaign.clock.seconds,
@@ -162,10 +143,18 @@ def execute_trial(request: TrialRequest,
     resumed = False
     checkpoint_path = os.path.join(request.workdir, CHECKPOINT_FILE)
     if os.path.exists(checkpoint_path):
-        with open(checkpoint_path, "rb") as fh:
-            segment, checkpoint = pickle.load(fh)
-        campaign.restore(checkpoint)
-        resumed = True
+        try:
+            segment, checkpoint = read_artifact(checkpoint_path)
+        except ArtifactIntegrityError as exc:
+            # Corrupt checkpoint: quarantine it and rerun from scratch
+            # — determinism makes the from-scratch result identical to
+            # a resumed one, so correctness survives at the cost of the
+            # lost segments.
+            quarantine(checkpoint_path)
+            log_integrity(request.workdir, CHECKPOINT_FILE, str(exc))
+        else:
+            campaign.restore(checkpoint)
+            resumed = True
 
     fault = trial.fault
     armed = (fault is not None and fault_hook is not None and
@@ -183,14 +172,14 @@ def execute_trial(request: TrialRequest,
         boundary = min((segment + 1) * interval, budget)
         campaign.step_until(boundary)
         segment += 1
-        _atomic_pickle(checkpoint_path, (segment, campaign.snapshot()))
+        write_artifact(checkpoint_path, (segment, campaign.snapshot()))
         _snapshot_corpus(request.workdir, segment, campaign)
-        _write_heartbeat(request.workdir, segment)
+        write_heartbeat(request.workdir, segment)
         if armed and fault.at_segment == segment:
             fault_hook(fault.kind)
 
     result = campaign.finish()
-    _atomic_pickle(os.path.join(request.workdir, RESULT_FILE), result)
+    write_artifact(os.path.join(request.workdir, RESULT_FILE), result)
     return TrialCompletion(request=request, status=OK, result=result,
                            resumed_from_checkpoint=resumed)
 
@@ -276,6 +265,9 @@ def _process_trial_main(request: TrialRequest) -> None:
         fault = InstanceFaultError.wrap(
             request.trial.trial_id, exc, during="trial")
         path = os.path.join(request.workdir, ERROR_FILE)
+        # Dying breath of a crashing worker: the reader treats a torn
+        # error file as diagnostics, never as state.
+        # statlint: disable=ERR002 (crash-path diagnostics write)
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(repr(fault) + "\n")
         os._exit(1)
@@ -337,15 +329,22 @@ class ProcessBackend:
 
     def _finish_slot(self, slot: _WorkerSlot) -> TrialCompletion:
         request = slot.request
+        trial_id = request.trial.trial_id
         result_path = os.path.join(request.workdir, RESULT_FILE)
         if os.path.exists(result_path):
             try:
-                with open(result_path, "rb") as fh:
-                    result = pickle.load(fh)
-            except Exception as exc:
-                raise FleetDispatchError(
-                    f"trial {request.trial.trial_id}: result artifact "
-                    f"unreadable: {exc!r}") from exc
+                result = read_artifact(result_path)
+            except ArtifactIntegrityError as exc:
+                # A corrupt result is a *recoverable* failure, not a
+                # dispatcher crash: quarantine the artifact and let the
+                # normal retry path recompute it from the checkpoint.
+                quarantine(result_path)
+                log_integrity(request.workdir, RESULT_FILE, str(exc))
+                return TrialCompletion(
+                    request=request, status=CRASHED,
+                    reason=f"trial {trial_id}: result artifact failed "
+                           f"integrity check: {exc}",
+                    integrity_failure=True)
             return TrialCompletion(
                 request=request, status=OK, result=result,
                 resumed_from_checkpoint=slot.had_checkpoint)

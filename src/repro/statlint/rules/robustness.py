@@ -7,6 +7,15 @@
   exception is exactly that. Handlers that construct or raise a
   ``*Error`` (chaining the original as ``__cause__``) pass — that is
   the supervised-fault pattern the parallel session uses.
+* **ERR002** — on fleet artifact paths (``err002_paths``): a broad
+  ``except`` whose entire body is ``pass``, or a plain
+  ``open(..., "w"/"wb")`` write. The crash-safety contract
+  (DESIGN.md §10) hangs on artifacts being written atomically
+  (:func:`repro.fleet.artifacts.atomic_write_bytes`) and corruption
+  being *routed* (quarantine + integrity log), never ignored; a torn
+  ``open("w")`` write or a pass-swallowed integrity failure silently
+  voids both. Append-mode opens pass (the integrity log is
+  append-only by design), as do reads and ``r+b`` (chaos injection).
 * **NUM001** — ``+``/``-``/``*`` arithmetic where an operand is a
   ``uint8``/``uint16`` numpy array (map counters, virgin bytes)
   without a widening ``.astype`` on either side. 8-bit counter adds
@@ -20,7 +29,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Set
 
-from ..config import LintConfig
+from ..config import LintConfig, path_matches
 from ..registry import FileRule, register
 
 _BROAD = ("Exception", "BaseException")
@@ -73,6 +82,55 @@ class BroadExceptRule(FileRule):
                         handler.col_offset,
                         f"{caught} swallows the failure; re-raise or "
                         f"chain it into a repro.core.errors class")
+
+
+def _open_write_mode(node: ast.Call) -> bool:
+    """``open(...)`` with a truncating write mode (``w``/``wb``/...)."""
+    if not (isinstance(node.func, ast.Name) and node.func.id == "open"):
+        return False
+    mode: ast.AST = ast.Constant("r")
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    return (isinstance(mode, ast.Constant) and
+            isinstance(mode.value, str) and
+            mode.value.startswith(("w", "x")))
+
+
+@register
+class FleetArtifactWriteRule(FileRule):
+    id = "ERR002"
+    title = "pass-swallowed failure or non-atomic write on a fleet path"
+    rationale = ("Fleet artifacts must be written atomically "
+                 "(atomic_write_bytes: temp + fsync + rename) and "
+                 "failures routed (quarantine + integrity log); a "
+                 "torn open('w') write or an except:pass on these "
+                 "paths silently voids the crash-safety contract.")
+
+    def check_file(self, source, config: LintConfig) -> Iterator:
+        if not path_matches(source.relpath, config.err002_paths):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Try):
+                for handler in node.handlers:
+                    if (_is_broad_handler(handler) and
+                            all(isinstance(stmt, ast.Pass)
+                                for stmt in handler.body)):
+                        yield self.finding(
+                            source.relpath, handler.lineno,
+                            handler.col_offset,
+                            "broad except with a pass-only body on a "
+                            "fleet artifact path; route the failure "
+                            "(quarantine/log_integrity) or narrow the "
+                            "exception")
+            elif isinstance(node, ast.Call) and _open_write_mode(node):
+                yield self.finding(
+                    source.relpath, node.lineno, node.col_offset,
+                    "non-atomic open(..., 'w') on a fleet artifact "
+                    "path; a crash mid-write leaves a torn file — use "
+                    "atomic_write_bytes/write_artifact")
 
 
 _SMALL_DTYPES = ("uint8", "uint16", "int8", "int16")

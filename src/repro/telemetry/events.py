@@ -120,6 +120,38 @@ EVENT_SCHEMA: Dict[str, Dict[str, str]] = {
         "true_edges": "int",
         "lag_seconds": "float",
     },
+    # Fleet crash-safety (repro.fleet resume + artifact integrity) ----
+    # ``fleet_resume``: one per `fleet --resume`, summarizing the
+    # store-vs-artifact reconciliation (how many trials were already
+    # terminal, recovered from a completed result artifact, sent back
+    # to the queue, or only needed their measurement re-run).
+    "fleet_resume": {
+        "done": "int",
+        "lost": "int",
+        "reconciled": "int",
+        "requeued": "int",
+        "remeasured": "int",
+    },
+    # A corrupt/truncated artifact was renamed aside and skipped.
+    "artifact_quarantine": {
+        "trial": "int",
+        "artifact": "str",
+        "reason": "str",
+    },
+    # An integrity anomaly that was repaired in place (clamped negative
+    # measurement lag, checkpoint rejected by a worker, ...).
+    "integrity": {
+        "trial": "int",
+        "artifact": "str",
+        "detail": "str",
+    },
+    # One bounded-backoff retry of a results-store operation after a
+    # transient SQLite lock/IO error.
+    "store_retry": {
+        "op": "str",
+        "attempt": "int",
+        "error": "str",
+    },
 }
 
 EVENT_KINDS: Tuple[str, ...] = tuple(sorted(EVENT_SCHEMA))

@@ -1,0 +1,130 @@
+"""FleetFaultPlan: event validation, ordering, seeded generation."""
+
+import pytest
+
+from repro.core.errors import FaultPlanError
+from repro.faults import (ARTIFACT_CORRUPT, ARTIFACT_TRUNCATE,
+                          DISPATCHER_KILL, FLEET_FAULT_KINDS,
+                          STORE_LOCK, WORKER_KILL, WORKER_STALL,
+                          FleetFaultEvent, FleetFaultPlan)
+from repro.faults.fleetplan import TRIAL_SCOPED
+
+
+class TestEventValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fleet fault"):
+            FleetFaultEvent(at_tick=1, kind="power-outage")
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(FaultPlanError, match="at_tick"):
+            FleetFaultEvent(at_tick=-1, kind=DISPATCHER_KILL)
+
+    @pytest.mark.parametrize("kind", TRIAL_SCOPED)
+    def test_trial_scoped_kinds_need_a_trial(self, kind):
+        with pytest.raises(FaultPlanError, match="must name a trial"):
+            FleetFaultEvent(at_tick=1, kind=kind)
+        FleetFaultEvent(at_tick=1, kind=kind, trial=0)  # ok
+
+    def test_dispatcher_kill_needs_no_trial(self):
+        event = FleetFaultEvent(at_tick=3, kind=DISPATCHER_KILL)
+        assert event.trial == -1
+
+    def test_negative_segment_rejected(self):
+        with pytest.raises(FaultPlanError, match="at_segment"):
+            FleetFaultEvent(at_tick=1, kind=WORKER_KILL, trial=0,
+                            at_segment=-1)
+
+    def test_zero_lock_count_rejected(self):
+        with pytest.raises(FaultPlanError, match="lock_count"):
+            FleetFaultEvent(at_tick=1, kind=STORE_LOCK, lock_count=0)
+
+
+class TestPlan:
+    def _events(self):
+        return [
+            FleetFaultEvent(at_tick=5, kind=STORE_LOCK),
+            FleetFaultEvent(at_tick=1, kind=WORKER_KILL, trial=2),
+            FleetFaultEvent(at_tick=1, kind=DISPATCHER_KILL),
+            FleetFaultEvent(at_tick=3, kind=ARTIFACT_CORRUPT, trial=0),
+        ]
+
+    def test_events_are_tick_ordered(self):
+        plan = FleetFaultPlan(self._events())
+        ticks = [e.at_tick for e in plan]
+        assert ticks == sorted(ticks)
+        # Same tick: deterministic kind ordering, input order ignored.
+        assert [e.kind for e in plan.at(1)] == \
+            [DISPATCHER_KILL, WORKER_KILL]
+
+    def test_empty_plan_is_falsy_identity(self):
+        plan = FleetFaultPlan()
+        assert not plan
+        assert len(plan) == 0
+        assert plan.at(0) == []
+        assert plan.max_trial() == -1
+        plan.validate_for(0)  # nothing to reject
+
+    def test_worker_faults_selects_kill_and_stall(self):
+        events = self._events() + [
+            FleetFaultEvent(at_tick=2, kind=WORKER_STALL, trial=1)]
+        plan = FleetFaultPlan(events)
+        kinds = sorted(e.kind for e in plan.worker_faults())
+        assert kinds == [WORKER_KILL, WORKER_STALL]
+
+    def test_validate_for_rejects_out_of_range_trials(self):
+        plan = FleetFaultPlan(self._events())
+        plan.validate_for(3)   # trials 0..2 all addressable
+        with pytest.raises(FaultPlanError, match="expands to 2"):
+            plan.validate_for(2)
+
+    def test_at_returns_exact_tick_matches(self):
+        plan = FleetFaultPlan(self._events())
+        assert [e.kind for e in plan.at(5)] == [STORE_LOCK]
+        assert plan.at(4) == []
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(seed=7, n_trials=4, horizon=10, n_events=8)
+        a = FleetFaultPlan.generate(**kwargs)
+        b = FleetFaultPlan.generate(**kwargs)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = FleetFaultPlan.generate(seed=0, n_trials=4, horizon=10,
+                                    n_events=8)
+        b = FleetFaultPlan.generate(seed=1, n_trials=4, horizon=10,
+                                    n_events=8)
+        assert a.events != b.events
+
+    def test_generated_events_respect_bounds(self):
+        plan = FleetFaultPlan.generate(seed=3, n_trials=5, horizon=6,
+                                       n_events=32, max_segment=2)
+        assert len(plan) == 32
+        for event in plan:
+            assert 1 <= event.at_tick <= 6
+            assert event.kind in FLEET_FAULT_KINDS
+            if event.kind in TRIAL_SCOPED:
+                assert 0 <= event.trial < 5
+            assert 0 <= event.at_segment <= 2
+        plan.validate_for(5)
+
+    def test_kind_restriction_honoured(self):
+        plan = FleetFaultPlan.generate(
+            seed=11, n_trials=2, horizon=4, n_events=10,
+            kinds=(DISPATCHER_KILL, STORE_LOCK))
+        assert {e.kind for e in plan} <= {DISPATCHER_KILL, STORE_LOCK}
+
+    def test_generate_rejects_bad_arguments(self):
+        with pytest.raises(FaultPlanError):
+            FleetFaultPlan.generate(seed=0, n_trials=0, horizon=4,
+                                    n_events=1)
+        with pytest.raises(FaultPlanError):
+            FleetFaultPlan.generate(seed=0, n_trials=1, horizon=0,
+                                    n_events=1)
+        with pytest.raises(FaultPlanError):
+            FleetFaultPlan.generate(seed=0, n_trials=1, horizon=4,
+                                    n_events=-1)
+        with pytest.raises(FaultPlanError, match="unknown"):
+            FleetFaultPlan.generate(seed=0, n_trials=1, horizon=4,
+                                    n_events=1, kinds=("meteor",))

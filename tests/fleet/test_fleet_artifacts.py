@@ -1,0 +1,187 @@
+"""repro.fleet.artifacts: seals, atomic writes, quarantine, heartbeats."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.errors import ArtifactIntegrityError
+from repro.fleet.artifacts import (HEARTBEAT_FILE, INTEGRITY_LOG, MAGIC,
+                                   QUARANTINE_SUFFIX, TRAILER_SIZE,
+                                   atomic_write_bytes, log_integrity,
+                                   quarantine, read_artifact,
+                                   read_heartbeat, read_integrity_log,
+                                   seal, unseal, write_artifact,
+                                   write_heartbeat)
+
+
+class TestSeal:
+    def test_round_trip(self):
+        body = b"campaign state" * 100
+        assert unseal(seal(body)) == body
+
+    def test_sealed_size_is_body_plus_trailer(self):
+        assert len(seal(b"xy")) == 2 + TRAILER_SIZE
+
+    def test_empty_body_round_trips(self):
+        assert unseal(seal(b"")) == b""
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ArtifactIntegrityError, match="too short"):
+            unseal(b"tiny")
+
+    def test_missing_magic_rejected(self):
+        data = seal(b"payload")[:-len(MAGIC)] + b"XXXX"
+        with pytest.raises(ArtifactIntegrityError, match="magic"):
+            unseal(data)
+
+    def test_truncation_rejected_by_length_check(self):
+        # Cut bytes out of the *body*: the trailer survives but claims
+        # a longer body than remains.
+        sealed = seal(b"A" * 64)
+        torn = sealed[:10] + sealed[20:]
+        with pytest.raises(ArtifactIntegrityError, match="truncated"):
+            unseal(torn)
+
+    def test_bitflip_rejected_by_digest(self):
+        sealed = bytearray(seal(b"B" * 64))
+        sealed[5] ^= 0xFF
+        with pytest.raises(ArtifactIntegrityError, match="digest"):
+            unseal(bytes(sealed))
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = str(tmp_path / "blob")
+        atomic_write_bytes(path, b"hello")
+        with open(path, "rb") as fh:
+            assert fh.read() == b"hello"
+
+    def test_leaves_no_temp_file(self, tmp_path):
+        atomic_write_bytes(str(tmp_path / "blob"), b"hello")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["blob"]
+
+    def test_overwrites_in_place(self, tmp_path):
+        path = str(tmp_path / "blob")
+        atomic_write_bytes(path, b"one")
+        atomic_write_bytes(path, b"two")
+        with open(path, "rb") as fh:
+            assert fh.read() == b"two"
+
+
+class TestArtifactRoundTrip:
+    def test_payload_round_trips(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        payload = {"segment": 3, "corpus": [b"a", b"bb"]}
+        write_artifact(path, payload)
+        assert read_artifact(path) == payload
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        # Absence and corruption are different signals: resume logic
+        # branches on them differently.
+        with pytest.raises(FileNotFoundError):
+            read_artifact(str(tmp_path / "nope.pkl"))
+
+    def test_truncated_artifact_detected(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        write_artifact(path, list(range(100)))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - TRAILER_SIZE // 2)
+        with pytest.raises(ArtifactIntegrityError):
+            read_artifact(path)
+
+    def test_corrupted_artifact_detected(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        write_artifact(path, list(range(100)))
+        with open(path, "r+b") as fh:
+            fh.seek(7)
+            byte = fh.read(1)
+            fh.seek(7)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(ArtifactIntegrityError):
+            read_artifact(path)
+
+    def test_unpicklable_despite_seal_is_integrity_error(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        atomic_write_bytes(path, seal(b"not a pickle"))
+        with pytest.raises(ArtifactIntegrityError, match="unpicklable"):
+            read_artifact(path)
+
+    def test_foreign_file_is_integrity_error(self, tmp_path):
+        # A plain (unsealed) pickle predating the seal format must be
+        # rejected, not silently trusted.
+        path = str(tmp_path / "legacy.pkl")
+        with open(path, "wb") as fh:
+            fh.write(pickle.dumps({"segment": 1}))
+        with pytest.raises(ArtifactIntegrityError):
+            read_artifact(path)
+
+
+class TestQuarantine:
+    def test_moves_file_aside(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        atomic_write_bytes(path, b"corrupt")
+        target = quarantine(path)
+        assert target == path + QUARANTINE_SUFFIX
+        assert not os.path.exists(path)
+        assert os.path.exists(target)
+
+    def test_frees_the_original_name(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        write_artifact(path, "bad")
+        quarantine(path)
+        write_artifact(path, "good")
+        assert read_artifact(path) == "good"
+
+    def test_missing_file_is_noop(self, tmp_path):
+        quarantine(str(tmp_path / "never-existed"))
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestHeartbeat:
+    def test_round_trips(self, tmp_path):
+        workdir = str(tmp_path)
+        write_heartbeat(workdir, 7)
+        assert read_heartbeat(workdir) == 7
+
+    def test_missing_reads_minus_one(self, tmp_path):
+        assert read_heartbeat(str(tmp_path)) == -1
+
+    def test_torn_heartbeat_reads_minus_one(self, tmp_path):
+        (tmp_path / HEARTBEAT_FILE).write_text("3")
+        assert read_heartbeat(str(tmp_path)) == -1
+
+    def test_checksum_mismatch_reads_minus_one(self, tmp_path):
+        (tmp_path / HEARTBEAT_FILE).write_text("3 deadbeef0000\n")
+        assert read_heartbeat(str(tmp_path)) == -1
+
+    def test_garbage_reads_minus_one(self, tmp_path):
+        (tmp_path / HEARTBEAT_FILE).write_bytes(b"\xff\xfe garbage")
+        assert read_heartbeat(str(tmp_path)) == -1
+
+
+class TestIntegrityLog:
+    def test_appends_and_reads_back(self, tmp_path):
+        workdir = str(tmp_path)
+        log_integrity(workdir, "checkpoint.pkl", "digest mismatch")
+        log_integrity(workdir, "snap-001.pkl", "truncated")
+        assert read_integrity_log(workdir) == [
+            ("checkpoint.pkl", "digest mismatch"),
+            ("snap-001.pkl", "truncated"),
+        ]
+
+    def test_missing_log_reads_empty(self, tmp_path):
+        assert read_integrity_log(str(tmp_path)) == []
+
+    def test_newlines_in_reason_are_flattened(self, tmp_path):
+        workdir = str(tmp_path)
+        log_integrity(workdir, "a", "line one\nline two")
+        assert read_integrity_log(workdir) == [("a", "line one line two")]
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        workdir = str(tmp_path)
+        log_integrity(workdir, "a", "ok")
+        with open(str(tmp_path / INTEGRITY_LOG), "a") as fh:
+            fh.write("no-tab-separator")
+        assert read_integrity_log(workdir) == [("a", "ok")]

@@ -1,0 +1,141 @@
+"""Fleet chaos harness: kills, damage, lock storms — identical rows."""
+
+import pytest
+
+from repro.core.errors import FaultPlanError, FleetDispatchError
+from repro.faults import (ARTIFACT_CORRUPT, ARTIFACT_TRUNCATE,
+                          DISPATCHER_KILL, STORE_LOCK, WORKER_KILL,
+                          FleetFaultEvent, FleetFaultPlan)
+from repro.fleet import (ChaosController, FleetSpec, ResultsStore,
+                         run_fleet, run_fleet_with_chaos)
+from repro.fleet.spec import KILL
+from repro.telemetry.recorder import SessionTelemetry
+
+
+def _spec(**overrides):
+    base = dict(fuzzers=("afl", "bigmap"), benchmarks=("zlib",),
+                map_sizes=(1 << 16,), n_trials=2, scale=0.05,
+                seed_scale=0.02, virtual_seconds=2.0,
+                max_real_execs=1200)
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+def _ident_rows(store):
+    # Column 7 (attempts) is retry bookkeeping — the one column chaos
+    # may legitimately change.
+    return [tuple(r)[:7] + tuple(r)[8:] for r in store.trial_rows()]
+
+
+class TestLowering:
+    def test_worker_faults_become_trial_faults(self):
+        plan = FleetFaultPlan([
+            FleetFaultEvent(at_tick=1, kind=WORKER_KILL, trial=2,
+                            at_segment=1)])
+        lowered = ChaosController(plan).lower_onto(_spec())
+        assert lowered.faults[2].kind == KILL
+        assert lowered.faults[2].at_segment == 1
+
+    def test_plan_without_worker_faults_leaves_spec_alone(self):
+        spec = _spec()
+        plan = FleetFaultPlan(
+            [FleetFaultEvent(at_tick=1, kind=DISPATCHER_KILL)])
+        assert ChaosController(plan).lower_onto(spec) is spec
+
+
+class TestChaosRuns:
+    def test_empty_plan_is_the_identity(self):
+        clean_store = ResultsStore()
+        run_fleet(_spec(), store=clean_store, measure=False)
+        chaos_store = ResultsStore()
+        outcome = run_fleet_with_chaos(
+            _spec(), FleetFaultPlan(), store=chaos_store,
+            measure=False)
+        assert outcome.dispatcher_restarts == 0
+        assert outcome.events_fired == 0
+        assert [tuple(r) for r in chaos_store.trial_rows()] == \
+            [tuple(r) for r in clean_store.trial_rows()]
+
+    def test_dispatcher_kills_are_survived_bit_identically(self):
+        clean_store = ResultsStore()
+        run_fleet(_spec(), store=clean_store, measure=False)
+        plan = FleetFaultPlan([
+            FleetFaultEvent(at_tick=1, kind=DISPATCHER_KILL),
+            FleetFaultEvent(at_tick=3, kind=DISPATCHER_KILL)])
+        store = ResultsStore()
+        outcome = run_fleet_with_chaos(_spec(), plan, store=store,
+                                       measure=False)
+        assert outcome.dispatcher_restarts == 2
+        assert outcome.summary.completed == 4
+        assert outcome.summary.resumed
+        assert _ident_rows(store) == _ident_rows(clean_store)
+
+    def test_store_lock_storm_is_retried(self):
+        telemetry = SessionTelemetry()
+        plan = FleetFaultPlan([
+            FleetFaultEvent(at_tick=2, kind=STORE_LOCK, lock_count=2)])
+        store = ResultsStore()
+        outcome = run_fleet_with_chaos(_spec(), plan, store=store,
+                                       telemetry=telemetry,
+                                       measure=False)
+        assert outcome.summary.store_retries == 2
+        assert outcome.summary.completed == 4
+        retries = [e for e in telemetry.session.events
+                   if e["kind"] == "store_retry"]
+        assert len(retries) == 2
+
+    def test_checkpoint_damage_is_detected_and_survived(self):
+        # Kill trial 1's worker after segment 1 (a checkpoint exists),
+        # then damage that checkpoint before the retry re-reads it.
+        clean_plan = FleetFaultPlan([
+            FleetFaultEvent(at_tick=1, kind=WORKER_KILL, trial=1,
+                            at_segment=1)])
+        clean_store = ResultsStore()
+        run_fleet(ChaosController(clean_plan).lower_onto(_spec()),
+                  store=clean_store, measure=False)
+
+        for damage in (ARTIFACT_CORRUPT, ARTIFACT_TRUNCATE):
+            # Tick 1: trial 0 runs. Tick 2: trial 1 dies post-segment-1
+            # (checkpoint now on disk, retry queued). Tick 3: damage
+            # the checkpoint just before the retry re-reads it.
+            plan = FleetFaultPlan([
+                FleetFaultEvent(at_tick=1, kind=WORKER_KILL, trial=1,
+                                at_segment=1),
+                FleetFaultEvent(at_tick=3, kind=damage, trial=1)])
+            store = ResultsStore()
+            outcome = run_fleet_with_chaos(_spec(), plan, store=store,
+                                           measure=False)
+            incidents = (outcome.summary.integrity_events +
+                         outcome.summary.quarantined_artifacts)
+            assert incidents >= 1, damage
+            assert outcome.summary.completed == 4
+            assert _ident_rows(store) == _ident_rows(clean_store)
+
+    def test_chaos_run_repeats_bit_identically(self):
+        plan_events = [
+            FleetFaultEvent(at_tick=1, kind=WORKER_KILL, trial=1,
+                            at_segment=1),
+            FleetFaultEvent(at_tick=2, kind=DISPATCHER_KILL),
+            FleetFaultEvent(at_tick=4, kind=STORE_LOCK, lock_count=2),
+        ]
+        rows = []
+        for _ in range(2):
+            store = ResultsStore()
+            run_fleet_with_chaos(_spec(), FleetFaultPlan(plan_events),
+                                 store=store, measure=False)
+            rows.append([tuple(r) for r in store.trial_rows()])
+        assert rows[0] == rows[1]   # attempts included: same chaos
+
+    def test_plan_beyond_fleet_is_rejected(self):
+        plan = FleetFaultPlan([
+            FleetFaultEvent(at_tick=1, kind=WORKER_KILL, trial=99)])
+        with pytest.raises(FaultPlanError):
+            run_fleet_with_chaos(_spec(), plan, measure=False)
+
+    def test_kill_budget_is_bounded(self):
+        plan = FleetFaultPlan([
+            FleetFaultEvent(at_tick=t, kind=DISPATCHER_KILL)
+            for t in range(1, 5)])
+        with pytest.raises(FleetDispatchError, match="giving up"):
+            run_fleet_with_chaos(_spec(), plan, measure=False,
+                                 max_dispatcher_restarts=2)

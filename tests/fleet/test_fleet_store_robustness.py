@@ -1,0 +1,126 @@
+"""ResultsStore connection lifecycle, IO-fault retry, concurrency."""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.errors import FleetDispatchError
+from repro.fleet import ResultsStore
+from repro.fleet.store import DISPATCHED, PENDING
+
+
+class TestConnectionLifecycle:
+    def test_close_is_idempotent(self):
+        store = ResultsStore()
+        assert not store.closed
+        store.close()
+        store.close()
+        assert store.closed
+
+    def test_use_after_close_raises_dispatch_error(self):
+        store = ResultsStore()
+        store.close()
+        with pytest.raises(FleetDispatchError, match="after close"):
+            store.set_meta("k", "v")
+
+    def test_context_manager_closes(self):
+        with ResultsStore() as store:
+            store.set_meta("k", "v")
+        assert store.closed
+
+    def test_reconnect_reapplies_pragmas(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "fleet.sqlite"))
+        store.set_meta("k", "v")
+        store.reconnect()
+        assert store.get_meta("k") == "v"
+        # busy_timeout is per-connection state: it must survive the
+        # reconnect, or concurrent writers start failing fast.
+        timeout = store._conn.execute(
+            "PRAGMA busy_timeout").fetchone()[0]
+        assert timeout == store.busy_timeout
+
+    def test_on_disk_store_persists_across_instances(self, tmp_path):
+        path = str(tmp_path / "fleet.sqlite")
+        with ResultsStore(path) as store:
+            store.init_states([0, 1])
+            store.transition(0, DISPATCHED)
+        with ResultsStore(path) as store:
+            assert store.trial_state(0) == (DISPATCHED, 1)
+            assert store.trial_state(1) == (PENDING, 0)
+
+
+class TestInjectedIoFaults:
+    def test_injected_faults_are_retried(self):
+        store = ResultsStore()
+        store.inject_io_faults(2)
+        store.set_meta("k", "v")
+        assert store.get_meta("k") == "v"
+        assert store.write_retries == 2
+
+    def test_on_retry_hook_sees_each_retry(self):
+        calls = []
+        store = ResultsStore()
+        store.on_retry = lambda op, attempt, err: calls.append(
+            (op, attempt, err))
+        store.inject_io_faults(2)
+        store.set_meta("k", "v")
+        assert [(op, attempt) for op, attempt, _ in calls] == \
+            [("set_meta", 1), ("set_meta", 2)]
+        assert all("locked" in err for _, _, err in calls)
+
+    def test_retry_budget_exhaustion_raises(self):
+        store = ResultsStore(max_io_attempts=3)
+        store.inject_io_faults(3)
+        with pytest.raises(FleetDispatchError, match="after 3 attempts"):
+            store.set_meta("k", "v")
+
+    def test_backoff_schedule_is_a_pure_function_of_the_seed(self):
+        # Same seed, same jitter draws: the retry delays (and thus the
+        # whole recovery timeline) reproduce across runs.
+        draws = []
+        for _ in range(2):
+            store = ResultsStore(retry_seed=7)
+            draws.append([float(store._retry_rng.random())
+                          for _ in range(4)])
+        assert draws[0] == draws[1]
+
+
+def _hammer(path, worker_id, n_ops, barrier):
+    """Concurrent-writer child: its own connection, its own pragmas."""
+    from repro.fleet import ResultsStore
+    barrier.wait()   # maximise write overlap across processes
+    with ResultsStore(path, busy_timeout=20000) as store:
+        for i in range(n_ops):
+            store.set_meta(f"w{worker_id}-{i}", str(i))
+            store.transition(worker_id, DISPATCHED)
+            store.transition(worker_id, PENDING)
+
+
+class TestTwoProcessConcurrency:
+    def test_concurrent_writers_never_see_database_locked(
+            self, tmp_path):
+        # Regression for the crash-resume contract's quiet
+        # prerequisite: WAL + busy_timeout + bounded retry on *every*
+        # connection. Without them this cross-process write storm
+        # dies with sqlite3.OperationalError: database is locked.
+        path = str(tmp_path / "fleet.sqlite")
+        n_workers, n_ops = 3, 25
+        with ResultsStore(path) as store:
+            store.init_states(range(n_workers))
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(n_workers)
+        procs = [ctx.Process(target=_hammer,
+                             args=(path, w, n_ops, barrier))
+                 for w in range(n_workers)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+        assert all(proc.exitcode == 0 for proc in procs)
+        with ResultsStore(path) as store:
+            for w in range(n_workers):
+                for i in range(n_ops):
+                    assert store.get_meta(f"w{w}-{i}") == str(i)
+                state, attempt = store.trial_state(w)
+                assert state == PENDING
+                assert attempt == n_ops

@@ -107,7 +107,7 @@ def test_bad_config_key_is_a_config_error(tmp_path, capsys):
 
 def test_repo_config_lists_every_rule(repo_config):
     assert set(repo_config.enable) == {
-        "DET001", "DET002", "DET003", "TEL001", "ERR001", "NUM001",
-        "SNAP001", "EXP001"}
+        "DET001", "DET002", "DET003", "TEL001", "ERR001", "ERR002",
+        "NUM001", "SNAP001", "EXP001"}
     assert "repro/core/walltime.py" in repo_config.wallclock_allow
     assert "repro/telemetry/*" in repo_config.telemetry_paths

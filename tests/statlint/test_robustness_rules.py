@@ -72,6 +72,71 @@ class TestBroadExcept:
         assert rules_fired(result) == []
 
 
+class TestFleetArtifactWrites:
+    def test_fires_on_open_w_on_a_fleet_path(self, lint_tree):
+        result = lint_tree({"repro/fleet/writer.py": """\
+            def persist(path, data):
+                with open(path, "wb") as fh:
+                    fh.write(data)
+            """})
+        assert rules_fired(result) == ["ERR002"]
+        assert "atomic" in result.active[0].message
+
+    def test_fires_on_mode_keyword(self, lint_tree):
+        result = lint_tree({"repro/fleet/writer.py": """\
+            def persist(path, text):
+                with open(path, mode="w") as fh:
+                    fh.write(text)
+            """})
+        assert rules_fired(result) == ["ERR002"]
+
+    def test_fires_on_pass_swallow_on_a_fleet_path(self, lint_tree):
+        # The pass-only broad except trips both the general routing
+        # rule and the fleet-specific one.
+        result = lint_tree({"repro/faults/cleanup.py": """\
+            import os
+
+            def tidy(path):
+                try:
+                    os.replace(path, path + ".bak")
+                except Exception:
+                    pass
+            """})
+        assert rules_fired(result) == ["ERR001", "ERR002"]
+
+    def test_reads_appends_and_inplace_pass(self, lint_tree):
+        # Append is the integrity log's contract; r+b is how chaos
+        # injects damage; reads are never torn by the writer dying.
+        result = lint_tree({"repro/fleet/reader.py": """\
+            def touch(path):
+                with open(path, "rb") as fh:
+                    data = fh.read()
+                with open(path, "a") as fh:
+                    fh.write("entry\\n")
+                with open(path, "r+b") as fh:
+                    fh.write(data)
+            """})
+        assert rules_fired(result) == []
+
+    def test_same_code_off_fleet_paths_passes(self, lint_tree):
+        result = lint_tree({"repro/analysis/export.py": """\
+            def persist(path, data):
+                with open(path, "wb") as fh:
+                    fh.write(data)
+            """})
+        assert rules_fired(result) == []
+
+    def test_suppression_covers_the_line_below(self, lint_tree):
+        result = lint_tree({"repro/fleet/writer.py": """\
+            def atomic_write(path, data):
+                # statlint: disable=ERR002 (atomic-write implementation site)
+                with open(path + ".tmp", "wb") as fh:
+                    fh.write(data)
+            """})
+        assert rules_fired(result) == []
+        assert [f.rule for f in result.suppressed] == ["ERR002"]
+
+
 class TestNarrowIntArithmetic:
     def test_fires_on_uint8_add(self, lint_tree):
         result = lint_tree({"mod.py": """\
