@@ -55,7 +55,11 @@ def aggregate_keys(keys: np.ndarray, counts: np.ndarray
     if keys.size == 0:
         return keys.astype(np.int64), counts.astype(np.int64)
     unique, inverse = np.unique(keys, return_inverse=True)
-    summed = np.bincount(inverse, weights=counts).astype(np.int64)
+    # np.bincount(weights=) would accumulate in float64 and round-trip
+    # through a cast; add.at keeps the sums exact in int64, matching
+    # aggregate_keys_batch's explicit int64 prefix sums.
+    summed = np.zeros(unique.size, dtype=np.int64)
+    np.add.at(summed, inverse, np.asarray(counts, dtype=np.int64))
     return unique.astype(np.int64), summed
 
 

@@ -329,7 +329,7 @@ class FleetDispatcher:
             self._emit("trial_finish", trial_id, trial=trial_id,
                        attempt=completion.request.attempt,
                        status=(QUARANTINED if completion.integrity_failure
-                               else "lost"),
+                               else LOST),
                        execs=0, edges=0, crashes=0)
             summary.lost.append(trial_id)
 

@@ -320,6 +320,32 @@ class ResultsStore:
             lambda conn: self._transition_in(conn, trial_id, to_state))
         return attempt
 
+    def force_state(self, trial_id: int, to_state: str) -> None:
+        """Force one trial's state row to ``to_state``, graph be damned.
+
+        The escape hatch for out-of-band store users (manual repair,
+        reconciliation tooling): validates the state *name* but not the
+        edge, and still bumps ``seq`` so readers observe a change.
+        Normal code paths must use :meth:`transition`; statlint's
+        FSM001 checks the state argument at every call site of both.
+        """
+        if to_state not in TRIAL_STATES:
+            raise FleetStateError(f"unknown trial state {to_state!r}")
+        self._transact(
+            f"force_state:{to_state}",
+            lambda conn: self._force_in(conn, trial_id, to_state))
+
+    def _force_in(self, conn: sqlite3.Connection, trial_id: int,
+                  to_state: str) -> None:
+        row = conn.execute(
+            "SELECT seq FROM trial_state WHERE trial_id = ?",
+            (trial_id,)).fetchone()
+        if row is None:
+            return   # pre-state-machine caller: nothing to keep in sync
+        conn.execute(
+            "UPDATE trial_state SET state = ?, seq = ? "
+            "WHERE trial_id = ?", (to_state, int(row[0]) + 1, trial_id))
+
     def _record_state(self, conn: sqlite3.Connection, trial_id: int,
                       to_state: str) -> None:
         """State-row update for the ``record_*`` writers.
@@ -333,17 +359,15 @@ class ResultsStore:
         transitions; only out-of-band store users hit the force path.
         """
         row = conn.execute(
-            "SELECT state, attempt, seq FROM trial_state "
+            "SELECT state FROM trial_state "
             "WHERE trial_id = ?", (trial_id,)).fetchone()
         if row is None:
             return   # pre-state-machine caller: nothing to keep in sync
-        current, attempt, seq = str(row[0]), int(row[1]), int(row[2])
+        current = str(row[0])
         if to_state == current or to_state in _ALLOWED.get(current, ()):
             self._transition_in(conn, trial_id, to_state)
         else:
-            conn.execute(
-                "UPDATE trial_state SET state = ?, seq = ? "
-                "WHERE trial_id = ?", (to_state, seq + 1, trial_id))
+            self._force_in(conn, trial_id, to_state)
 
     # -- fleet metadata ------------------------------------------------
 

@@ -1,0 +1,103 @@
+"""Baseline ratchet: grandfather known findings, block new ones.
+
+A committed baseline file lets a rule ship before the codebase is
+clean under it: existing violations are *grandfathered* (reported, but
+not failing), while anything not in the baseline is *new* and fails CI
+with its own exit code. Shrinking the file is always legal; growing it
+requires a deliberate ``--update-baseline``. That is the ratchet.
+
+Fingerprints are ``(path, rule, message)`` — deliberately **not** line
+numbers, so unrelated edits shifting a finding up or down the file do
+not resurrect it as "new". Multiple identical violations in one file
+are handled by *counting* fingerprints: a baseline entry of 2 covers
+at most two matching findings, and the excess (in location order)
+surfaces as new.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from .findings import Finding
+
+#: Format marker for forward compatibility.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def fingerprint(finding: Finding) -> str:
+    return f"{finding.path}::{finding.rule}::{finding.message}"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint counts of grandfathered findings."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(
+                f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or "fingerprints" not in data:
+            raise BaselineError(
+                f"baseline {path} has no 'fingerprints' table")
+        counts = {}
+        for key, count in data["fingerprints"].items():
+            if not isinstance(count, int) or count < 1:
+                raise BaselineError(
+                    f"baseline {path}: bad count for {key!r}")
+            counts[str(key)] = count
+        return cls(counts=counts)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Baseline covering every *active* finding passed in."""
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            key = fingerprint(finding)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts=counts)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "fingerprints": dict(sorted(self.counts.items())),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    def apply(self, findings: Iterable[Finding]) -> List[Finding]:
+        """Mark grandfathered findings, in stable location order.
+
+        Each fingerprint's budget covers at most ``counts[key]``
+        findings; matching findings beyond the budget stay new. Input
+        order is preserved; callers pass the engine's sorted list so
+        budget allocation is deterministic.
+        """
+        remaining = dict(self.counts)
+        out: List[Finding] = []
+        for finding in findings:
+            if not finding.suppressed:
+                key = fingerprint(finding)
+                if remaining.get(key, 0) > 0:
+                    remaining[key] -= 1
+                    finding = finding.grandfather()
+            out.append(finding)
+        return out

@@ -1,0 +1,115 @@
+"""Content-hash incremental cache for ``--changed-only`` runs.
+
+The cache stores, per file, the sha256 of its source and the file-rule
+findings the last run produced for it. On an incremental run the
+engine still *parses* everything (project rules need the whole symbol
+table either way — parsing is the cheap part), but:
+
+* file rules re-run only on files whose content hash changed (or that
+  are new); unchanged files replay their cached findings;
+* project rules re-run whenever anything changed at all — they are
+  cross-file by definition, so per-file reuse would be unsound;
+* when *nothing* changed (same files, same hashes, same config), the
+  entire cached result — project findings included — is replayed
+  without executing a single rule.
+
+The cache is keyed on a config fingerprint: any configuration change
+invalidates it wholesale. It is a pure accelerator — deleting the file
+is always safe — and lives untracked next to the baseline
+(``.statlint-cache.json``, gitignored).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .config import LintConfig
+from .findings import Finding
+
+CACHE_VERSION = 1
+CACHE_FILENAME = ".statlint-cache.json"
+
+
+def config_fingerprint(config: LintConfig) -> str:
+    """Stable digest of the effective configuration."""
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class LintCache:
+    """Last run's per-file findings keyed by content hash."""
+
+    config_key: str = ""
+    #: relpath → {"hash": sha256, "findings": [finding dict, ...]}
+    files: Dict[str, dict] = field(default_factory=dict)
+    #: whole-program findings of the last complete run.
+    project_findings: List[dict] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "LintCache":
+        """Read a cache file; anything unusable degrades to empty."""
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return cls()
+        if (not isinstance(data, dict) or
+                data.get("version") != CACHE_VERSION):
+            return cls()
+        return cls(
+            config_key=str(data.get("config_key", "")),
+            files={str(k): v for k, v in data.get("files", {}).items()
+                   if isinstance(v, dict)},
+            project_findings=list(data.get("project_findings", [])))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": CACHE_VERSION,
+            "config_key": self.config_key,
+            "files": {k: self.files[k] for k in sorted(self.files)},
+            "project_findings": self.project_findings,
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    # -- queries -------------------------------------------------------
+
+    def valid_for(self, config: LintConfig) -> bool:
+        return self.config_key == config_fingerprint(config)
+
+    def cached_findings(self, relpath: str,
+                        content_hash: str) -> Optional[List[Finding]]:
+        """File-rule findings for an unchanged file, else ``None``."""
+        entry = self.files.get(relpath)
+        if entry is None or entry.get("hash") != content_hash:
+            return None
+        return [Finding.from_dict(d) for d in entry.get("findings", [])]
+
+    def cached_project_findings(self) -> List[Finding]:
+        return [Finding.from_dict(d) for d in self.project_findings]
+
+    # -- updates -------------------------------------------------------
+
+    def record_file(self, relpath: str, content_hash: str,
+                    findings: List[Finding]) -> None:
+        self.files[relpath] = {
+            "hash": content_hash,
+            "findings": [f.as_dict() for f in sorted(findings)],
+        }
+
+    def record_project(self, findings: List[Finding]) -> None:
+        self.project_findings = [f.as_dict()
+                                 for f in sorted(findings)]
+
+    def prune_to(self, relpaths) -> None:
+        """Drop entries for files no longer collected (deleted/moved)."""
+        keep = set(relpaths)
+        for stale in [k for k in self.files if k not in keep]:
+            del self.files[stale]

@@ -1,0 +1,252 @@
+"""Approximate call graph over the collected project.
+
+Nodes are qualified callables (``repro.fleet.dispatcher.FleetDispatcher
+._dispatch``, ``repro.fleet.workers.execute_trial``; module body code
+lives under ``<module>``). Edges are *may-call* relations gathered from
+one AST pass per file:
+
+* **direct calls** — ``f(...)`` where ``f`` is defined locally or
+  resolves through the import table;
+* **constructor calls** — ``Cls(...)`` adds an edge to
+  ``Cls.__init__`` when one exists;
+* **self calls** — ``self.m(...)`` binds to the enclosing class's
+  method when it defines one;
+* **method calls** — ``obj.m(...)`` binds by method name to *every*
+  project class defining ``m`` (class-hierarchy-insensitive: the
+  classic cheap over-approximation);
+* **function references** — a bare function name passed as an argument
+  (``Process(target=_worker_main)``, ``functools.partial(f, x)``,
+  ``map(f, xs)``) counts as a potential call of ``f``. This is what
+  carries reachability across process-spawn and partial-application
+  boundaries.
+
+The over-approximation direction is deliberate: reachability queries
+(CONC001's fork-boundary rule) must not miss a path; rules that need
+precision filter on the resolved target instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .symbols import FUNCTION, CLASS, SymbolTable
+
+#: Pseudo-function holding a module's top-level statements.
+MODULE_BODY = "<module>"
+
+
+@dataclass
+class CallSite:
+    """One call expression, with everything a rule needs to judge it.
+
+    Attributes:
+        caller: qualified node id of the enclosing callable.
+        source: the :class:`~repro.statlint.engine.SourceFile`.
+        module: the caller's dotted module name.
+        call: the ``ast.Call`` node.
+        name: the called name's last component (``transition`` for
+            ``self.store.transition(...)``).
+        targets: qualified node ids the call may resolve to (possibly
+            empty for unresolvable calls).
+        func: the enclosing function's AST node (``None`` for module
+            bodies) — rules run dataflow over it lazily.
+    """
+
+    caller: str
+    source: object
+    module: str
+    call: ast.Call
+    name: str
+    targets: Tuple[str, ...]
+    func: Optional[ast.AST]
+
+
+class CallGraph:
+    """Project-wide approximate call graph (see module docstring)."""
+
+    def __init__(self, files, symbols: SymbolTable) -> None:
+        self.symbols = symbols
+        self.edges: Dict[str, Set[str]] = {}
+        self.sites: List[CallSite] = []
+        #: method name → qualified node ids of classes defining it.
+        self._methods_by_name: Dict[str, List[str]] = {}
+        #: qualified node id → (source, func node), for rule dataflow.
+        self.functions: Dict[str, Tuple[object, Optional[ast.AST]]] = {}
+        self._index_methods()
+        for source in files:
+            self._build_file(source)
+
+    # -- construction --------------------------------------------------
+
+    def _index_methods(self) -> None:
+        for module, syms in sorted(self.symbols.modules.items()):
+            for cls, methods in sorted(syms.methods.items()):
+                for method in methods.values():
+                    self._methods_by_name.setdefault(
+                        method.name.rsplit(".", 1)[-1],
+                        []).append(method.qualified)
+
+    def _build_file(self, source) -> None:
+        syms = self.symbols.module_for(source)
+        if syms is None:
+            return
+        module = syms.module
+        # Walk each top-level callable once; nested defs/lambdas are
+        # attributed to the enclosing def (a nested function escaping
+        # its definer is rare enough to ignore).
+        claimed: Set[int] = set()
+        for cls_name, methods in sorted(syms.methods.items()):
+            for method in methods.values():
+                node_id = method.qualified
+                self.functions[node_id] = (source, method.node)
+                self._walk_callable(node_id, source, module,
+                                    method.node, cls_name)
+                claimed.add(id(method.node))
+        for func in syms.functions.values():
+            node_id = func.qualified
+            self.functions[node_id] = (source, func.node)
+            self._walk_callable(node_id, source, module, func.node, None)
+            claimed.add(id(func.node))
+        # Module body: everything not inside a claimed callable.
+        module_node = f"{module}.{MODULE_BODY}"
+        self.functions.setdefault(module_node, (source, None))
+        for stmt in source.tree.body:
+            if id(stmt) in claimed or isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                continue  # methods claimed above; class body is decl-only
+            self._walk_stmts(module_node, source, module, [stmt], None,
+                             enclosing_func=None)
+
+    def _walk_callable(self, node_id: str, source, module: str,
+                       func: ast.AST, cls: Optional[str]) -> None:
+        self._walk_stmts(node_id, source, module, func.body, cls,
+                         enclosing_func=func)
+
+    def _walk_stmts(self, node_id: str, source, module: str, stmts,
+                    cls: Optional[str], enclosing_func) -> None:
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    self._record_call(node_id, source, module, node,
+                                      cls, enclosing_func)
+
+    def _add_edge(self, caller: str, callee: str) -> None:
+        self.edges.setdefault(caller, set()).add(callee)
+
+    def _resolve_symbol_targets(self, module: str,
+                                dotted: str) -> Tuple[str, ...]:
+        symbol = self.symbols.resolve(module, dotted)
+        if symbol is None:
+            return ()
+        if symbol.kind == FUNCTION:
+            return (symbol.qualified,)
+        if symbol.kind == CLASS:
+            owner = self.symbols.module(symbol.module)
+            methods = owner.methods.get(symbol.name, {}) if owner else {}
+            init = methods.get("__init__")
+            return (init.qualified,) if init is not None \
+                else (symbol.qualified,)
+        return ()
+
+    def _record_call(self, caller: str, source, module: str,
+                     call: ast.Call, cls: Optional[str],
+                     enclosing_func) -> None:
+        func = call.func
+        name: Optional[str] = None
+        targets: Tuple[str, ...] = ()
+        syms = self.symbols.module(module)
+
+        if isinstance(func, ast.Name):
+            name = func.id
+            targets = self._resolve_symbol_targets(module, name)
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+            dotted = _dotted(func)
+            if dotted is not None:
+                targets = self._resolve_symbol_targets(module, dotted)
+            if not targets and _is_self_attr(func) and cls and syms:
+                method = syms.methods.get(cls, {}).get(name)
+                if method is not None:
+                    targets = (method.qualified,)
+            if not targets:
+                targets = tuple(sorted(
+                    self._methods_by_name.get(name, ())))
+
+        if name is None:
+            return
+        for target in targets:
+            self._add_edge(caller, target)
+
+        # Function references escaping as arguments: potential calls.
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            ref = _dotted(arg) if isinstance(
+                arg, (ast.Name, ast.Attribute)) else None
+            if ref is None:
+                continue
+            for target in self._resolve_symbol_targets(module, ref):
+                self._add_edge(caller, target)
+
+        self.sites.append(CallSite(
+            caller=caller, source=source, module=module, call=call,
+            name=name, targets=targets, func=enclosing_func))
+
+    # -- queries -------------------------------------------------------
+
+    def callees(self, node: str) -> Set[str]:
+        return self.edges.get(node, set())
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """All nodes reachable from ``roots`` (roots included)."""
+        seen: Set[str] = set()
+        stack = [r for r in roots]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.edges.get(node, ()))
+        return seen
+
+    def nodes_in_file(self, relpath: str) -> List[str]:
+        """Every callable node defined in one file (incl. module body)."""
+        suffix = relpath.replace("\\", "/")
+        out = []
+        for node_id, (source, _func) in sorted(self.functions.items()):
+            normalized = source.relpath.replace("\\", "/")
+            if normalized == suffix or normalized.endswith("/" + suffix):
+                out.append(node_id)
+        return out
+
+    def sites_named(self, names) -> List[CallSite]:
+        """Call sites whose called name is in ``names`` (set-like)."""
+        return [site for site in self.sites if site.name in names]
+
+    def sites_targeting(self, target_suffixes) -> List[CallSite]:
+        """Call sites resolving to a target ending in any suffix."""
+        out = []
+        for site in self.sites:
+            for target in site.targets:
+                if any(target == s or target.endswith("." + s)
+                       for s in target_suffixes):
+                    out.append(site)
+                    break
+        return out
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_self_attr(func: ast.Attribute) -> bool:
+    return isinstance(func.value, ast.Name) and func.value.id == "self"

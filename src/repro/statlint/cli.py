@@ -1,10 +1,18 @@
 """statlint command line: ``python -m repro.statlint <paths>``.
 
-Exit codes: 0 — clean (no unsuppressed findings); 1 — findings; 2 —
-usage or configuration error. Configuration comes from the nearest
-``pyproject.toml``'s ``[tool.statlint]`` table (or ``--config``); the
-lint root (against which configured path patterns match) is that
-file's directory.
+Exit codes:
+
+* **0** — clean: no active findings, or (with ``--baseline``) none
+  beyond the baseline;
+* **1** — findings, no baseline in play;
+* **2** — *new* findings versus the baseline (the ratchet tripped);
+* **3** — usage or configuration error.
+
+Configuration comes from the nearest ``pyproject.toml``'s
+``[tool.statlint]`` table (or ``--config``); the lint root (against
+which configured path patterns match) is that file's directory.
+``--changed-only`` keeps a content-hash cache next to the root so
+unchanged files skip their file rules entirely.
 """
 
 from __future__ import annotations
@@ -15,9 +23,25 @@ from pathlib import Path
 from typing import List, Optional
 
 from . import rules  # noqa: F401 — ensure the rule set is registered
+from .baseline import Baseline, BaselineError
+from .cache import CACHE_FILENAME, LintCache
 from .config import find_pyproject, load_config
 from .engine import lint_paths
 from .report import render_human, render_json, render_rules
+from .sarif import render_sarif
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_NEW_FINDINGS = 2
+EXIT_USAGE = 3
+
+
+class _Parser(argparse.ArgumentParser):
+    """Argparse, but usage errors use the reserved usage exit code."""
+
+    def error(self, message: str) -> None:  # pragma: no cover - argparse
+        self.print_usage(sys.stderr)
+        self.exit(EXIT_USAGE, f"{self.prog}: error: {message}\n")
 
 
 def _default_paths(root: Path) -> List[str]:
@@ -27,7 +51,7 @@ def _default_paths(root: Path) -> List[str]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro.statlint",
         description="Repo-specific determinism & consistency linter.")
     parser.add_argument("paths", nargs="*", metavar="path",
@@ -36,8 +60,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--config", type=Path, default=None,
                         help="pyproject.toml to read [tool.statlint] "
                              "from (default: nearest above cwd)")
-    parser.add_argument("--format", choices=["human", "json"],
+    parser.add_argument("--format", choices=["human", "json", "sarif"],
                         default="human", help="report format")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file: grandfather its findings; "
+                             "exit 2 only on findings beyond it")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline from this run's "
+                             "active findings and exit 0")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="incremental run: reuse per-file results "
+                             "for content-unchanged files "
+                             f"(cache: {CACHE_FILENAME} at the root)")
     parser.add_argument("--show-suppressed", action="store_true",
                         help="also print suppressed findings")
     parser.add_argument("--list-rules", action="store_true",
@@ -46,14 +80,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.list_rules:
         print(render_rules())
-        return 0
+        return EXIT_CLEAN
+    if args.update_baseline and args.baseline is None:
+        print("statlint: --update-baseline requires --baseline",
+              file=sys.stderr)
+        return EXIT_USAGE
 
     pyproject = args.config or find_pyproject(Path.cwd())
     try:
         config = load_config(pyproject)
     except ValueError as exc:
         print(f"statlint: bad configuration: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     root = pyproject.parent if pyproject is not None else Path.cwd()
 
     paths = args.paths or _default_paths(root)
@@ -61,14 +99,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     if missing:
         print(f"statlint: no such path(s): {', '.join(missing)}",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
-    result = lint_paths([Path(p) for p in paths], config, root=root)
+    try:
+        baseline = (Baseline.load(args.baseline)
+                    if args.baseline is not None else None)
+    except BaselineError as exc:
+        print(f"statlint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    cache = None
+    cache_path = root / CACHE_FILENAME
+    if args.changed_only:
+        cache = LintCache.load(cache_path)
+
+    result = lint_paths([Path(p) for p in paths], config, root=root,
+                        cache=cache)
+    if cache is not None:
+        cache.save(cache_path)
+
+    if args.update_baseline:
+        Baseline.from_findings(result.findings).save(args.baseline)
+        print(f"statlint: baseline {args.baseline} updated with "
+              f"{len(result.active)} finding(s)", file=sys.stderr)
+        return EXIT_CLEAN
+
+    baseline_used = baseline is not None
+    if baseline_used:
+        result.findings = baseline.apply(result.findings)
+
     if args.format == "json":
-        print(render_json(result))
+        print(render_json(result, baseline_used=baseline_used))
+    elif args.format == "sarif":
+        print(render_sarif(result, baseline_used=baseline_used))
     else:
-        print(render_human(result, show_suppressed=args.show_suppressed))
-    return 0 if result.ok else 1
+        print(render_human(result,
+                           show_suppressed=args.show_suppressed,
+                           baseline_used=baseline_used))
+
+    if baseline_used:
+        return EXIT_NEW_FINDINGS if result.new else EXIT_CLEAN
+    return EXIT_CLEAN if result.ok else EXIT_FINDINGS
 
 
 if __name__ == "__main__":

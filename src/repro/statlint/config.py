@@ -55,8 +55,19 @@ class LintConfig:
             counters); SNAP001 flags drift in either direction.
         snapshot_methods: methods whose ``self.<attr>`` assignments
             define the campaign's mutable state for SNAP001.
-        campaign_path / checkpoint_path / runner_path: project-relative
-            locations of the cross-checked modules.
+        campaign_path / checkpoint_path / runner_path /
+            store_path / events_path / dispatcher_path / workers_path:
+            project-relative locations of the cross-checked modules.
+        num_hot_paths: kernel files the NUM1xx dtype-stability rules
+            police (everywhere else, float math is presumed deliberate).
+        conc_exempt: modules whose module-level mutable state is the
+            *sanctioned* cross-process layer (the store and the
+            artifact directory); CONC001 skips globals they define.
+        conc_worker_roots: function names in ``workers_path`` that run
+            on the worker side of the process boundary (spawn targets
+            and the shared trial path).
+        fsm_state_funcs: public state-writer names whose call sites
+            FSM001 checks against the transition graph.
     """
 
     enable: Tuple[str, ...] = ()
@@ -72,6 +83,15 @@ class LintConfig:
     campaign_path: str = "repro/fuzzer/campaign.py"
     checkpoint_path: str = "repro/fuzzer/checkpoint.py"
     runner_path: str = "repro/experiments/runner.py"
+    store_path: str = "repro/fleet/store.py"
+    events_path: str = "repro/telemetry/events.py"
+    dispatcher_path: str = "repro/fleet/dispatcher.py"
+    workers_path: str = "repro/fleet/workers.py"
+    num_hot_paths: Tuple[str, ...] = ("repro/core/*", "repro/fuzzer/*")
+    conc_exempt: Tuple[str, ...] = (
+        "repro/fleet/store.py", "repro/fleet/artifacts.py")
+    conc_worker_roots: Tuple[str, ...] = ("execute_trial", "_worker_main")
+    fsm_state_funcs: Tuple[str, ...] = ("transition", "force_state")
 
     def rule_enabled(self, rule_id: str) -> bool:
         return not self.enable or rule_id in self.enable
@@ -97,9 +117,9 @@ def config_from_table(table: dict) -> LintConfig:
         name = key.replace("-", "_")
         if name not in known:
             raise ValueError(f"unknown [tool.statlint] key {key!r}")
-        field_type = (Tuple[str, ...]
-                      if name not in ("campaign_path", "checkpoint_path",
-                                      "runner_path") else str)
+        # Every scalar field is a ``*_path`` anchor; the rest are
+        # pattern/name tuples.
+        field_type = str if name.endswith("_path") else Tuple[str, ...]
         overrides[name] = _coerce(value, field_type)
     return replace(config, **overrides)
 

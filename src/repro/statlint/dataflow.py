@@ -1,0 +1,573 @@
+"""Small intraprocedural dataflow framework.
+
+One forward pass per function, in statement order, propagating two
+abstract properties the whole-program rules need:
+
+* **constant sets** — the set of literal values a local may hold at a
+  use site (bounded; degrades to unknown beyond
+  :data:`MAX_CONST_SET`). This is what lets FSM001 check
+  ``state = QUARANTINED if quarantined else LOST;
+  store.transition(tid, state)`` — the argument's possible values are
+  ``{"quarantined", "lost"}`` even though it is not a single literal.
+* **numpy dtypes** — array dtypes inferred from factory calls
+  (``np.zeros(..., dtype=np.uint8)``), ``.astype`` casts, arithmetic
+  promotion (via ``np.promote_types``), and the dtype behavior of the
+  reductions the NUM1xx rules police (``np.bincount`` with ``weights``
+  accumulates in float64; ``np.sum`` of narrow ints widens to the
+  platform word).
+
+Branches are joined conservatively (values agreeing on both arms
+survive; disagreements keep the *union* of constants up to the bound,
+and the *promoted* dtype when both are known). Loops get a single pass:
+a binding rebound inside a loop body joins with its pre-loop value,
+which is sound for the rules built on top — they only act on *known*
+facts and treat anything else as unknown.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+#: Constant-set bound before degrading to unknown.
+MAX_CONST_SET = 4
+
+#: Dtypes the NUM1xx rules consider overflow-prone under arithmetic.
+NARROW_INT_DTYPES = ("int8", "int16", "uint8", "uint16")
+
+#: Dtypes whose reductions accumulate platform-dependently without an
+#: explicit ``dtype=`` (numpy widens to the platform word).
+SMALL_SUM_DTYPES = NARROW_INT_DTYPES + ("int32", "uint32", "bool")
+
+#: numpy array factories whose ``dtype=`` keyword fixes the result.
+ARRAY_FACTORIES = frozenset({
+    "zeros", "ones", "empty", "full", "array", "asarray", "arange",
+    "frombuffer", "fromiter", "zeros_like", "ones_like", "empty_like",
+    "full_like", "linspace",
+})
+
+#: Factories that default to float64 when ``dtype=`` is omitted.
+_FLOAT64_DEFAULT = frozenset({"zeros", "ones", "empty", "full", "linspace"})
+
+#: numpy calls returning platform-word index arrays (``intp``).
+_INTP_RETURNS = frozenset({
+    "argsort", "argmin", "argmax", "flatnonzero", "nonzero",
+    "searchsorted", "where", "lexsort", "digitize",
+})
+
+#: Elementwise/structural ops preserving their first operand's dtype.
+_PRESERVING = frozenset({
+    "diff", "repeat", "sort", "unique", "copy", "ravel", "reshape",
+    "ascontiguousarray", "atleast_1d", "roll", "flip", "tile",
+})
+
+#: Binary ufuncs promoting their operand dtypes.
+_PROMOTING = frozenset({
+    "minimum", "maximum", "add", "subtract", "multiply", "mod",
+    "fmin", "fmax", "hypot", "concatenate",
+})
+
+
+@dataclass(frozen=True)
+class Value:
+    """Abstract value of an expression.
+
+    Attributes:
+        consts: possible literal values, when statically known (a
+            bounded frozenset); ``None`` means unknown.
+        dtype: numpy dtype name for array(-producing) expressions;
+            ``None`` means unknown / not an array.
+        is_array: whether the expression is known to be a numpy array
+            (as opposed to a numpy scalar or python value).
+    """
+
+    consts: Optional[FrozenSet[object]] = None
+    dtype: Optional[str] = None
+    is_array: bool = False
+
+    @property
+    def const(self) -> Optional[object]:
+        """The single known constant, when exactly one is possible."""
+        if self.consts is not None and len(self.consts) == 1:
+            return next(iter(self.consts))
+        return None
+
+    @classmethod
+    def of_const(cls, value: object) -> "Value":
+        try:
+            return cls(consts=frozenset([value]))
+        except TypeError:
+            return UNKNOWN
+
+    @classmethod
+    def of_dtype(cls, dtype: Optional[str],
+                 is_array: bool = True) -> "Value":
+        return cls(dtype=dtype, is_array=is_array)
+
+
+UNKNOWN = Value()
+
+
+def join(a: Value, b: Value) -> Value:
+    """Least upper bound of two abstract values."""
+    if a is UNKNOWN and b is UNKNOWN:
+        return UNKNOWN
+    consts: Optional[FrozenSet[object]] = None
+    if a.consts is not None and b.consts is not None:
+        merged = a.consts | b.consts
+        if len(merged) <= MAX_CONST_SET:
+            consts = merged
+    dtype = None
+    if a.dtype is not None and b.dtype is not None:
+        dtype = a.dtype if a.dtype == b.dtype else promote(a.dtype, b.dtype)
+    return Value(consts=consts, dtype=dtype,
+                 is_array=a.is_array and b.is_array)
+
+
+def promote(a: str, b: str) -> Optional[str]:
+    """Promoted dtype name per numpy's rules (None when not promotable)."""
+    try:
+        return np.promote_types(a, b).name
+    except TypeError:
+        return None
+
+
+def _dtype_name(node: ast.AST, imports,
+                env: Optional[Dict[str, Value]] = None) -> Optional[str]:
+    """Dtype named by an expression used as a ``dtype=`` argument."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return np.dtype(node.value).name
+        except TypeError:
+            return None
+    full = imports.resolve(node)
+    if full:
+        leaf = full.rsplit(".", 1)[-1]
+        root = full.split(".", 1)[0]
+        if root in ("numpy", "np") or full.startswith("numpy."):
+            try:
+                return np.dtype(leaf).name
+            except TypeError:
+                return None
+    if isinstance(node, ast.Name):
+        # ``int``/``float`` builtins as dtype arguments.
+        if node.id in ("int", "bool"):
+            return np.dtype(node.id).name
+        if node.id == "float":
+            return "float64"
+        if env is not None:
+            value = env.get(node.id)
+            if value is not None and isinstance(value.const, str):
+                try:
+                    return np.dtype(value.const).name
+                except TypeError:
+                    return None
+    return None
+
+
+def _call_keyword(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+class FunctionDataflow:
+    """One function's abstract environments, computed on construction.
+
+    ``value_of(node)`` returns the :class:`Value` inferred for an
+    expression node visited during the pass (identity-keyed), and
+    ``env_at`` holds the environment *after* the whole body — useful
+    for tests. ``imports`` is the module's
+    :class:`~repro.statlint.imports.ImportMap`; ``symbols`` /
+    ``module`` (optional) let ``Name`` loads fall back to project-wide
+    constants, so ``transition(tid, DISPATCHED)`` resolves through an
+    import to the defining module's literal.
+    """
+
+    def __init__(self, func: ast.AST, imports, *, symbols=None,
+                 module: Optional[str] = None) -> None:
+        self.imports = imports
+        self.symbols = symbols
+        self.module = module
+        self._values: Dict[int, Value] = {}
+        env: Dict[str, Value] = {}
+        body = getattr(func, "body", None) or []
+        self.env_at = self._exec_block(body, env)
+
+    # -- public --------------------------------------------------------
+
+    def value_of(self, node: ast.AST) -> Value:
+        cached = self._values.get(id(node))
+        if cached is not None:
+            return cached
+        # Expression outside any visited statement (defensive): evaluate
+        # against the final environment.
+        return self._eval(node, self.env_at)
+
+    # -- statement walk ------------------------------------------------
+
+    def _exec_block(self, body, env: Dict[str, Value]) -> Dict[str, Value]:
+        for stmt in body:
+            env = self._exec_stmt(stmt, env)
+        return env
+
+    def _join_env(self, a: Dict[str, Value],
+                  b: Dict[str, Value]) -> Dict[str, Value]:
+        out: Dict[str, Value] = {}
+        for name in set(a) | set(b):
+            out[name] = join(a.get(name, UNKNOWN), b.get(name, UNKNOWN))
+        return out
+
+    def _exec_stmt(self, stmt: ast.stmt,
+                   env: Dict[str, Value]) -> Dict[str, Value]:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            env = dict(env)
+            for target in stmt.targets:
+                self._bind(target, value, env)
+            return env
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = self._eval(stmt.value, env)
+            env = dict(env)
+            self._bind(stmt.target, value, env)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            self._eval(ast.BinOp(left=stmt.target, op=stmt.op,
+                                 right=stmt.value), env)
+            self._eval(stmt.value, env)
+            env = dict(env)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = UNKNOWN
+            return env
+        if isinstance(stmt, ast.If):
+            self._eval(stmt.test, env)
+            then_env = self._exec_block(stmt.body, dict(env))
+            else_env = self._exec_block(stmt.orelse, dict(env))
+            return self._join_env(then_env, else_env)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_value = self._eval(stmt.iter, env)
+            loop_env = dict(env)
+            # The loop variable holds elements of the iterable: keep
+            # the dtype (iterating an array yields its scalars/rows).
+            self._bind(stmt.target,
+                       Value(dtype=iter_value.dtype), loop_env)
+            body_env = self._exec_block(stmt.body, loop_env)
+            after = self._join_env(env, body_env)
+            return self._exec_block(stmt.orelse, after)
+        if isinstance(stmt, ast.While):
+            self._eval(stmt.test, env)
+            body_env = self._exec_block(stmt.body, dict(env))
+            after = self._join_env(env, body_env)
+            return self._exec_block(stmt.orelse, after)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            env = dict(env)
+            for item in stmt.items:
+                self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, UNKNOWN, env)
+            return self._exec_block(stmt.body, env)
+        if isinstance(stmt, ast.Try):
+            body_env = self._exec_block(stmt.body, dict(env))
+            joined = self._join_env(env, body_env)
+            for handler in stmt.handlers:
+                handler_env = dict(joined)
+                if handler.name:
+                    handler_env[handler.name] = UNKNOWN
+                joined = self._join_env(
+                    joined, self._exec_block(handler.body, handler_env))
+            joined = self._exec_block(stmt.orelse, joined)
+            return self._exec_block(stmt.finalbody, joined)
+        if isinstance(stmt, (ast.Return, ast.Expr)):
+            if stmt.value is not None:
+                self._eval(stmt.value, env)
+            return env
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            env = dict(env)
+            env[stmt.name] = UNKNOWN
+            return env
+        if isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env)
+            return env
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env)
+            return env
+        if isinstance(stmt, ast.Delete):
+            env = dict(env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+            return env
+        return env
+
+    def _bind(self, target: ast.AST, value: Value,
+              env: Dict[str, Value]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, UNKNOWN, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, UNKNOWN, env)
+        # Attribute/subscript targets are not tracked (aliasing).
+
+    # -- expression evaluation -----------------------------------------
+
+    def _remember(self, node: ast.AST, value: Value) -> Value:
+        self._values[id(node)] = value
+        return value
+
+    def _eval(self, node: ast.AST, env: Dict[str, Value]) -> Value:
+        value = self._eval_inner(node, env)
+        return self._remember(node, value)
+
+    def _eval_inner(self, node: ast.AST,
+                    env: Dict[str, Value]) -> Value:
+        if isinstance(node, ast.Constant):
+            return Value.of_const(node.value)
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            if self.symbols is not None and self.module is not None:
+                known, const = self.symbols.constant_value(
+                    self.module, node.id)
+                if known:
+                    return Value.of_const(const)
+            return UNKNOWN
+        if isinstance(node, ast.Attribute):
+            self._eval(node.value, env)
+            if self.symbols is not None and self.module is not None:
+                dotted = _dotted_name(node)
+                if dotted is not None:
+                    known, const = self.symbols.constant_value(
+                        self.module, dotted)
+                    if known:
+                        return Value.of_const(const)
+            return UNKNOWN
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return join(self._eval(node.body, env),
+                        self._eval(node.orelse, env))
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env)
+            right = self._eval(node.right, env)
+            return self._eval_binop(node, left, right)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, env)
+            if isinstance(node.op, ast.USub) and isinstance(
+                    operand.const, (int, float)):
+                return Value.of_const(-operand.const)
+            return Value(dtype=operand.dtype, is_array=operand.is_array)
+        if isinstance(node, ast.BoolOp):
+            values = [self._eval(v, env) for v in node.values]
+            out = values[0]
+            for value in values[1:]:
+                out = join(out, value)
+            return out
+        if isinstance(node, ast.Compare):
+            self._eval(node.left, env)
+            for comparator in node.comparators:
+                self._eval(comparator, env)
+            operand = self._eval_first_array(
+                [node.left, *node.comparators], env)
+            if operand is not None:
+                return Value.of_dtype("bool")
+            return UNKNOWN
+        if isinstance(node, ast.Subscript):
+            value = self._eval(node.value, env)
+            self._eval(node.slice, env)
+            # Indexing/slicing an array keeps its dtype.
+            return Value(dtype=value.dtype, is_array=value.is_array)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self._eval(elt, env)
+            return UNKNOWN
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self._eval(key, env)
+            for value in node.values:
+                self._eval(value, env)
+            return UNKNOWN
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            for gen in node.generators:
+                self._eval(gen.iter, env)
+            return UNKNOWN
+        if isinstance(node, ast.JoinedStr):
+            return UNKNOWN
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        return UNKNOWN
+
+    def _eval_first_array(self, nodes, env) -> Optional[Value]:
+        for node in nodes:
+            value = self._values.get(id(node)) or self._eval(node, env)
+            if value.dtype is not None:
+                return value
+        return None
+
+    def _eval_binop(self, node: ast.BinOp, left: Value,
+                    right: Value) -> Value:
+        # Python-constant folding for +/-/* on numbers and + on str.
+        if left.const is not None and right.const is not None:
+            try:
+                if isinstance(node.op, ast.Add):
+                    return Value.of_const(left.const + right.const)
+                if isinstance(node.op, ast.Sub):
+                    return Value.of_const(left.const - right.const)
+                if isinstance(node.op, ast.Mult):
+                    return Value.of_const(left.const * right.const)
+            except TypeError:
+                return UNKNOWN
+        if left.dtype is None and right.dtype is None:
+            return UNKNOWN
+        if isinstance(node.op, (ast.Div,)):
+            # True division always yields a float dtype.
+            base = promote(left.dtype or "int64", right.dtype or "int64")
+            result = promote(base or "float64", "float64")
+            return Value(dtype=result,
+                         is_array=left.is_array or right.is_array)
+        dtypes = []
+        for operand in (left, right):
+            if operand.dtype is not None:
+                dtypes.append(operand.dtype)
+            elif isinstance(operand.const, bool):
+                dtypes.append("bool")
+            elif isinstance(operand.const, int):
+                # NEP 50: python ints adopt the array operand's dtype.
+                continue
+            elif isinstance(operand.const, float):
+                dtypes.append("float64")
+            else:
+                return Value(is_array=left.is_array or right.is_array)
+        result = dtypes[0]
+        for other in dtypes[1:]:
+            result = promote(result, other)
+            if result is None:
+                return UNKNOWN
+        return Value(dtype=result,
+                     is_array=left.is_array or right.is_array)
+
+    def _eval_call(self, node: ast.Call,
+                   env: Dict[str, Value]) -> Value:
+        for arg in node.args:
+            self._eval(arg, env)
+        for keyword in node.keywords:
+            self._eval(keyword.value, env)
+
+        # Module-qualified numpy calls first: ``np.zeros(...)`` is an
+        # ``Attribute`` call too, and must not fall into the method
+        # branch below (which would see an unknown owner and give up).
+        full = self.imports.resolve_call(node)
+        if full is not None and full.startswith("numpy"):
+            return self._eval_numpy_call(node, full, env)
+
+        func = node.func
+        # method calls: arr.astype(...), arr.copy(), arr.sum(...) ...
+        if isinstance(func, ast.Attribute):
+            owner = self._eval(func.value, env)
+            if func.attr == "astype":
+                dtype = None
+                if node.args:
+                    dtype = _dtype_name(node.args[0], self.imports, env)
+                else:
+                    keyword = _call_keyword(node, "dtype")
+                    if keyword is not None:
+                        dtype = _dtype_name(keyword, self.imports, env)
+                return Value.of_dtype(dtype)
+            if func.attr in ("copy", "ravel", "reshape", "view",
+                            "flatten", "squeeze"):
+                return Value(dtype=owner.dtype, is_array=owner.is_array)
+            if func.attr in ("sum", "cumsum", "prod"):
+                return self._reduction_dtype(node, owner, env)
+            if func.attr in ("min", "max", "item"):
+                return Value(dtype=owner.dtype, is_array=False)
+            return UNKNOWN
+        return UNKNOWN
+
+    def _eval_numpy_call(self, node: ast.Call, full: str,
+                         env: Dict[str, Value]) -> Value:
+        leaf = full.rsplit(".", 1)[-1]
+        if leaf in ARRAY_FACTORIES:
+            keyword = _call_keyword(node, "dtype")
+            if keyword is not None:
+                return Value.of_dtype(
+                    _dtype_name(keyword, self.imports, env))
+            if leaf in _FLOAT64_DEFAULT:
+                return Value.of_dtype("float64")
+            if leaf.endswith("_like") and node.args:
+                template = self._values.get(id(node.args[0]), UNKNOWN)
+                return Value.of_dtype(template.dtype)
+            return Value.of_dtype(None)
+        # np.uint8(x) and friends: scalar/array cast constructors.
+        try:
+            cast = np.dtype(leaf).name
+        except TypeError:
+            cast = None
+        if cast is not None:
+            return Value.of_dtype(cast, is_array=False)
+        if leaf in _INTP_RETURNS:
+            return Value.of_dtype("intp")
+        if leaf == "bincount":
+            if _call_keyword(node, "weights") is not None or \
+                    len(node.args) >= 2:
+                return Value.of_dtype("float64")
+            return Value.of_dtype("intp")
+        if leaf in ("sum", "cumsum", "prod"):
+            operand = (self._values.get(id(node.args[0]), UNKNOWN)
+                       if node.args else UNKNOWN)
+            return self._reduction_dtype(node, operand, env)
+        if leaf in _PRESERVING:
+            operand = (self._values.get(id(node.args[0]), UNKNOWN)
+                       if node.args else UNKNOWN)
+            return Value(dtype=operand.dtype, is_array=True)
+        if leaf in _PROMOTING:
+            dtypes = [self._values.get(id(a), UNKNOWN).dtype
+                      for a in node.args]
+            dtypes = [d for d in dtypes if d is not None]
+            if len(dtypes) == len(node.args) and dtypes:
+                result = dtypes[0]
+                for other in dtypes[1:]:
+                    result = promote(result, other)
+                return Value.of_dtype(result)
+            return Value.of_dtype(None)
+        return UNKNOWN
+
+    def _reduction_dtype(self, node: ast.Call, operand: Value,
+                         env: Dict[str, Value]) -> Value:
+        keyword = _call_keyword(node, "dtype")
+        if keyword is not None:
+            return Value.of_dtype(
+                _dtype_name(keyword, self.imports, env), is_array=False)
+        if operand.dtype is None:
+            return UNKNOWN
+        if operand.dtype in SMALL_SUM_DTYPES:
+            # numpy widens small-int reductions to the platform word.
+            widened = "intp" if operand.dtype != "bool" else "intp"
+            return Value.of_dtype(widened, is_array=False)
+        return Value.of_dtype(operand.dtype, is_array=False)
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def analyze_function(func: ast.AST, imports, *, symbols=None,
+                     module: Optional[str] = None) -> FunctionDataflow:
+    """Convenience constructor (the rules' entry point)."""
+    return FunctionDataflow(func, imports, symbols=symbols, module=module)

@@ -2,7 +2,12 @@
 
 The human format is the classic compiler shape (``path:line:col: RULE
 message``) so editors and CI annotations pick locations up for free;
-JSON carries the same records plus run totals for tooling.
+JSON carries the same records plus run totals for tooling. SARIF lives
+in :mod:`repro.statlint.sarif`.
+
+The summary line accounts for every finding exactly once: new +
+grandfathered (baseline mode) or active (no baseline), plus the
+suppressed count — nothing is silently absorbed into "clean".
 """
 
 from __future__ import annotations
@@ -13,27 +18,39 @@ from .findings import LintResult
 from .registry import RULES
 
 
-def render_human(result: LintResult, *, show_suppressed: bool = False) -> str:
+def render_human(result: LintResult, *, show_suppressed: bool = False,
+                 baseline_used: bool = False) -> str:
     lines = []
     for finding in result.findings:
         if finding.suppressed and not show_suppressed:
             continue
-        marker = " (suppressed)" if finding.suppressed else ""
+        marker = ""
+        if finding.suppressed:
+            marker = " (suppressed)"
+        elif baseline_used and finding.baselined:
+            marker = " (baseline)"
         lines.append(f"{finding.path}:{finding.line}:{finding.col}: "
                      f"{finding.rule} {finding.message}{marker}")
-    lines.append(
-        f"{len(result.active)} finding(s), "
-        f"{len(result.suppressed)} suppressed, "
-        f"{result.n_files} file(s) checked")
+    if baseline_used:
+        summary = (f"{len(result.new)} new finding(s), "
+                   f"{len(result.grandfathered)} grandfathered")
+    else:
+        summary = f"{len(result.active)} finding(s)"
+    lines.append(f"{summary}, {len(result.suppressed)} suppressed, "
+                 f"{result.n_files} file(s) checked")
     return "\n".join(lines)
 
 
-def render_json(result: LintResult) -> str:
+def render_json(result: LintResult, *,
+                baseline_used: bool = False) -> str:
     return json.dumps({
         "findings": [f.as_dict() for f in result.findings],
         "n_active": len(result.active),
+        "n_new": len(result.new),
+        "n_grandfathered": len(result.grandfathered),
         "n_suppressed": len(result.suppressed),
         "n_files": result.n_files,
+        "baseline_used": baseline_used,
         "ok": result.ok,
     }, indent=2, sort_keys=True)
 

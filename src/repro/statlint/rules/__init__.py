@@ -6,7 +6,13 @@ telemetry-subsystem determinism. Robustness family (per-file): ERR001
 swallowed broad excepts, NUM001 narrow-int array arithmetic.
 Consistency family (whole-project): SNAP001 checkpoint coverage,
 EXP001 experiment registry.
+
+Whole-program families (built on the symbol table / call graph /
+dataflow layers): FSM001/FSM002 trial state-machine contract,
+NUM101–NUM104 kernel dtype stability, TEL101–TEL103 telemetry schema
+at emit sites, CONC001 fork-boundary shared state.
 """
 
-from . import (determinism, project, robustness,  # noqa: F401 (registers)
-               telemetry)
+from . import (concurrency, determinism, fsm,  # noqa: F401 (registers)
+               numeric, project, robustness, telemetry,
+               telemetry_schema)

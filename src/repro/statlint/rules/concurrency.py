@@ -1,0 +1,220 @@
+"""Process-boundary shared-state rule (CONC001).
+
+The fleet runs trials in separate OS processes (``ProcessBackend``
+spawns ``_worker_main``; the inline backend runs the same
+``execute_trial`` path in-process). A module-level mutable container
+written on both sides of that boundary is a trap: under the process
+backend each side mutates its *own copy* after fork/spawn, so the code
+appears to work inline and silently diverges under real workers. The
+sanctioned cross-process channels are the results store (SQLite) and
+the artifact directory — both are append/transactional by design.
+
+CONC001 computes reachability over the approximate call graph (which
+deliberately follows function references like ``Process(target=f)``
+and ``functools.partial(f, ...)``) from two root sets:
+
+* **dispatcher side** — every callable defined in ``dispatcher_path``;
+* **worker side** — the configured ``conc_worker_roots`` in
+  ``workers_path`` (spawn entry points and the shared trial path).
+
+Any module-level mutable global written by reachable code on *both*
+sides — and not defined in a ``conc_exempt`` module (the store and
+artifact layers themselves) — is flagged at its definition, naming a
+writer from each side.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..config import LintConfig, path_matches
+from ..registry import ProjectRule, register
+
+#: Container methods that mutate the receiver in place.
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "appendleft",
+    "extendleft",
+})
+
+
+def _local_names(func: ast.AST) -> Set[str]:
+    """Names bound locally in a callable (params and assignments)."""
+    args = func.args
+    names = {a.arg for a in args.posonlyargs + args.args +
+             args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    hoisted_globals: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            hoisted_globals.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_bound_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_bound_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_bound_names(node.target))
+        elif isinstance(node, ast.comprehension):
+            names.update(_bound_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_bound_names(item.optional_vars))
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    return names - hoisted_globals
+
+
+def _bound_names(target: ast.AST) -> Set[str]:
+    """Names a target *binds* — ``g[k] = v`` and ``obj.f = v`` store
+    through an existing object and bind nothing, so subscript and
+    attribute targets (and their subexpressions) must not count."""
+    out: Set[str] = set()
+    if isinstance(target, ast.Name):
+        out.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            out |= _bound_names(elt)
+    elif isinstance(target, ast.Starred):
+        out |= _bound_names(target.value)
+    return out
+
+
+def _written_bases(func: ast.AST) -> Iterator[Tuple[ast.AST, int]]:
+    """Expressions a callable writes *through* (container mutation).
+
+    Yields ``(base_expr, lineno)`` for subscript stores
+    (``g[k] = v``), deletions, augmented subscript stores, in-place
+    mutator calls (``g.append(...)``), and plain rebinding of a
+    ``global``-declared name.
+    """
+    declared_global: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    yield target.value, node.lineno
+                elif (isinstance(target, ast.Name) and
+                      target.id in declared_global):
+                    yield target, node.lineno
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Subscript):
+                yield node.target.value, node.lineno
+            elif (isinstance(node.target, ast.Name) and
+                  node.target.id in declared_global):
+                yield node.target, node.lineno
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    yield target.value, node.lineno
+        elif (isinstance(node, ast.Call) and
+              isinstance(node.func, ast.Attribute) and
+              node.func.attr in _MUTATORS):
+            yield node.func.value, node.lineno
+
+
+@register
+class ForkBoundaryRule(ProjectRule):
+    id = "CONC001"
+    title = "mutable global written on both sides of the fork boundary"
+    rationale = ("Under the process backend each side mutates its own "
+                 "post-spawn copy, so state shared this way works "
+                 "inline and silently diverges under real workers; "
+                 "route cross-process state through the results store "
+                 "or the artifact directory.")
+
+    def check_project(self, project, config: LintConfig) -> Iterator:
+        dispatcher = project.find(config.dispatcher_path)
+        workers = project.find(config.workers_path)
+        if dispatcher is None or workers is None:
+            return
+        graph = project.callgraph
+        symbols = project.symbols
+
+        dispatch_roots = graph.nodes_in_file(dispatcher.relpath)
+        worker_syms = symbols.module_for(workers)
+        worker_roots = [
+            worker_syms.functions[name].qualified
+            for name in config.conc_worker_roots
+            if worker_syms is not None and
+            name in worker_syms.functions]
+        if not dispatch_roots or not worker_roots:
+            return
+        dispatch_reach = graph.reachable(dispatch_roots)
+        worker_reach = graph.reachable(worker_roots)
+
+        # global key -> {"dispatch": [writer...], "worker": [writer...]}
+        writers: Dict[Tuple[str, str], Dict[str, List[str]]] = {}
+        for node_id, (source, func) in sorted(graph.functions.items()):
+            on_dispatch = node_id in dispatch_reach
+            on_worker = node_id in worker_reach
+            if func is None or not (on_dispatch or on_worker):
+                continue
+            module = symbols.by_relpath.get(source.relpath)
+            syms = symbols.module(module) if module else None
+            if syms is None:
+                continue
+            local = _local_names(func)
+            for base, _lineno in _written_bases(func):
+                key = self._resolve_global(base, syms, symbols, local)
+                if key is None:
+                    continue
+                sides = writers.setdefault(
+                    key, {"dispatch": [], "worker": []})
+                if on_dispatch:
+                    sides["dispatch"].append(node_id)
+                if on_worker:
+                    sides["worker"].append(node_id)
+
+        for (module, name), sides in sorted(writers.items()):
+            if not (sides["dispatch"] and sides["worker"]):
+                continue
+            syms = symbols.module(module)
+            if syms is None or path_matches(syms.relpath,
+                                            config.conc_exempt):
+                continue
+            lineno = syms.mutable_globals.get(name, 1)
+            d_writer = sorted(set(sides["dispatch"]))[0]
+            w_writer = sorted(set(sides["worker"]))[0]
+            yield self.finding(
+                syms.relpath, lineno, 0,
+                f"module-level mutable {name!r} is written from "
+                f"dispatcher-side code ({d_writer}) and worker-side "
+                f"code ({w_writer}); each process mutates its own "
+                f"copy — route shared state through the results "
+                f"store or artifact directory")
+
+    @staticmethod
+    def _resolve_global(base: ast.AST, syms, symbols,
+                        local: Set[str]) -> Optional[Tuple[str, str]]:
+        """Resolve a written-through base to a module-level global."""
+        if isinstance(base, ast.Name):
+            if base.id in local:
+                return None
+            if base.id in syms.mutable_globals:
+                return syms.module, base.id
+            target = syms.aliases.get(base.id)
+        elif (isinstance(base, ast.Attribute) and
+              isinstance(base.value, ast.Name)):
+            # ``mod.g[...] = v`` through an import alias.
+            if base.value.id in local:
+                return None
+            prefix = syms.aliases.get(base.value.id)
+            target = f"{prefix}.{base.attr}" if prefix else None
+        else:
+            return None
+        if target is None:
+            return None
+        owner, _, leaf = target.rpartition(".")
+        owner_syms = symbols.module(owner)
+        if owner_syms is not None and leaf in owner_syms.mutable_globals:
+            return owner, leaf
+        return None

@@ -1,0 +1,254 @@
+"""Fleet trial state-machine rules (FSM001/FSM002).
+
+The fleet's crash-safety story (DESIGN.md §10) rests on every trial
+moving only along the transition graph ``fleet/store.py`` declares.
+The graph and the state constants are plain module-level literals, so
+the whole contract is statically readable: these rules lift it out of
+the store module and check *every call site in the project* against it.
+
+* **FSM001** — each ``ResultsStore.transition()`` / ``force_state()``
+  call site's state argument (resolved through constant propagation:
+  literals, named constants, conditional joins) must name a declared
+  state; a ``transition()`` target must moreover have at least one
+  incoming edge in the graph (a never-legal target always raises at
+  runtime); and call sites outside the store module must use the named
+  constants the store exports, not raw string literals.
+* **FSM002** — graph-level checks anchored at the store module: every
+  declared state needs a transition-graph entry, every state must be
+  reachable from the initial state (the first entry of the declared
+  state tuple), and every non-initial state must be *entered* by some
+  call site somewhere in the project — a state no code ever moves a
+  trial into is dead weight that reports and resume reconciliation
+  still have to handle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from ..config import LintConfig
+from ..registry import ProjectRule, register
+
+#: Store-module symbol names the rules read.
+GRAPH_NAME = "_ALLOWED"
+STATES_NAME = "TRIAL_STATES"
+
+#: Store-internal writers that also move the state machine; their
+#: state arguments count as "entering" a state for FSM002.
+_INTERNAL_FUNCS = ("_transition_in", "_record_state")
+
+
+def _is_forwarded_param(expr: ast.AST, func: Optional[ast.AST]) -> bool:
+    """Whether a state argument just forwards an enclosing parameter.
+
+    ``transition()`` calling ``self._transition_in(conn, tid,
+    to_state)`` contributes nothing new — every *caller's* site is
+    checked and counted separately — so such sites are transparent
+    rather than "unknown".
+    """
+    if not isinstance(expr, ast.Name) or func is None:
+        return False
+    args = getattr(func, "args", None)
+    if args is None:
+        return False
+    names = {a.arg for a in args.posonlyargs + args.args +
+             args.kwonlyargs}
+    return expr.id in names
+
+
+def _state_argument(site) -> Optional[ast.AST]:
+    """The state-argument expression of one transition-ish call site.
+
+    Public ``transition(trial_id, state)`` takes the state second;
+    the store-internal writers (``_transition_in(conn, trial_id,
+    state)``) take it third. A ``to_state=``/``state=`` keyword wins
+    either way.
+    """
+    for keyword in site.call.keywords:
+        if keyword.arg in ("to_state", "state"):
+            return keyword.value
+    index = 2 if site.name in _INTERNAL_FUNCS else 1
+    if len(site.call.args) > index:
+        return site.call.args[index]
+    return None
+
+
+class _StoreModel:
+    """The state machine as declared by the store module."""
+
+    def __init__(self, syms) -> None:
+        self.syms = syms
+        states = syms.constants.get(STATES_NAME)
+        graph = syms.constants.get(GRAPH_NAME)
+        self.states: Tuple[str, ...] = tuple(
+            states.value) if states is not None and isinstance(
+            states.value, tuple) else ()
+        self.graph: Dict[str, Tuple[str, ...]] = dict(
+            graph.value) if graph is not None and isinstance(
+            graph.value, dict) else {}
+        self.states_line = states.lineno if states is not None else 1
+        self.graph_line = graph.lineno if graph is not None else 1
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.states) and bool(self.graph)
+
+    @property
+    def initial(self) -> Optional[str]:
+        return self.states[0] if self.states else None
+
+    def incoming(self) -> Set[str]:
+        out: Set[str] = set()
+        for targets in self.graph.values():
+            out.update(targets)
+        return out
+
+    def reachable(self) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [self.initial] if self.initial else []
+        while stack:
+            state = stack.pop()
+            if state is None or state in seen:
+                continue
+            seen.add(state)
+            stack.extend(t for t in self.graph.get(state, ())
+                         if t != state)
+        return seen
+
+
+def _store_sites(project, config: LintConfig, model: _StoreModel,
+                 names) -> Iterator:
+    """Call sites resolving to the store module's state writers."""
+    wanted: Set[str] = set()
+    for cls, methods in model.syms.methods.items():
+        for method_name, symbol in methods.items():
+            if method_name in names:
+                wanted.add(symbol.qualified)
+    for func_name, symbol in model.syms.functions.items():
+        if func_name in names:
+            wanted.add(symbol.qualified)
+    for site in project.callgraph.sites_named(set(names)):
+        if any(target in wanted for target in site.targets):
+            yield site
+
+
+@register
+class FsmCallSiteRule(ProjectRule):
+    id = "FSM001"
+    title = "illegal or raw state argument at a state-machine call site"
+    rationale = ("Trial states may only move along the transition graph "
+                 "fleet/store.py declares; a call site passing an "
+                 "unknown state (or a never-legal target) raises at "
+                 "runtime, and raw string literals outside the store "
+                 "module bypass the named constants the store exports.")
+
+    def check_project(self, project, config: LintConfig) -> Iterator:
+        store = project.find(config.store_path)
+        if store is None:
+            return
+        syms = project.symbols.module_for(store)
+        if syms is None:
+            return
+        model = _StoreModel(syms)
+        if not model.complete:
+            return
+        entered = model.incoming()
+        names = tuple(config.fsm_state_funcs) + _INTERNAL_FUNCS
+        for site in _store_sites(project, config, model, names):
+            expr = _state_argument(site)
+            if expr is None:
+                continue
+            flow = project.dataflow_for(site.source, site.func)
+            value = flow.value_of(expr)
+            outside_store = site.source.relpath != store.relpath
+            if (outside_store and isinstance(expr, ast.Constant) and
+                    isinstance(expr.value, str)):
+                yield self.finding(
+                    site.source.relpath, expr.lineno, expr.col_offset,
+                    f"raw state string {expr.value!r} passed to "
+                    f"{site.name}(); use the named constant exported "
+                    f"by the store module")
+            if value.consts is None:
+                continue
+            for state in sorted(
+                    (v for v in value.consts if isinstance(v, str)),
+                    key=str):
+                if state not in model.states:
+                    yield self.finding(
+                        site.source.relpath, expr.lineno,
+                        expr.col_offset,
+                        f"{site.name}() is passed {state!r}, which is "
+                        f"not a declared trial state "
+                        f"({', '.join(model.states)})")
+                elif (site.name in config.fsm_state_funcs and
+                        site.name == "transition" and
+                        state not in entered):
+                    yield self.finding(
+                        site.source.relpath, expr.lineno,
+                        expr.col_offset,
+                        f"transition() to {state!r} can never succeed: "
+                        f"no transition-graph edge enters that state")
+
+
+@register
+class FsmGraphRule(ProjectRule):
+    id = "FSM002"
+    title = "trial state machine declares unreachable or dead states"
+    rationale = ("A declared state no edge reaches (or no call site "
+                 "ever enters) is dead weight every consumer of the "
+                 "state machine — resume reconciliation, reports, "
+                 "state_counts — still has to handle; prune it or wire "
+                 "it in.")
+
+    def check_project(self, project, config: LintConfig) -> Iterator:
+        store = project.find(config.store_path)
+        if store is None:
+            return
+        syms = project.symbols.module_for(store)
+        if syms is None:
+            return
+        model = _StoreModel(syms)
+        if not model.complete:
+            return
+
+        for state in model.states:
+            if state not in model.graph:
+                yield self.finding(
+                    store.relpath, model.graph_line, 0,
+                    f"declared state {state!r} has no entry in the "
+                    f"transition graph ({GRAPH_NAME})")
+        reachable = model.reachable()
+        for state in model.states:
+            if state in model.graph and state not in reachable:
+                yield self.finding(
+                    store.relpath, model.graph_line, 0,
+                    f"state {state!r} is unreachable from the initial "
+                    f"state {model.initial!r} in the transition graph")
+
+        # States actually entered somewhere in the project.
+        names = tuple(config.fsm_state_funcs) + _INTERNAL_FUNCS
+        entered: Set[str] = set()
+        for site in _store_sites(project, config, model, names):
+            expr = _state_argument(site)
+            if expr is None:
+                continue
+            flow = project.dataflow_for(site.source, site.func)
+            value = flow.value_of(expr)
+            if value.consts is not None:
+                entered.update(v for v in value.consts
+                               if isinstance(v, str))
+            elif not (site.source.relpath == store.relpath and
+                      _is_forwarded_param(expr, site.func)):
+                # Parameter forwarding is transparent only *inside*
+                # the store (every external caller's site is checked
+                # and counted separately). Anywhere else an
+                # unresolvable state argument may enter anything, so
+                # never-entered reporting would be guesswork.
+                return
+        for state in model.states:
+            if state != model.initial and state not in entered:
+                yield self.finding(
+                    store.relpath, model.states_line, 0,
+                    f"state {state!r} is declared but no call site in "
+                    f"the project ever enters it")

@@ -1,0 +1,284 @@
+"""Whole-program telemetry schema rules (TEL101–TEL103).
+
+``telemetry/events.py`` declares the wire contract (``EVENT_SCHEMA``)
+and :func:`make_event` enforces it — *at runtime, inside the run that
+emitted the bad event*. A misspelled payload field in a rarely taken
+branch (a fault path, a resume path) therefore ships broken and fails
+an hour-long campaign instead of CI. These rules move that check to
+lint time by resolving every emit site in the project through the call
+graph:
+
+1. **base emitters** are ``make_event`` plus every ``emit``
+   callable in the telemetry subsystem from which ``make_event`` is
+   reachable (sinks' ``emit(event)`` methods take an already-built
+   dict and are naturally excluded);
+2. **forwarders** are computed as a fixpoint: any function with a
+   ``kind`` parameter that calls an emitter or another forwarder
+   (``FleetDispatcher._emit``, ``SessionSupervisor._emit``) — this is
+   what carries the check through the wrapper layers real code uses;
+3. at every call site resolving to one of those, the ``kind`` argument
+   is evaluated by constant propagation; sites whose kind is not
+   statically known are skipped (never guessed).
+
+* **TEL101** — the emitted kind is not in ``EVENT_SCHEMA``.
+* **TEL102** — a payload keyword is not a schema field of that kind.
+* **TEL103** — a schema field is missing at a site with a fully
+  literal payload (no ``**`` expansion), net of fields the forwarding
+  chain itself injects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..config import LintConfig, path_matches
+from ..registry import ProjectRule, register
+
+MAKE_EVENT = "make_event"
+
+#: Common-field keywords every emitter accepts besides the payload.
+_COMMON = frozenset({"kind", "t", "instance"})
+
+
+@dataclass
+class EmitSite:
+    """One emit call with a statically known kind."""
+
+    site: object
+    kind: str
+    payload: FrozenSet[str]
+    #: schema fields the forwarding chain injects downstream.
+    provided: FrozenSet[str]
+    #: named (non-payload) parameters of the resolved targets.
+    reserved: FrozenSet[str]
+    #: whether the payload is fully literal (no ``**``/``*``).
+    literal: bool
+
+
+class _TelemetryModel:
+    """Schema + resolved emit sites, computed once per project."""
+
+    def __init__(self, project, config: LintConfig) -> None:
+        self.schema: Optional[Dict[str, Dict[str, str]]] = None
+        self.sites: List[EmitSite] = []
+        events = project.find(config.events_path)
+        if events is None:
+            return
+        syms = project.symbols.module_for(events)
+        if syms is None:
+            return
+        schema_symbol = syms.constants.get("EVENT_SCHEMA")
+        if schema_symbol is None or not isinstance(
+                schema_symbol.value, dict):
+            return
+        self.schema = {
+            str(kind): dict(fields)
+            for kind, fields in schema_symbol.value.items()
+            if isinstance(fields, dict)}
+
+        graph = project.callgraph
+        emitters = self._base_emitters(project, config, syms, graph)
+        if not emitters:
+            return
+        forwarders, provided = self._forwarders(graph, emitters)
+        targets = emitters | forwarders
+        self._collect_sites(project, graph, targets, provided)
+
+    # -- emitter discovery ---------------------------------------------
+
+    def _base_emitters(self, project, config, events_syms,
+                       graph) -> Set[str]:
+        """``make_event`` + telemetry ``emit`` callables reaching it."""
+        emitters: Set[str] = set()
+        make = events_syms.functions.get(MAKE_EVENT)
+        if make is None:
+            return emitters
+        emitters.add(make.qualified)
+        for node_id, (source, func) in graph.functions.items():
+            if func is None or not node_id.rsplit(
+                    ".", 1)[-1] == "emit":
+                continue
+            if not path_matches(source.relpath, config.telemetry_paths):
+                continue
+            if make.qualified in graph.reachable([node_id]):
+                emitters.add(node_id)
+        return emitters
+
+    def _forwarders(self, graph,
+                    emitters: Set[str]) -> Tuple[Set[str],
+                                                 Dict[str, Set[str]]]:
+        """Fixpoint of kind-forwarding wrappers, with injected fields.
+
+        ``provided[node]`` is the set of payload keywords the chain
+        below ``node`` passes on its own (a wrapper adding
+        ``trial=trial_id`` means its callers need not supply it).
+        """
+        provided: Dict[str, Set[str]] = {e: set() for e in emitters}
+        forwarders: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            known = emitters | forwarders
+            for node_id, (source, func) in graph.functions.items():
+                if func is None or node_id in known:
+                    continue
+                if not _has_kind_param(func):
+                    continue
+                inner = [s for s in graph.sites
+                         if s.caller == node_id and
+                         set(s.targets) & known]
+                if not inner:
+                    continue
+                forwarders.add(node_id)
+                injected: Set[str] = set()
+                for site in inner:
+                    downstream = set()
+                    for target in site.targets:
+                        downstream |= provided.get(target, set())
+                    injected |= downstream | {
+                        kw.arg for kw in site.call.keywords
+                        if kw.arg is not None and
+                        kw.arg not in _COMMON}
+                provided[node_id] = injected
+                changed = True
+        return forwarders, provided
+
+    # -- site collection -----------------------------------------------
+
+    def _collect_sites(self, project, graph, targets: Set[str],
+                       provided: Dict[str, Set[str]]) -> None:
+        for site in graph.sites:
+            resolved = set(site.targets) & targets
+            if not resolved:
+                continue
+            kind_expr = _kind_argument(site.call)
+            if kind_expr is None:
+                continue
+            flow = project.dataflow_for(site.source, site.func)
+            value = flow.value_of(kind_expr)
+            kind = value.const
+            if not isinstance(kind, str):
+                continue  # unknown or multi-valued: never guess
+            reserved = set(_COMMON)
+            injected: Set[str] = set()
+            for target in resolved:
+                entry = graph.functions.get(target)
+                if entry is not None and entry[1] is not None:
+                    reserved |= _named_params(entry[1])
+                injected |= provided.get(target, set())
+            literal = (all(kw.arg is not None
+                           for kw in site.call.keywords) and
+                       not any(isinstance(a, ast.Starred)
+                               for a in site.call.args))
+            payload = frozenset(
+                kw.arg for kw in site.call.keywords
+                if kw.arg is not None and kw.arg not in reserved)
+            self.sites.append(EmitSite(
+                site=site, kind=kind, payload=payload,
+                provided=frozenset(injected),
+                reserved=frozenset(reserved), literal=literal))
+
+
+def _has_kind_param(func: ast.AST) -> bool:
+    args = getattr(func, "args", None)
+    if args is None:
+        return False
+    names = [a.arg for a in args.posonlyargs + args.args +
+             args.kwonlyargs]
+    return "kind" in names
+
+
+def _named_params(func: ast.AST) -> Set[str]:
+    args = func.args
+    return {a.arg for a in args.posonlyargs + args.args +
+            args.kwonlyargs} - {"self"}
+
+
+def _kind_argument(call: ast.Call) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == "kind":
+            return kw.value
+    return call.args[0] if call.args else None
+
+
+def _model(project, config: LintConfig) -> _TelemetryModel:
+    """One shared model per project (the three rules split its output)."""
+    cached = getattr(project, "_telemetry_model", None)
+    if cached is None:
+        cached = _TelemetryModel(project, config)
+        project._telemetry_model = cached
+    return cached
+
+
+class _TelRule(ProjectRule):
+    def check_project(self, project, config: LintConfig) -> Iterator:
+        model = _model(project, config)
+        if model.schema is None:
+            return
+        for emit in model.sites:
+            yield from self.check_site(emit, model.schema)
+
+    def check_site(self, emit: EmitSite, schema) -> Iterator:
+        raise NotImplementedError
+
+    def at(self, emit: EmitSite, message: str):
+        call = emit.site.call
+        return self.finding(emit.site.source.relpath, call.lineno,
+                            call.col_offset, message)
+
+
+@register
+class UnknownKindRule(_TelRule):
+    id = "TEL101"
+    title = "emit of an event kind absent from EVENT_SCHEMA"
+    rationale = ("make_event raises TelemetryError at runtime for an "
+                 "undeclared kind — in whatever branch first reaches "
+                 "the emit, possibly hours into a campaign; the schema "
+                 "is statically readable, so check it here.")
+
+    def check_site(self, emit: EmitSite, schema) -> Iterator:
+        if emit.kind not in schema:
+            yield self.at(
+                emit, f"event kind {emit.kind!r} is not declared in "
+                      f"EVENT_SCHEMA ({len(schema)} known kinds)")
+
+
+@register
+class UnknownFieldRule(_TelRule):
+    id = "TEL102"
+    title = "emit payload field absent from the kind's schema"
+    rationale = ("validate_event rejects unexpected fields at runtime; "
+                 "a misspelled payload keyword in a rarely taken "
+                 "branch ships broken and fails the campaign that "
+                 "first hits it.")
+
+    def check_site(self, emit: EmitSite, schema) -> Iterator:
+        fields = schema.get(emit.kind)
+        if fields is None:
+            return
+        for name in sorted(emit.payload - set(fields)):
+            yield self.at(
+                emit, f"{emit.kind!r} events have no field {name!r} "
+                      f"(schema: {', '.join(sorted(fields))})")
+
+
+@register
+class MissingFieldRule(_TelRule):
+    id = "TEL103"
+    title = "emit with a literal payload missing schema fields"
+    rationale = ("A fully literal emit site that omits a declared "
+                 "field can never produce a valid event; sites using "
+                 "**-expansion are skipped (their payload is not "
+                 "statically enumerable).")
+
+    def check_site(self, emit: EmitSite, schema) -> Iterator:
+        fields = schema.get(emit.kind)
+        if fields is None or not emit.literal:
+            return
+        missing = sorted(set(fields) - emit.payload - emit.provided)
+        if missing:
+            yield self.at(
+                emit, f"{emit.kind!r} emit omits required field(s) "
+                      f"{', '.join(repr(m) for m in missing)}")

@@ -1,0 +1,358 @@
+"""Project-wide symbol table and import graph.
+
+Whole-program rules need to answer questions a single module cannot:
+*what value does the name ``DISPATCHED`` that ``fleet/dispatcher.py``
+imports actually hold?* and *which module defines the ``transition``
+method this call site resolves to?* The :class:`SymbolTable` indexes
+every collected module — top-level constants (evaluated statically,
+including tuples/dicts built from already-bound names, which is how
+``fleet/store.py`` declares its transition graph), functions, classes
+with their methods — and absolutizes each module's import aliases so a
+dotted name at any use site resolves to the defining module's symbol.
+
+Resolution is deliberately conservative: anything not statically
+evaluable is simply absent, and rules treat absence as "unknown", never
+as a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Symbol kinds.
+CONSTANT = "constant"
+FUNCTION = "function"
+CLASS = "class"
+
+
+@dataclass
+class Symbol:
+    """One top-level (or class-level) definition in a module.
+
+    Attributes:
+        name: qualified name within the module (``func`` or
+            ``Class.method``).
+        module: dotted module name that defines it.
+        kind: one of :data:`CONSTANT`, :data:`FUNCTION`, :data:`CLASS`.
+        node: the defining AST node (``FunctionDef``/``ClassDef``/the
+            assignment for constants).
+        value: the statically evaluated value (constants only).
+        lineno: definition line.
+    """
+
+    name: str
+    module: str
+    kind: str
+    node: ast.AST
+    value: object = None
+    lineno: int = 0
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name for a ``/``-normalized repo-relative path.
+
+    ``src/repro/fleet/store.py`` → ``repro.fleet.store``; a package
+    ``__init__.py`` names the package itself. Files outside any
+    recognizable package root fall back to their dotted path, which
+    keeps names unique (all the table requires).
+    """
+    parts = relpath.replace("\\", "/").split("/")
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+def _eval_literal(node: ast.AST, env: Dict[str, object]) -> Tuple[bool, object]:
+    """Statically evaluate a literal-ish expression.
+
+    Supports constants, tuples/lists/dicts/sets of evaluable parts,
+    unary ``-``/``+``, and ``Name`` references to already-evaluated
+    bindings in ``env`` — enough to read state constants, transition
+    graphs, and event schemas straight out of the AST. Returns
+    ``(ok, value)``.
+    """
+    if isinstance(node, ast.Constant):
+        return True, node.value
+    if isinstance(node, ast.Name):
+        if node.id in env:
+            return True, env[node.id]
+        return False, None
+    if isinstance(node, (ast.Tuple, ast.List)):
+        out = []
+        for elt in node.elts:
+            ok, value = _eval_literal(elt, env)
+            if not ok:
+                return False, None
+            out.append(value)
+        return True, tuple(out) if isinstance(node, ast.Tuple) else out
+    if isinstance(node, ast.Set):
+        out = []
+        for elt in node.elts:
+            ok, value = _eval_literal(elt, env)
+            if not ok:
+                return False, None
+            out.append(value)
+        try:
+            return True, frozenset(out)
+        except TypeError:
+            return False, None
+    if isinstance(node, ast.Dict):
+        mapping = {}
+        for key, value in zip(node.keys, node.values):
+            if key is None:  # ``**spread`` — not evaluable
+                return False, None
+            k_ok, k = _eval_literal(key, env)
+            v_ok, v = _eval_literal(value, env)
+            if not (k_ok and v_ok):
+                return False, None
+            try:
+                mapping[k] = v
+            except TypeError:
+                return False, None
+        return True, mapping
+    if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)):
+        ok, value = _eval_literal(node.operand, env)
+        if ok and isinstance(value, (int, float)) and not isinstance(
+                value, bool):
+            return True, -value if isinstance(node.op, ast.USub) else value
+        return False, None
+    return False, None
+
+
+#: Callables producing mutable containers when assigned at module level.
+_MUTABLE_FACTORIES = frozenset({
+    "dict", "list", "set", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+})
+
+
+def _is_mutable_container(node: ast.AST) -> bool:
+    """Whether a module-level assignment value is a mutable container."""
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                         ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None)
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+class ModuleSymbols:
+    """Symbols of one module: constants, functions, classes, aliases."""
+
+    def __init__(self, module: str, tree: ast.Module, relpath: str) -> None:
+        self.module = module
+        self.relpath = relpath
+        self.constants: Dict[str, Symbol] = {}
+        self.functions: Dict[str, Symbol] = {}
+        self.classes: Dict[str, Symbol] = {}
+        self.methods: Dict[str, Dict[str, Symbol]] = {}
+        #: local alias → absolute dotted target (imports, absolutized).
+        self.aliases: Dict[str, str] = {}
+        #: module-level mutable containers: name → definition line.
+        self.mutable_globals: Dict[str, int] = {}
+        self._index(tree)
+
+    # -- construction --------------------------------------------------
+
+    def _package(self) -> List[str]:
+        """Package path the module lives in (for relative imports)."""
+        parts = self.module.split(".")
+        if self.relpath.replace("\\", "/").endswith("__init__.py"):
+            return parts  # the module *is* the package
+        return parts[:-1]
+
+    def _absolutize(self, target: str) -> str:
+        """Resolve a possibly-relative dotted import target."""
+        if not target.startswith("."):
+            return target
+        level = len(target) - len(target.lstrip("."))
+        remainder = target.lstrip(".")
+        package = self._package()
+        base = package[:len(package) - (level - 1)] if level > 1 else package
+        return ".".join([p for p in base if p] +
+                        ([remainder] if remainder else []))
+
+    def _index(self, tree: ast.Module) -> None:
+        env: Dict[str, object] = {}
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.aliases[local] = (alias.name if alias.asname
+                                           else local)
+            elif isinstance(node, ast.ImportFrom):
+                target = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = self._absolutize(
+                        f"{target}.{alias.name}" if target else alias.name)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                value = node.value
+                if value is None:
+                    continue
+                ok, evaluated = _eval_literal(value, env)
+                mutable = _is_mutable_container(value)
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if ok:
+                        env[target.id] = evaluated
+                        self.constants[target.id] = Symbol(
+                            name=target.id, module=self.module,
+                            kind=CONSTANT, node=node, value=evaluated,
+                            lineno=node.lineno)
+                    if mutable:
+                        self.mutable_globals[target.id] = node.lineno
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = Symbol(
+                    name=node.name, module=self.module, kind=FUNCTION,
+                    node=node, lineno=node.lineno)
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = Symbol(
+                    name=node.name, module=self.module, kind=CLASS,
+                    node=node, lineno=node.lineno)
+                methods = {}
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        methods[item.name] = Symbol(
+                            name=f"{node.name}.{item.name}",
+                            module=self.module, kind=FUNCTION,
+                            node=item, lineno=item.lineno)
+                self.methods[node.name] = methods
+
+    # -- queries -------------------------------------------------------
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        """A top-level symbol defined *in this module* by bare name."""
+        for table in (self.constants, self.functions, self.classes):
+            if name in table:
+                return table[name]
+        return None
+
+
+@dataclass
+class ImportEdge:
+    """One module-level import dependency."""
+
+    importer: str
+    imported: str
+    lineno: int = 0
+
+
+class SymbolTable:
+    """All collected modules' symbols plus the import graph."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleSymbols] = {}
+        #: relpath → module name, for rules that start from a file.
+        self.by_relpath: Dict[str, str] = {}
+        self.import_edges: List[ImportEdge] = []
+
+    @classmethod
+    def build(cls, files) -> "SymbolTable":
+        """Index every :class:`~repro.statlint.engine.SourceFile`."""
+        table = cls()
+        for source in files:
+            module = module_name(source.relpath)
+            table.modules[module] = ModuleSymbols(
+                module, source.tree, source.relpath)
+            table.by_relpath[source.relpath] = module
+        table._build_import_graph()
+        return table
+
+    def _build_import_graph(self) -> None:
+        known = set(self.modules)
+        for module, syms in sorted(self.modules.items()):
+            for target in sorted(set(syms.aliases.values())):
+                # An alias may point at a symbol *inside* a module;
+                # walk up the dotted path until a known module matches.
+                probe = target
+                while probe and probe not in known:
+                    probe = probe.rpartition(".")[0]
+                if probe and probe != module:
+                    self.import_edges.append(
+                        ImportEdge(importer=module, imported=probe))
+
+    # -- queries -------------------------------------------------------
+
+    def module(self, name: str) -> Optional[ModuleSymbols]:
+        return self.modules.get(name)
+
+    def module_for(self, source) -> Optional[ModuleSymbols]:
+        module = self.by_relpath.get(source.relpath)
+        return self.modules.get(module) if module else None
+
+    def imports_of(self, module: str) -> List[str]:
+        return sorted({e.imported for e in self.import_edges
+                       if e.importer == module})
+
+    def resolve(self, module: str, name: str) -> Optional[Symbol]:
+        """Resolve a (possibly dotted) name used inside ``module``.
+
+        Follows the module's import aliases to the defining module and
+        returns its symbol: ``DISPATCHED`` used in
+        ``repro.fleet.dispatcher`` resolves to the constant defined in
+        ``repro.fleet.store``. Chains through re-exports up to a small
+        bound to avoid alias cycles.
+        """
+        syms = self.modules.get(module)
+        if syms is None:
+            return None
+        head, _, rest = name.partition(".")
+        local = syms.lookup(head)
+        if local is not None and not rest:
+            return local
+        target = syms.aliases.get(head)
+        if target is None:
+            return None
+        dotted = f"{target}.{rest}" if rest else target
+        for _ in range(8):  # re-export chains are short
+            owner, _, leaf = dotted.rpartition(".")
+            owner_syms = self.modules.get(owner)
+            if owner_syms is None:
+                # Maybe ``dotted`` itself is a module (import module).
+                if dotted in self.modules:
+                    return None
+                return None
+            symbol = owner_syms.lookup(leaf)
+            if symbol is not None:
+                return symbol
+            forwarded = owner_syms.aliases.get(leaf)
+            if forwarded is None:
+                return None
+            dotted = forwarded
+        return None
+
+    def constant_value(self, module: str, name: str) -> Tuple[bool, object]:
+        """``(known, value)`` of a constant name used inside ``module``."""
+        symbol = self.resolve(module, name)
+        if symbol is not None and symbol.kind == CONSTANT:
+            return True, symbol.value
+        return False, None
+
+    def find_module_by_suffix(self, suffix: str) -> Optional[ModuleSymbols]:
+        """The module whose relpath ends with ``suffix`` (rule anchors)."""
+        suffix = suffix.replace("\\", "/")
+        for relpath, module in sorted(self.by_relpath.items()):
+            normalized = relpath.replace("\\", "/")
+            if normalized == suffix or normalized.endswith("/" + suffix):
+                return self.modules[module]
+        return None

@@ -1,0 +1,177 @@
+"""Golden tests for the fork-boundary rule (CONC001).
+
+A module-level mutable container written from both dispatcher-side and
+worker-side reachable code silently diverges under the process
+backend. The fixture trees mirror the real fleet layout; one case
+routes the worker-side write through a ``Process(target=...)``-style
+function reference to prove reachability crosses the spawn boundary.
+"""
+
+from repro.statlint import LintConfig
+
+CONC = LintConfig(enable=("CONC001",))
+
+SHARED = '''
+    SEEN = {}
+
+
+    def note(key, value):
+        SEEN[key] = value
+'''
+
+
+def test_both_sides_writing_a_global_is_flagged(lint_tree):
+    result = lint_tree({
+        "repro/fleet/shared.py": SHARED,
+        "repro/fleet/dispatcher.py": '''
+            from repro.fleet.shared import note
+
+            def dispatch(tid):
+                note(tid, "dispatched")
+        ''',
+        "repro/fleet/workers.py": '''
+            from repro.fleet.shared import note
+
+            def execute_trial(tid):
+                note(tid, "done")
+        ''',
+    }, CONC)
+    (finding,) = result.active
+    assert finding.rule == "CONC001"
+    assert finding.path.endswith("shared.py")
+    assert "mutable 'SEEN' is written from dispatcher-side" in \
+        finding.message
+
+
+def test_reachability_crosses_a_spawn_target_reference(lint_tree):
+    """The worker-side write happens in a function only ever passed as
+    Process(target=...); the function-reference edge must carry it."""
+    result = lint_tree({
+        "repro/fleet/shared.py": SHARED,
+        "repro/fleet/dispatcher.py": '''
+            from repro.fleet.shared import SEEN
+
+            def dispatch(tid):
+                SEEN[tid] = "dispatched"
+        ''',
+        "repro/fleet/workers.py": '''
+            from multiprocessing import Process
+            from repro.fleet.shared import note
+
+            def _child(tid):
+                note(tid, "done")
+
+            def execute_trial(tid):
+                Process(target=_child, args=(tid,)).start()
+        ''',
+    }, CONC)
+    (finding,) = result.active
+    assert "'SEEN'" in finding.message
+
+
+def test_single_sided_writes_pass(lint_tree):
+    result = lint_tree({
+        "repro/fleet/shared.py": SHARED,
+        "repro/fleet/dispatcher.py": '''
+            def dispatch(tid):
+                return tid
+        ''',
+        "repro/fleet/workers.py": '''
+            from repro.fleet.shared import note
+
+            def execute_trial(tid):
+                note(tid, "done")
+        ''',
+    }, CONC)
+    assert result.ok, [f.message for f in result.active]
+
+
+def test_local_shadowing_is_not_a_global_write(lint_tree):
+    result = lint_tree({
+        "repro/fleet/shared.py": "SEEN = {}\n",
+        "repro/fleet/dispatcher.py": '''
+            def dispatch(tid):
+                SEEN = {}
+                SEEN[tid] = "local"
+        ''',
+        "repro/fleet/workers.py": '''
+            def execute_trial(tid):
+                SEEN = {}
+                SEEN[tid] = "local"
+        ''',
+    }, CONC)
+    assert result.ok, [f.message for f in result.active]
+
+
+def test_exempt_modules_may_share_state(lint_tree):
+    """The store/artifact layers are the sanctioned channel."""
+    config = LintConfig(enable=("CONC001",),
+                        conc_exempt=("repro/fleet/shared.py",))
+    result = lint_tree({
+        "repro/fleet/shared.py": SHARED,
+        "repro/fleet/dispatcher.py": '''
+            from repro.fleet.shared import note
+
+            def dispatch(tid):
+                note(tid, "dispatched")
+        ''',
+        "repro/fleet/workers.py": '''
+            from repro.fleet.shared import note
+
+            def execute_trial(tid):
+                note(tid, "done")
+        ''',
+    }, config)
+    assert result.ok, [f.message for f in result.active]
+
+
+def test_conc_suppression(lint_tree):
+    shared = '''
+        # statlint: disable=CONC001 (inline backend only, documented)
+        SEEN = {}
+
+
+        def note(key, value):
+            SEEN[key] = value
+    '''
+    result = lint_tree({
+        "repro/fleet/shared.py": shared,
+        "repro/fleet/dispatcher.py": '''
+            from repro.fleet.shared import note
+
+            def dispatch(tid):
+                note(tid, "dispatched")
+        ''',
+        "repro/fleet/workers.py": '''
+            from repro.fleet.shared import note
+
+            def execute_trial(tid):
+                note(tid, "done")
+        ''',
+    }, CONC)
+    assert result.ok
+    assert len(result.suppressed) == 1
+
+
+def test_fixed_through_the_store_passes(lint_tree):
+    """Rerouting worker-side state through a parameterized store (no
+    module-level container) clears the finding."""
+    result = lint_tree({
+        "repro/fleet/shared.py": '''
+            def note(store, key, value):
+                store.put(key, value)
+        ''',
+        "repro/fleet/dispatcher.py": '''
+            from repro.fleet.shared import note
+
+            def dispatch(store, tid):
+                note(store, tid, "dispatched")
+        ''',
+        "repro/fleet/workers.py": '''
+            from repro.fleet.shared import note
+
+            def execute_trial(store, tid):
+                note(store, tid, "done")
+        ''',
+    }, CONC)
+    assert result.ok, [f.message for f in result.active]

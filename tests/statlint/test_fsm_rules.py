@@ -1,0 +1,218 @@
+"""Golden tests for the fleet state-machine rules (FSM001/FSM002).
+
+Each family case follows the acceptance shape: a seeded violation that
+must fire, a suppressed variant, and a fixed variant that must pass.
+The fixture trees mirror the real layout (``repro/fleet/store.py``
+declaring ``TRIAL_STATES``/``_ALLOWED``; call sites resolving through
+imports), so the tests exercise symbol resolution, the call graph and
+constant propagation end to end.
+"""
+
+from repro.statlint import LintConfig
+
+from lint_helpers import rules_fired
+
+STORE = '''
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    LOST = "lost"
+
+    TRIAL_STATES = (PENDING, RUNNING, DONE, LOST)
+
+    _ALLOWED = {
+        PENDING: (RUNNING,),
+        RUNNING: (DONE, LOST),
+        DONE: (),
+        LOST: (),
+    }
+
+
+    class ResultsStore:
+        def transition(self, trial_id, to_state):
+            self._transition_in(None, trial_id, to_state)
+
+        def force_state(self, trial_id, to_state):
+            self._transition_in(None, trial_id, to_state)
+
+        def _transition_in(self, conn, trial_id, to_state):
+            pass
+'''
+
+# A dispatcher that enters every non-initial state through the named
+# constants, including one conditional join — the clean shape.
+DISPATCHER_CLEAN = '''
+    from repro.fleet.store import RUNNING, DONE, LOST
+
+    def run(store, trial_id, ok):
+        store.transition(trial_id, RUNNING)
+        state = DONE if ok else LOST
+        store.transition(trial_id, state)
+'''
+
+FSM1 = LintConfig(enable=("FSM001",))
+FSM2 = LintConfig(enable=("FSM002",))
+
+
+def test_clean_state_machine_passes(lint_tree):
+    result = lint_tree({
+        "repro/fleet/store.py": STORE,
+        "repro/fleet/dispatcher.py": DISPATCHER_CLEAN,
+    }, LintConfig(enable=("FSM001", "FSM002")))
+    assert result.ok, [f.message for f in result.active]
+
+
+def test_unknown_state_through_a_named_constant(lint_tree):
+    """Constant propagation, not literal matching: the bogus state
+    arrives via a locally defined constant, resolved project-wide."""
+    result = lint_tree({
+        "repro/fleet/store.py": STORE,
+        "repro/fleet/dispatcher.py": '''
+            from repro.fleet.store import RUNNING, DONE, LOST
+
+            ZOMBIE = "zombie"
+
+            def run(store, trial_id):
+                store.transition(trial_id, RUNNING)
+                store.transition(trial_id, DONE)
+                store.transition(trial_id, LOST)
+                store.transition(trial_id, ZOMBIE)
+        ''',
+    }, FSM1)
+    assert rules_fired(result) == ["FSM001"]
+    (finding,) = result.active
+    assert "'zombie'" in finding.message
+    assert "not a declared trial state" in finding.message
+
+
+def test_raw_state_string_outside_the_store(lint_tree):
+    result = lint_tree({
+        "repro/fleet/store.py": STORE,
+        "repro/fleet/dispatcher.py": '''
+            def run(store, trial_id):
+                store.transition(trial_id, "running")
+        ''',
+    }, FSM1)
+    (finding,) = result.active
+    assert finding.rule == "FSM001"
+    assert "raw state string 'running'" in finding.message
+    assert finding.path.endswith("dispatcher.py")
+
+
+def test_transition_to_a_never_legal_target(lint_tree):
+    """'orphan' is declared but no graph edge enters it, so the
+    transition raises at runtime on every path."""
+    store = STORE.replace(
+        'LOST = "lost"', 'LOST = "lost"\n    ORPHAN = "orphan"'
+    ).replace(
+        "TRIAL_STATES = (PENDING, RUNNING, DONE, LOST)",
+        "TRIAL_STATES = (PENDING, RUNNING, DONE, LOST, ORPHAN)"
+    ).replace("        LOST: (),", "        LOST: (),\n        ORPHAN: (),")
+    result = lint_tree({
+        "repro/fleet/store.py": store,
+        "repro/fleet/dispatcher.py": '''
+            from repro.fleet.store import ORPHAN
+
+            def run(store, trial_id):
+                store.transition(trial_id, ORPHAN)
+        ''',
+    }, FSM1)
+    (finding,) = result.active
+    assert finding.rule == "FSM001"
+    assert "can never succeed" in finding.message
+
+
+def test_force_state_accepts_any_declared_state(lint_tree):
+    """force_state bypasses the graph on purpose (resume repair), so
+    only the declared-state check applies to it."""
+    store = STORE.replace(
+        'LOST = "lost"', 'LOST = "lost"\n    ORPHAN = "orphan"'
+    ).replace(
+        "TRIAL_STATES = (PENDING, RUNNING, DONE, LOST)",
+        "TRIAL_STATES = (PENDING, RUNNING, DONE, LOST, ORPHAN)"
+    ).replace("        LOST: (),", "        LOST: (),\n        ORPHAN: (),")
+    result = lint_tree({
+        "repro/fleet/store.py": store,
+        "repro/fleet/dispatcher.py": '''
+            from repro.fleet.store import ORPHAN
+
+            def repair(store, trial_id):
+                store.force_state(trial_id, ORPHAN)
+        ''',
+    }, FSM1)
+    assert result.ok, [f.message for f in result.active]
+
+
+def test_fsm001_suppression(lint_tree):
+    result = lint_tree({
+        "repro/fleet/store.py": STORE,
+        "repro/fleet/dispatcher.py": '''
+            def run(store, trial_id):
+                # statlint: disable=FSM001 (migration shim)
+                store.transition(trial_id, "running")
+        ''',
+    }, FSM1)
+    assert result.ok
+    assert len(result.suppressed) == 1
+
+
+def test_declared_state_missing_from_the_graph(lint_tree):
+    store = STORE.replace("        LOST: (),\n", "")
+    result = lint_tree({
+        "repro/fleet/store.py": store,
+        "repro/fleet/dispatcher.py": DISPATCHER_CLEAN,
+    }, FSM2)
+    messages = [f.message for f in result.active]
+    assert any("'lost' has no entry in the transition graph" in m
+               for m in messages), messages
+    assert all(f.path.endswith("store.py") for f in result.active)
+
+
+def test_unreachable_state(lint_tree):
+    store = STORE.replace(
+        'LOST = "lost"', 'LOST = "lost"\n    LIMBO = "limbo"'
+    ).replace(
+        "TRIAL_STATES = (PENDING, RUNNING, DONE, LOST)",
+        "TRIAL_STATES = (PENDING, RUNNING, DONE, LOST, LIMBO)"
+    ).replace("        LOST: (),", "        LOST: (),\n        LIMBO: (),")
+    result = lint_tree({
+        "repro/fleet/store.py": store,
+        "repro/fleet/dispatcher.py": DISPATCHER_CLEAN,
+    }, FSM2)
+    messages = [f.message for f in result.active]
+    assert any("'limbo' is unreachable from the initial state 'pending'"
+               in m for m in messages), messages
+
+
+def test_never_entered_state(lint_tree):
+    """No call site anywhere moves a trial into 'lost'."""
+    dispatcher = '''
+        from repro.fleet.store import RUNNING, DONE
+
+        def run(store, trial_id):
+            store.transition(trial_id, RUNNING)
+            store.transition(trial_id, DONE)
+    '''
+    result = lint_tree({
+        "repro/fleet/store.py": STORE,
+        "repro/fleet/dispatcher.py": dispatcher,
+    }, FSM2)
+    (finding,) = result.active
+    assert "'lost' is declared but no call site" in finding.message
+
+
+def test_unknown_state_argument_disables_never_entered_checks(lint_tree):
+    """A site passing a computed state could enter anything; FSM002
+    must not guess at never-entered states then."""
+    dispatcher = '''
+        from repro.fleet.store import RUNNING
+
+        def run(store, trial_id, status_from_wire):
+            store.transition(trial_id, RUNNING)
+            store.transition(trial_id, status_from_wire)
+    '''
+    result = lint_tree({
+        "repro/fleet/store.py": STORE,
+        "repro/fleet/dispatcher.py": dispatcher,
+    }, FSM2)
+    assert result.ok, [f.message for f in result.active]

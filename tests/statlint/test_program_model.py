@@ -1,0 +1,316 @@
+"""Unit tests for the whole-program layers: symbol table, call graph,
+and intraprocedural dataflow.
+
+These drive the engine's :class:`Project` accessors over small
+synthetic trees written to disk, exercising the exact code path rules
+use (collection → symbols → callgraph → dataflow), not hand-built
+ASTs.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.statlint import LintConfig
+from repro.statlint.engine import Project, collect_files
+
+
+@pytest.fixture
+def build_project(tmp_path):
+    def run(files):
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        collected, errors = collect_files(
+            [tmp_path], LintConfig(), tmp_path)
+        assert not errors
+        return Project(collected)
+    return run
+
+
+# -- symbol table ------------------------------------------------------
+
+
+def test_constant_resolves_across_an_import(build_project):
+    project = build_project({
+        "pkg/__init__.py": "",
+        "pkg/store.py": 'PENDING = "pending"\n',
+        "pkg/user.py": "from pkg.store import PENDING\n",
+    })
+    known, value = project.symbols.constant_value("pkg.user", "PENDING")
+    assert known and value == "pending"
+
+
+def test_constant_resolves_through_a_reexport_chain(build_project):
+    project = build_project({
+        "pkg/__init__.py": "from .store import PENDING\n",
+        "pkg/store.py": 'PENDING = "pending"\n',
+        "pkg/user.py": "from pkg import PENDING\n",
+    })
+    known, value = project.symbols.constant_value("pkg.user", "PENDING")
+    assert known and value == "pending"
+
+
+def test_relative_import_is_absolutized(build_project):
+    project = build_project({
+        "pkg/__init__.py": "",
+        "pkg/store.py": "LIMIT = 7\n",
+        "pkg/user.py": "from .store import LIMIT as CAP\n",
+    })
+    known, value = project.symbols.constant_value("pkg.user", "CAP")
+    assert known and value == 7
+
+
+def test_dict_literal_built_from_bound_names_evaluates(build_project):
+    project = build_project({
+        "m.py": '''
+            A = "a"
+            B = "b"
+            GRAPH = {A: (B,), B: ()}
+        ''',
+    })
+    known, value = project.symbols.constant_value("m", "GRAPH")
+    assert known and value == {"a": ("b",), "b": ()}
+
+
+def test_mutable_globals_are_indexed(build_project):
+    project = build_project({
+        "m.py": '''
+            REGISTRY = {}
+            ITEMS = []
+            FROZEN = ("a",)
+            MADE = dict()
+        ''',
+    })
+    syms = project.symbols.module("m")
+    assert set(syms.mutable_globals) == {"REGISTRY", "ITEMS", "MADE"}
+
+
+def test_src_prefix_is_stripped_from_module_names(build_project):
+    project = build_project({
+        "src/pkg/__init__.py": "",
+        "src/pkg/mod.py": "X = 1\n",
+    })
+    assert "pkg.mod" in project.symbols.modules
+
+
+# -- call graph --------------------------------------------------------
+
+
+def test_direct_call_edge(build_project):
+    project = build_project({
+        "m.py": '''
+            def callee():
+                pass
+
+            def caller():
+                callee()
+        ''',
+    })
+    assert "m.callee" in project.callgraph.callees("m.caller")
+
+
+def test_cross_module_call_edge_through_import(build_project):
+    project = build_project({
+        "pkg/__init__.py": "",
+        "pkg/lib.py": "def helper():\n    pass\n",
+        "pkg/app.py": '''
+            from pkg.lib import helper
+
+            def run():
+                helper()
+        ''',
+    })
+    assert "pkg.lib.helper" in project.callgraph.callees("pkg.app.run")
+
+
+def test_self_method_call_binds_to_enclosing_class(build_project):
+    project = build_project({
+        "m.py": '''
+            class Worker:
+                def step(self):
+                    self.finish()
+
+                def finish(self):
+                    pass
+        ''',
+    })
+    assert "m.Worker.finish" in project.callgraph.callees("m.Worker.step")
+
+
+def test_unresolved_method_call_binds_by_name_to_all_classes(
+        build_project):
+    project = build_project({
+        "m.py": '''
+            class A:
+                def emit(self):
+                    pass
+
+            class B:
+                def emit(self):
+                    pass
+
+            def fan(sink):
+                sink.emit()
+        ''',
+    })
+    callees = project.callgraph.callees("m.fan")
+    assert {"m.A.emit", "m.B.emit"} <= callees
+
+
+def test_constructor_call_edges_to_init(build_project):
+    project = build_project({
+        "m.py": '''
+            class Thing:
+                def __init__(self):
+                    pass
+
+            def make():
+                return Thing()
+        ''',
+    })
+    assert "m.Thing.__init__" in project.callgraph.callees("m.make")
+
+
+def test_function_reference_argument_counts_as_a_call(build_project):
+    """``Process(target=f)`` / ``functools.partial(f)`` style edges."""
+    project = build_project({
+        "m.py": '''
+            import functools
+            from multiprocessing import Process
+
+            def worker():
+                pass
+
+            def tick():
+                pass
+
+            def spawn():
+                Process(target=worker).start()
+                return functools.partial(tick, 1)
+        ''',
+    })
+    callees = project.callgraph.callees("m.spawn")
+    assert {"m.worker", "m.tick"} <= callees
+    reach = project.callgraph.reachable(["m.spawn"])
+    assert "m.worker" in reach and "m.tick" in reach
+
+
+def test_module_body_calls_are_attributed_to_module_node(build_project):
+    project = build_project({
+        "m.py": '''
+            def setup():
+                pass
+
+            setup()
+        ''',
+    })
+    assert "m.setup" in project.callgraph.callees("m.<module>")
+
+
+# -- dataflow ----------------------------------------------------------
+
+
+def _flow(project, relpath, func_name):
+    source = project.find(relpath)
+    for node in source.tree.body:
+        if getattr(node, "name", None) == func_name:
+            return project.dataflow_for(source, node), node
+    raise AssertionError(f"no function {func_name} in {relpath}")
+
+
+def _return_value(flow, func):
+    import ast
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            return flow.value_of(node.value)
+    raise AssertionError("no return")
+
+
+@pytest.mark.parametrize("expr,dtype", [
+    ("np.zeros(8, dtype=np.uint8)", "uint8"),
+    ("np.zeros(8)", "float64"),
+    ("np.arange(8, dtype=np.int64)", "int64"),
+    ("np.zeros(8, dtype=np.uint8).astype(np.int64)", "int64"),
+    ("np.zeros(8, dtype=np.uint8) + np.zeros(8, dtype=np.int64)",
+     "int64"),
+    ("np.zeros(8, dtype=np.uint8) + 1", "uint8"),      # NEP 50
+    ("np.zeros(8, dtype=np.uint8) + 1.5", "float64"),
+    ("np.bincount(np.arange(4), weights=np.arange(4))", "float64"),
+    ("np.zeros(8, dtype=np.uint8).sum()", "intp"),
+    ("np.zeros(8, dtype=np.uint8).sum(dtype=np.int64)", "int64"),
+    ("np.argsort(np.zeros(8, dtype=np.uint8))", "intp"),
+    ("np.zeros(8, dtype=np.uint16)[2:5]", "uint16"),
+])
+def test_dtype_inference(build_project, expr, dtype):
+    project = build_project({
+        "m.py": f"import numpy as np\n\ndef f():\n"
+                f"    return {expr}\n",
+    })
+    flow, func = _flow(project, "m.py", "f")
+    assert _return_value(flow, func).dtype == dtype
+
+
+def test_constants_join_across_conditional(build_project):
+    project = build_project({
+        "m.py": '''
+            A = "lost"
+            B = "quarantined"
+
+            def f(q):
+                state = B if q else A
+                return state
+        ''',
+    })
+    flow, func = _flow(project, "m.py", "f")
+    assert _return_value(flow, func).consts == {"lost", "quarantined"}
+
+
+def test_constants_join_across_if_statement(build_project):
+    project = build_project({
+        "m.py": '''
+            def f(q):
+                state = "a"
+                if q:
+                    state = "b"
+                return state
+        ''',
+    })
+    flow, func = _flow(project, "m.py", "f")
+    assert _return_value(flow, func).consts == {"a", "b"}
+
+
+def test_constant_set_degrades_beyond_the_bound(build_project):
+    branches = "\n".join(
+        f"                elif k == {i}:\n"
+        f"                    state = \"s{i}\""
+        for i in range(2, 8))
+    project = build_project({
+        "m.py": f'''
+            def f(k):
+                if k == 1:
+                    state = "s1"
+{branches}
+                else:
+                    state = "s0"
+                return state
+        ''',
+    })
+    flow, func = _flow(project, "m.py", "f")
+    assert _return_value(flow, func).consts is None
+
+
+def test_name_load_falls_back_to_project_constants(build_project):
+    project = build_project({
+        "pkg/__init__.py": "",
+        "pkg/store.py": 'DONE = "done"\n',
+        "pkg/app.py": '''
+            from pkg.store import DONE
+
+            def f():
+                return DONE
+        ''',
+    })
+    flow, func = _flow(project, "pkg/app.py", "f")
+    assert _return_value(flow, func).const == "done"

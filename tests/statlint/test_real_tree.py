@@ -85,14 +85,16 @@ def test_list_rules_catalog(capsys):
     out = capsys.readouterr().out
     assert code == 0
     for rule_id in ("DET001", "DET002", "DET003", "ERR001", "NUM001",
-                    "SNAP001", "EXP001"):
+                    "SNAP001", "EXP001", "FSM001", "FSM002", "NUM101",
+                    "NUM102", "NUM103", "NUM104", "TEL101", "TEL102",
+                    "TEL103", "CONC001"):
         assert rule_id in out
 
 
 def test_missing_path_is_a_usage_error(capsys):
     code = main(["--config", str(REPO_ROOT / "pyproject.toml"),
                  str(REPO_ROOT / "no-such-dir")])
-    assert code == 2
+    assert code == 3
     assert "no such path" in capsys.readouterr().err
 
 
@@ -101,13 +103,33 @@ def test_bad_config_key_is_a_config_error(tmp_path, capsys):
     pyproject.write_text("[tool.statlint]\nno-such-option = true\n")
     (tmp_path / "empty.py").write_text("")
     code = main(["--config", str(pyproject), str(tmp_path / "empty.py")])
-    assert code == 2
+    assert code == 3
     assert "bad configuration" in capsys.readouterr().err
 
 
 def test_repo_config_lists_every_rule(repo_config):
     assert set(repo_config.enable) == {
         "DET001", "DET002", "DET003", "TEL001", "ERR001", "ERR002",
-        "NUM001", "SNAP001", "EXP001"}
+        "NUM001", "SNAP001", "EXP001",
+        "FSM001", "FSM002", "NUM101", "NUM102", "NUM103", "NUM104",
+        "TEL101", "TEL102", "TEL103", "CONC001"}
     assert "repro/core/walltime.py" in repo_config.wallclock_allow
     assert "repro/telemetry/*" in repo_config.telemetry_paths
+    assert repo_config.store_path == "repro/fleet/store.py"
+    assert "repro/core/*" in repo_config.num_hot_paths
+
+
+def test_shipped_tree_is_clean_against_committed_baseline(capsys):
+    """The acceptance contract: SARIF output, committed baseline, exit 0."""
+    code = main(["--config", str(REPO_ROOT / "pyproject.toml"),
+                 "--format", "sarif",
+                 "--baseline", str(REPO_ROOT / ".statlint-baseline.json"),
+                 str(SRC)])
+    report = json.loads(capsys.readouterr().out)
+    assert code == 0
+    run = report["runs"][0]
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"FSM001", "NUM101", "TEL102", "CONC001"} <= rule_ids
+    # Every non-suppressed result must be baselined or absent; the
+    # shipped tree has none.
+    assert all(r["suppressions"] for r in run["results"])

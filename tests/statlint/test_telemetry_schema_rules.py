@@ -1,0 +1,178 @@
+"""Golden tests for the whole-program telemetry rules (TEL101–TEL103).
+
+The fixture trees declare a real ``EVENT_SCHEMA``/``make_event`` pair
+and emit through wrapper layers, so the tests exercise the forwarder
+fixpoint (emit sites two hops from ``make_event``), injected-field
+accounting, and the never-guess rule for non-literal kinds.
+"""
+
+from repro.statlint import LintConfig
+
+from lint_helpers import rules_fired
+
+EVENTS = '''
+    EVENT_SCHEMA = {
+        "trial_start": {"trial": "int", "seed": "int"},
+        "trial_finish": {"trial": "int", "status": "str"},
+    }
+
+
+    def make_event(kind, t, instance=-1, **payload):
+        return {"kind": kind, "t": t, "instance": instance, **payload}
+'''
+
+TEL = LintConfig(enable=("TEL101", "TEL102", "TEL103"))
+
+
+def test_clean_emits_through_a_forwarder(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        "repro/fleet/app.py": '''
+            from repro.telemetry.events import make_event
+
+            def _emit(kind, **payload):
+                return make_event(kind, 0.0, **payload)
+
+            def start(tid):
+                _emit("trial_start", trial=tid, seed=1)
+        ''',
+    }, TEL)
+    assert result.ok, [f.message for f in result.active]
+
+
+def test_unknown_kind_through_a_forwarder(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        "repro/fleet/app.py": '''
+            from repro.telemetry.events import make_event
+
+            def _emit(kind, **payload):
+                return make_event(kind, 0.0, **payload)
+
+            def start(tid):
+                _emit("trial_begin", trial=tid, seed=1)
+        ''',
+    }, TEL)
+    (finding,) = result.active
+    assert finding.rule == "TEL101"
+    assert "'trial_begin' is not declared" in finding.message
+    assert finding.path.endswith("app.py")
+
+
+def test_unknown_payload_field(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        "repro/fleet/app.py": '''
+            from repro.telemetry.events import make_event
+
+            def finish(tid):
+                make_event("trial_finish", 0.0, trial=tid, outcome="ok")
+        ''',
+    }, TEL)
+    rules = rules_fired(result)
+    assert "TEL102" in rules
+    messages = [f.message for f in result.active]
+    assert any("no field 'outcome'" in m for m in messages), messages
+
+
+def test_literal_emit_missing_a_field(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        "repro/fleet/app.py": '''
+            from repro.telemetry.events import make_event
+
+            def finish(tid):
+                make_event("trial_finish", 0.0, trial=tid)
+        ''',
+    }, TEL)
+    (finding,) = result.active
+    assert finding.rule == "TEL103"
+    assert "omits required field(s) 'status'" in finding.message
+
+
+def test_forwarder_injected_fields_are_credited(lint_tree):
+    """A wrapper adding trial= downstream satisfies TEL103 for its
+    callers."""
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        "repro/fleet/app.py": '''
+            from repro.telemetry.events import make_event
+
+            def _emit_trial(kind, tid, **payload):
+                return make_event(kind, 0.0, trial=tid, **payload)
+
+            def finish(tid):
+                _emit_trial("trial_finish", tid, status="ok")
+        ''',
+    }, TEL)
+    assert result.ok, [f.message for f in result.active]
+
+
+def test_star_expansion_sites_skip_tel103(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        "repro/fleet/app.py": '''
+            from repro.telemetry.events import make_event
+
+            def finish(tid, extra):
+                make_event("trial_finish", 0.0, trial=tid, **extra)
+        ''',
+    }, TEL)
+    assert result.ok, [f.message for f in result.active]
+
+
+def test_non_literal_kind_is_never_guessed(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        "repro/fleet/app.py": '''
+            from repro.telemetry.events import make_event
+
+            def relay(kind_from_wire, tid):
+                make_event(kind_from_wire, 0.0, trial=tid)
+        ''',
+    }, TEL)
+    assert result.ok
+
+
+def test_conditional_kind_with_single_value_checked(lint_tree):
+    """A kind joined from identical branches stays statically known."""
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        "repro/fleet/app.py": '''
+            from repro.telemetry.events import make_event
+
+            def finish(tid, crashed):
+                status = "crash" if crashed else "ok"
+                make_event("trial_finish", 0.0, trial=tid,
+                           status=status)
+        ''',
+    }, TEL)
+    assert result.ok, [f.message for f in result.active]
+
+
+def test_tel_suppression(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        "repro/fleet/app.py": '''
+            from repro.telemetry.events import make_event
+
+            def finish(tid):
+                # statlint: disable=TEL103 (status patched downstream)
+                make_event("trial_finish", 0.0, trial=tid)
+        ''',
+    }, TEL)
+    assert result.ok
+    assert len(result.suppressed) == 1
+
+
+def test_fixed_emit_passes(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        "repro/fleet/app.py": '''
+            from repro.telemetry.events import make_event
+
+            def finish(tid):
+                make_event("trial_finish", 0.0, trial=tid, status="ok")
+        ''',
+    }, TEL)
+    assert result.ok
