@@ -23,6 +23,14 @@ the trials (see :mod:`repro.fleet.cli`)::
 
     repro-fuzz fleet --fuzzers afl,bigmap --benchmarks zlib,libpng \\
         --trials 5 --workers 4
+
+The ``serve`` subcommand runs the live telemetry dashboard (HTTP API +
+websocket) over a telemetry directory, and ``report`` renders a static
+HTML comparison report from fleet results stores (see
+:mod:`repro.telemetry.serve.cli`)::
+
+    repro-fuzz serve /tmp/t --store fleet=results.sqlite
+    repro-fuzz report --store run=results.sqlite --out compare.html
 """
 
 from __future__ import annotations
@@ -94,9 +102,42 @@ def build_parser() -> argparse.ArgumentParser:
                         help="flush telemetry artifacts into DIR; with "
                              "the pseudo benchmark 'telemetry', render "
                              "a status view over DIR instead")
+    parser.add_argument("--follow", action="store_true",
+                        help="with the 'telemetry' status view: keep "
+                             "refreshing (incremental tail reads)")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="--follow refresh interval in seconds "
+                             "(default 2)")
+    parser.add_argument("--refreshes", type=int, default=0,
+                        help="with --follow: stop after N refreshes "
+                             "(0 = until interrupted)")
     parser.add_argument("--list-benchmarks", action="store_true",
                         help="list benchmark names and exit")
     return parser
+
+
+def _follow_telemetry(root: str, interval: float,
+                      refreshes: int) -> int:
+    """Refreshing status view over a (possibly growing) telemetry
+    tree. Uses :class:`repro.telemetry.introspect.StatusTracker`, so
+    each tick reads only the event-log bytes appended since the last
+    one — cheap enough to leave running next to a live campaign."""
+    import time
+
+    from .telemetry.introspect import StatusTracker
+    tracker = StatusTracker(root)
+    count = 0
+    try:
+        while True:
+            print(tracker.refresh())
+            count += 1
+            if refreshes and count >= refreshes:
+                break
+            print()
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _print_summary(title: str, rows) -> None:
@@ -112,6 +153,12 @@ def main(argv=None) -> int:
     if raw and raw[0] == "fleet":
         from .fleet.cli import main as fleet_main
         return fleet_main(raw[1:])
+    if raw and raw[0] == "serve":
+        from .telemetry.serve.cli import main as serve_main
+        return serve_main(raw[1:])
+    if raw and raw[0] == "report":
+        from .telemetry.serve.cli import report_main
+        return report_main(raw[1:])
     if argv and "--list-benchmarks" in argv or \
             (argv is None and "--list-benchmarks" in sys.argv):
         for name in benchmark_names("all"):
@@ -123,6 +170,9 @@ def main(argv=None) -> int:
         if args.telemetry_dir is None:
             parser.error("the 'telemetry' status view requires "
                          "--telemetry-dir DIR")
+        if args.follow:
+            return _follow_telemetry(args.telemetry_dir,
+                                     args.interval, args.refreshes)
         from .telemetry.introspect import render_tree
         print(render_tree(args.telemetry_dir))
         return 0

@@ -121,6 +121,12 @@ def main(argv=None) -> int:
                         metavar="DIR",
                         help="flush per-campaign telemetry artifacts "
                              "under DIR")
+    parser.add_argument("--serve", action="store_true",
+                        help="with --telemetry-dir: serve the live "
+                             "dashboard over DIR while experiments run")
+    parser.add_argument("--serve-port", type=int, default=8722,
+                        help="--serve listen port; 0 picks a free one "
+                             "(default 8722)")
     output = parser.add_mutually_exclusive_group()
     output.add_argument("--quiet", action="store_true",
                         help="one status line per experiment, no "
@@ -145,8 +151,18 @@ def main(argv=None) -> int:
     profile = get_profile(args.profile)
     names = _resolve_names(args.experiments, parser)
 
+    if args.serve and args.telemetry_dir is None:
+        parser.error("--serve requires --telemetry-dir (it serves "
+                     "that directory)")
+
     if args.telemetry_dir is not None:
         TELEMETRY.activate(args.telemetry_dir)
+    server = None
+    if args.serve:
+        from ..telemetry.serve.background import BackgroundServer
+        server = BackgroundServer(str(args.telemetry_dir),
+                                  port=args.serve_port).start()
+        reporter.info(f"live dashboard: {server.url}")
     cache = BenchmarkCache()
     failures: List[str] = []
     try:
@@ -171,6 +187,8 @@ def main(argv=None) -> int:
                 (args.out / f"{name}.txt").write_text(report + "\n")
     finally:
         TELEMETRY.deactivate()
+        if server is not None:
+            server.stop()
     if args.telemetry_dir is not None:
         reporter.info(f"telemetry artifacts: {args.telemetry_dir}")
     if failures:

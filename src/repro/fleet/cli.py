@@ -142,7 +142,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="hard-kill this dispatcher (os._exit) "
                              "after N dispatch-loop iterations (chaos "
                              "testing; pair with --resume)")
+    parser.add_argument("--serve", action="store_true",
+                        help="serve the live dashboard while the "
+                             "fleet runs (trial progress via a "
+                             "read-only view of --store; event "
+                             "streams via --telemetry-dir)")
+    parser.add_argument("--serve-port", type=int, default=8722,
+                        help="--serve listen port; 0 picks a free "
+                             "one (default 8722)")
     return parser
+
+
+def _maybe_serve(args, store_path: str):
+    """Start the background dashboard server for ``--serve``.
+
+    The server tails ``--telemetry-dir`` (when given) for event
+    streams and exposes the results store read-only under
+    ``/api/fleet/fleet/`` — the dispatcher keeps the only writable
+    connection.
+    """
+    if not args.serve:
+        return None
+    root = args.telemetry_dir or args.workdir or "."
+    stores = {} if store_path == ":memory:" else {"fleet": store_path}
+    from ..telemetry.serve.background import BackgroundServer
+    server = BackgroundServer(root, stores=stores,
+                              port=args.serve_port).start()
+    print(f"live dashboard: {server.url}")
+    return server
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -197,13 +224,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "--store and --workdir to resume from")
         chaos = _HardKillAfter(args.chaos_kill_after)
 
-    with ResultsStore(args.store) as store:
-        dispatcher = FleetDispatcher(
-            spec, store=store, backend=backend, telemetry=telemetry,
-            workdir=args.workdir, measure=not args.no_measure,
-            chaos=chaos)
-        summary = dispatcher.run()
-        _report(args, telemetry, store, summary, spec)
+    server = _maybe_serve(args, args.store)
+    try:
+        with ResultsStore(args.store) as store:
+            dispatcher = FleetDispatcher(
+                spec, store=store, backend=backend,
+                telemetry=telemetry, workdir=args.workdir,
+                measure=not args.no_measure, chaos=chaos)
+            summary = dispatcher.run()
+            _report(args, telemetry, store, summary, spec)
+    finally:
+        if server is not None:
+            server.stop()
     return 1 if summary.lost else 0
 
 
@@ -229,12 +261,17 @@ def _main_resume(parser: argparse.ArgumentParser,
     if args.chaos_kill_after is not None:
         chaos = _HardKillAfter(args.chaos_kill_after)
 
-    with ResultsStore(args.resume) as store:
-        dispatcher = FleetDispatcher.from_store(
-            store, backend=backend, telemetry=telemetry,
-            measure=not args.no_measure, chaos=chaos)
-        summary = dispatcher.run()
-        _report(args, telemetry, store, summary, dispatcher.spec)
+    server = _maybe_serve(args, args.resume)
+    try:
+        with ResultsStore(args.resume) as store:
+            dispatcher = FleetDispatcher.from_store(
+                store, backend=backend, telemetry=telemetry,
+                measure=not args.no_measure, chaos=chaos)
+            summary = dispatcher.run()
+            _report(args, telemetry, store, summary, dispatcher.spec)
+    finally:
+        if server is not None:
+            server.stop()
     return 1 if summary.lost else 0
 
 

@@ -8,11 +8,17 @@ Mann–Whitney p-value, the Vargha–Delaney Â₁₂ effect size, and a
 bootstrap CI on the median difference. Output is deterministic: groups
 and fuzzers render in sorted order, and every interval comes from the
 seeded resampler in :mod:`repro.fleet.stats`.
+
+The computation and the text rendering are split so every consumer of
+fleet statistics reports the *same numbers*: :func:`metric_stats` /
+:func:`group_stats` produce plain data, and the text report here, the
+``/api/fleet/{store}/stats`` endpoint, and the static HTML comparison
+report (:mod:`repro.telemetry.serve.reportgen`) all render from it.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .spec import FleetSpec
 from .stats import (bootstrap_ci, bootstrap_diff_ci, mann_whitney_u,
@@ -47,23 +53,31 @@ def _fmt(value: float) -> str:
     return f"{value:,.1f}" if abs(value) < 1e6 else f"{value:,.3g}"
 
 
-def _metric_section(store: ResultsStore, benchmark: str,
-                    map_size: int, fuzzers: List[str], metric: str,
-                    seed: int) -> List[str]:
-    lines = [f"  metric: {metric}"]
-    samples = {}
+def metric_stats(store: ResultsStore, benchmark: str, map_size: int,
+                 fuzzers: Sequence[str], metric: str,
+                 seed: int = 0) -> dict:
+    """One group × metric comparison, as plain data.
+
+    Per fuzzer: sample size, median, seeded bootstrap CI. Per fuzzer
+    pair (in the given fuzzer order): Mann–Whitney U and p-value,
+    Vargha–Delaney Â₁₂, and a seeded bootstrap CI on the median
+    difference. Every number comes straight out of
+    :mod:`repro.fleet.stats` — this function is the parity point the
+    HTML report and the live API are tested against.
+    """
+    samples: Dict[str, List[float]] = {}
+    summary: List[dict] = []
     for fuzzer in fuzzers:
         values = store.sample(metric, benchmark=benchmark,
                               fuzzer=fuzzer, map_size=map_size)
         samples[fuzzer] = values
         if not values:
-            lines.append(f"    {fuzzer:<8} no completed trials")
+            summary.append({"fuzzer": fuzzer, "n": 0})
             continue
         lo, hi = bootstrap_ci(values, seed=seed)
-        lines.append(
-            f"    {fuzzer:<8} n={len(values):<3d} "
-            f"median={_fmt(_median(values)):>12} "
-            f"95% CI [{_fmt(lo)}, {_fmt(hi)}]")
+        summary.append({"fuzzer": fuzzer, "n": len(values),
+                        "median": _median(values), "ci": [lo, hi]})
+    pairs: List[dict] = []
     for i, first in enumerate(fuzzers):
         for second in fuzzers[i + 1:]:
             x, y = samples[first], samples[second]
@@ -72,11 +86,51 @@ def _metric_section(store: ResultsStore, benchmark: str,
             test = mann_whitney_u(x, y)
             a12 = vargha_delaney_a12(x, y)
             dlo, dhi = bootstrap_diff_ci(x, y, seed=seed)
-            marker = " *" if test.p_value < ALPHA else ""
-            lines.append(
-                f"    {first} vs {second}: U={test.u1:.1f} "
-                f"p={test.p_value:.4f}{marker} A12={a12:.3f} "
-                f"dmedian 95% CI [{_fmt(dlo)}, {_fmt(dhi)}]")
+            pairs.append({
+                "first": first, "second": second,
+                "u1": test.u1, "u2": test.u2,
+                "p_value": test.p_value,
+                "significant": bool(test.p_value < ALPHA),
+                "a12": a12, "diff_ci": [dlo, dhi]})
+    return {"metric": metric, "fuzzers": summary, "pairs": pairs}
+
+
+def group_stats(store: ResultsStore,
+                fuzzers: Optional[Sequence[str]] = None,
+                metrics: Sequence[str] = REPORT_METRICS,
+                seed: int = 0) -> List[dict]:
+    """Every (benchmark, map-size) group's comparisons, sorted."""
+    order = list(fuzzers) if fuzzers is not None else store.fuzzers()
+    groups: List[dict] = []
+    for benchmark, map_size in store.groups():
+        groups.append({
+            "benchmark": benchmark, "map_size": map_size,
+            "label": f"{benchmark} @ {_size_label(map_size)} map",
+            "metrics": [metric_stats(store, benchmark, map_size,
+                                     order, metric, seed)
+                        for metric in metrics]})
+    return groups
+
+
+def _metric_section(stats: dict) -> List[str]:
+    lines = [f"  metric: {stats['metric']}"]
+    for entry in stats["fuzzers"]:
+        if entry["n"] == 0:
+            lines.append(f"    {entry['fuzzer']:<8} no completed trials")
+            continue
+        lo, hi = entry["ci"]
+        lines.append(
+            f"    {entry['fuzzer']:<8} n={entry['n']:<3d} "
+            f"median={_fmt(entry['median']):>12} "
+            f"95% CI [{_fmt(lo)}, {_fmt(hi)}]")
+    for pair in stats["pairs"]:
+        dlo, dhi = pair["diff_ci"]
+        marker = " *" if pair["significant"] else ""
+        lines.append(
+            f"    {pair['first']} vs {pair['second']}: "
+            f"U={pair['u1']:.1f} "
+            f"p={pair['p_value']:.4f}{marker} A12={pair['a12']:.3f} "
+            f"dmedian 95% CI [{_fmt(dlo)}, {_fmt(dhi)}]")
     return lines
 
 
@@ -107,10 +161,9 @@ def render_report(store: ResultsStore,
                      f"{', '.join(str(t) for t in lost)}")
     lines.append(f"significance: two-sided Mann-Whitney, "
                  f"* marks p < {ALPHA}")
-    for benchmark, map_size in store.groups():
+    for group in group_stats(store, fuzzers, metrics, seed):
         lines.append("")
-        lines.append(f"{benchmark} @ {_size_label(map_size)} map")
-        for metric in metrics:
-            lines.extend(_metric_section(
-                store, benchmark, map_size, fuzzers, metric, seed))
+        lines.append(group["label"])
+        for stats in group["metrics"]:
+            lines.extend(_metric_section(stats))
     return "\n".join(lines)

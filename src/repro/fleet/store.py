@@ -141,7 +141,17 @@ class ResultsStore:
             transient lock/IO errors.
         retry_seed: seed of the jitter stream backing those retries
             (the backoff schedule is a pure function of it).
+        mode: ``"rw"`` (default) or ``"ro"``. Read-only stores open
+            the database with a ``file:...?mode=ro`` URI plus
+            ``PRAGMA query_only = ON``, never run the schema script,
+            and refuse every write API up front — so a live API
+            server can poll a store a dispatcher is writing without
+            ever competing for the WAL write lock.
     """
+
+    #: Connection modes.
+    RW = "rw"
+    RO = "ro"
 
     #: Base / cap of the retry backoff, seconds (exponential + jitter).
     RETRY_BASE = 0.01
@@ -150,8 +160,17 @@ class ResultsStore:
     def __init__(self, path: str = ":memory:", *,
                  busy_timeout: int = 5000,
                  max_io_attempts: int = 5,
-                 retry_seed: int = 0) -> None:
+                 retry_seed: int = 0,
+                 mode: str = RW) -> None:
+        if mode not in (self.RW, self.RO):
+            raise ValueError(f"unknown store mode {mode!r}; "
+                             f"use {self.RW!r} or {self.RO!r}")
+        if mode == self.RO and path == ":memory:":
+            raise ValueError("a read-only store needs a database file "
+                             "(an in-memory store would always be "
+                             "empty)")
         self.path = path
+        self.mode = mode
         self.busy_timeout = busy_timeout
         self.max_io_attempts = max_io_attempts
         self.write_retries = 0
@@ -160,11 +179,13 @@ class ResultsStore:
         self.on_retry: Optional[Callable[[str, int, str], None]] = None
         self._injected_io_faults = 0
         self._retry_rng = np.random.default_rng(retry_seed)
-        if path != ":memory:":
+        if path != ":memory:" and mode == self.RW:
             parent = os.path.dirname(os.path.abspath(path))
             os.makedirs(parent, exist_ok=True)
         self._conn: Optional[sqlite3.Connection] = self._connect()
-        self._transact("schema", lambda conn: conn.executescript(_SCHEMA))
+        if mode == self.RW:
+            self._transact(
+                "schema", lambda conn: conn.executescript(_SCHEMA))
 
     # -- connection lifecycle ------------------------------------------
 
@@ -175,13 +196,30 @@ class ResultsStore:
         persists in the file for WAL, but ``busy_timeout`` and
         ``synchronous`` do not), so every connection — creation,
         reconnect, concurrent process — must come through here.
+        A read-only store connects through a ``mode=ro`` URI and pins
+        ``query_only`` so even a stray write statement cannot take
+        the WAL write lock.
         """
+        if self.mode == self.RO:
+            uri = f"file:{os.path.abspath(self.path)}?mode=ro"
+            conn = sqlite3.connect(uri, uri=True,
+                                   timeout=self.busy_timeout / 1000.0)
+            conn.execute(
+                f"PRAGMA busy_timeout = {int(self.busy_timeout)}")
+            conn.execute("PRAGMA query_only = ON")
+            return conn
         conn = sqlite3.connect(self.path,
                                timeout=self.busy_timeout / 1000.0)
         conn.execute(f"PRAGMA busy_timeout = {int(self.busy_timeout)}")
         conn.execute("PRAGMA journal_mode = WAL")
         conn.execute("PRAGMA synchronous = NORMAL")
         return conn
+
+    def _require_writable(self, op: str) -> None:
+        if self.mode == self.RO:
+            raise FleetStateError(
+                f"store operation {op!r} on a read-only "
+                f"(mode='ro') store {self.path!r}")
 
     @property
     def closed(self) -> bool:
@@ -249,6 +287,7 @@ class ResultsStore:
         Idempotent: existing rows — a resumed fleet's progress — are
         left untouched.
         """
+        self._require_writable("init_states")
         rows = [(int(trial_id), PENDING, 0, 0) for trial_id in trial_ids]
         self._transact("init_states", lambda conn: conn.executemany(
             "INSERT OR IGNORE INTO trial_state VALUES (?, ?, ?, ?)",
@@ -313,6 +352,7 @@ class ResultsStore:
         before the backend sees the request, so a dispatcher crash
         between bookkeeping and submit can never under-count attempts.
         """
+        self._require_writable(f"transition:{to_state}")
         if to_state not in TRIAL_STATES:
             raise FleetStateError(f"unknown trial state {to_state!r}")
         _, attempt = self._transact(
@@ -329,6 +369,7 @@ class ResultsStore:
         Normal code paths must use :meth:`transition`; statlint's
         FSM001 checks the state argument at every call site of both.
         """
+        self._require_writable(f"force_state:{to_state}")
         if to_state not in TRIAL_STATES:
             raise FleetStateError(f"unknown trial state {to_state!r}")
         self._transact(
@@ -372,6 +413,7 @@ class ResultsStore:
     # -- fleet metadata ------------------------------------------------
 
     def set_meta(self, key: str, value: str) -> None:
+        self._require_writable("set_meta")
         self._transact("set_meta", lambda conn: conn.execute(
             "INSERT OR REPLACE INTO fleet_meta VALUES (?, ?)",
             (key, str(value))))
@@ -392,6 +434,7 @@ class ResultsStore:
         it to ``measuring`` — the row and the state can never disagree
         on whether a result landed.
         """
+        self._require_writable("record_trial")
         curve = json.dumps(
             [[t, int(edges)] for t, edges in result.coverage_curve])
 
@@ -417,6 +460,7 @@ class ResultsStore:
         corruption* — the trial is terminal either way, but reports
         distinguish "never finished" from "finished but untrustworthy".
         """
+        self._require_writable("record_lost")
         state = QUARANTINED if quarantined else LOST
 
         def write(conn: sqlite3.Connection) -> None:
@@ -434,6 +478,7 @@ class ResultsStore:
     def record_measurement(self, trial_id: int, snapshot: int,
                            virtual_seconds: float, corpus_size: int,
                            true_edges: int, lag_seconds: float) -> None:
+        self._require_writable("record_measurement")
         self._transact("record_measurement", lambda conn: conn.execute(
             "INSERT OR REPLACE INTO measurements VALUES "
             "(?, ?, ?, ?, ?, ?)",

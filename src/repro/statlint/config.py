@@ -56,7 +56,8 @@ class LintConfig:
         snapshot_methods: methods whose ``self.<attr>`` assignments
             define the campaign's mutable state for SNAP001.
         campaign_path / checkpoint_path / runner_path /
-            store_path / events_path / dispatcher_path / workers_path:
+            store_path / events_path / dispatcher_path / workers_path /
+            aggregator_path:
             project-relative locations of the cross-checked modules.
         num_hot_paths: kernel files the NUM1xx dtype-stability rules
             police (everywhere else, float math is presumed deliberate).
@@ -87,6 +88,7 @@ class LintConfig:
     events_path: str = "repro/telemetry/events.py"
     dispatcher_path: str = "repro/fleet/dispatcher.py"
     workers_path: str = "repro/fleet/workers.py"
+    aggregator_path: str = "repro/telemetry/serve/aggregator.py"
     num_hot_paths: Tuple[str, ...] = ("repro/core/*", "repro/fuzzer/*")
     conc_exempt: Tuple[str, ...] = (
         "repro/fleet/store.py", "repro/fleet/artifacts.py")

@@ -25,6 +25,12 @@ graph:
 * **TEL103** — a schema field is missing at a site with a fully
   literal payload (no ``**`` expansion), net of fields the forwarding
   chain itself injects.
+* **TEL104** — the consumer-side dual of TEL101: every schema kind
+  must be *consumed* by the live aggregator — an ``_on_<kind>``
+  handler on ``TelemetryAggregator`` or an explicit entry in its
+  ``IGNORED_KINDS`` — so a newly declared event kind cannot silently
+  vanish from the dashboard, and stale handlers/ignores are flagged
+  when a kind is renamed away.
 """
 
 from __future__ import annotations
@@ -262,6 +268,78 @@ class UnknownFieldRule(_TelRule):
             yield self.at(
                 emit, f"{emit.kind!r} events have no field {name!r} "
                       f"(schema: {', '.join(sorted(fields))})")
+
+
+#: Handler-method prefix TEL104 recognizes on the aggregator class.
+_HANDLER_PREFIX = "_on_"
+_AGGREGATOR_CLASS = "TelemetryAggregator"
+_IGNORED_NAME = "IGNORED_KINDS"
+
+
+@register
+class AggregatorCoverageRule(ProjectRule):
+    id = "TEL104"
+    title = "EVENT_SCHEMA kind unhandled by the telemetry aggregator"
+    rationale = ("The aggregator's constructor raises at runtime when "
+                 "a schema kind has neither an _on_<kind> handler nor "
+                 "an IGNORED_KINDS entry — i.e. the first time someone "
+                 "starts the dashboard after declaring a new event "
+                 "kind. Both sides are statically readable, so the "
+                 "mismatch (and stale handlers/ignores) fails lint "
+                 "instead.")
+
+    def check_project(self, project, config: LintConfig) -> Iterator:
+        model = _model(project, config)
+        if model.schema is None:
+            return
+        source = project.find(config.aggregator_path)
+        if source is None:
+            return
+        syms = project.symbols.module_for(source)
+        if syms is None:
+            return
+        relpath = source.relpath
+        methods = syms.methods.get(_AGGREGATOR_CLASS, {})
+        handlers = {name[len(_HANDLER_PREFIX):]: symbol
+                    for name, symbol in methods.items()
+                    if name.startswith(_HANDLER_PREFIX)}
+        ignored: Tuple[str, ...] = ()
+        ignored_line = 1
+        ignored_symbol = syms.constants.get(_IGNORED_NAME)
+        if ignored_symbol is not None and isinstance(
+                ignored_symbol.value, (tuple, list)):
+            ignored = tuple(str(k) for k in ignored_symbol.value)
+            ignored_line = ignored_symbol.lineno
+        class_symbol = syms.classes.get(_AGGREGATOR_CLASS)
+        class_line = (class_symbol.lineno
+                      if class_symbol is not None else 1)
+
+        for kind in sorted(model.schema):
+            if kind in handlers and kind in ignored:
+                yield self.finding(
+                    relpath, handlers[kind].lineno, 0,
+                    f"event kind {kind!r} is both handled "
+                    f"({_HANDLER_PREFIX}{kind}) and listed in "
+                    f"{_IGNORED_NAME}; pick one")
+            elif kind not in handlers and kind not in ignored:
+                yield self.finding(
+                    relpath, class_line, 0,
+                    f"EVENT_SCHEMA kind {kind!r} is neither handled "
+                    f"(add {_AGGREGATOR_CLASS}.{_HANDLER_PREFIX}"
+                    f"{kind}) nor explicitly ignored (add it to "
+                    f"{_IGNORED_NAME})")
+        for kind in sorted(handlers):
+            if kind not in model.schema:
+                yield self.finding(
+                    relpath, handlers[kind].lineno, 0,
+                    f"handler {_HANDLER_PREFIX}{kind} matches no "
+                    f"EVENT_SCHEMA kind (renamed or removed?)")
+        for kind in sorted(ignored):
+            if kind not in model.schema:
+                yield self.finding(
+                    relpath, ignored_line, 0,
+                    f"{_IGNORED_NAME} entry {kind!r} matches no "
+                    f"EVENT_SCHEMA kind (renamed or removed?)")
 
 
 @register

@@ -18,7 +18,7 @@ from .recorder import TelemetryRecorder
 from .validate import load_events
 
 __all__ = ["render_status", "render_recorder", "render_tree",
-           "load_directory"]
+           "load_directory", "StatusTracker"]
 
 #: (fuzzer_stats key, display label) rows of the status card.
 _STATUS_ROWS: Tuple[Tuple[str, str], ...] = (
@@ -94,3 +94,55 @@ def render_tree(root: str) -> str:
     if not sections:
         return f"=== {root} ===\n  (no telemetry artifacts found)"
     return "\n\n".join(sections)
+
+
+class StatusTracker:
+    """Refreshable status view that tails event logs incrementally.
+
+    :func:`render_tree` re-reads every ``events.jsonl`` from offset 0,
+    which is fine for a one-shot view but quadratic for a refreshing
+    one (``--follow``): a long campaign's log is re-parsed in full on
+    every tick. A tracker keeps a
+    :class:`~repro.telemetry.serve.tailer.TreeTailer` across
+    refreshes — the same reader the live service uses — so each
+    :meth:`refresh` reads only the bytes appended since the last one.
+    The regression test pins this via :attr:`bytes_read`.
+    """
+
+    def __init__(self, root: str, recent_limit: int = 5) -> None:
+        from .serve.tailer import TreeTailer
+        self.root = root
+        self.recent_limit = recent_limit
+        self.tailer = TreeTailer(root)
+        self._recent: Dict[str, List[dict]] = {}
+
+    @property
+    def bytes_read(self) -> int:
+        """Total event-log bytes ever read — approaches the logs'
+        size, not refresh count × size."""
+        return sum(self.tailer.tailer_for(cid).bytes_read
+                   for cid in self.tailer.campaigns)
+
+    def refresh(self) -> str:
+        """Ingest appended events, re-render all status cards."""
+        for campaign_id, event in self.tailer.poll():
+            bucket = self._recent.setdefault(campaign_id, [])
+            bucket.append(event)
+            del bucket[:-self.recent_limit]
+        sections: List[str] = []
+        for campaign_id in self.tailer.campaigns:
+            directory = (self.root if campaign_id == "." else
+                         os.path.join(self.root, campaign_id))
+            stats: Dict[str, str] = {}
+            stats_path = os.path.join(directory, "fuzzer_stats")
+            if os.path.exists(stats_path):
+                with open(stats_path, "r", encoding="utf-8") as fh:
+                    stats = parse_fuzzer_stats(fh.read())
+            title = (self.root if campaign_id == "." else campaign_id)
+            sections.append(render_status(
+                title, stats, self._recent.get(campaign_id),
+                self.recent_limit))
+        if not sections:
+            return (f"=== {self.root} ===\n"
+                    f"  (no telemetry artifacts found)")
+        return "\n\n".join(sections)

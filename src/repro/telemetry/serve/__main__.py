@@ -1,0 +1,8 @@
+"""``python -m repro.telemetry.serve`` — the live dashboard server."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,296 @@
+"""Static HTML comparison reports over fleet results stores.
+
+``repro-fuzz report`` renders one self-contained HTML page from one or
+more fleet results stores (opened read-only, so a live dispatcher is
+never disturbed): per (benchmark, map-size) group a
+coverage-over-time chart — the per-fuzzer **median** step curve over
+trials with a seeded **bootstrap CI band** — plus the Mann-Whitney /
+Vargha-Delaney significance tables. Every number in the tables comes
+from :func:`repro.fleet.report.group_stats`, the same computation the
+text report renders, so the two artifacts can never disagree; the
+parity test pins this.
+
+Charts follow the repo's dataviz conventions: fixed series color
+order (blue, orange, aqua — never cycled; a fourth-plus fuzzer falls
+back to the tables, which carry every fuzzer), one y-axis, 2px lines
+with translucent CI bands, a legend whenever two or more series share
+a plot, light/dark palettes via ``prefers-color-scheme``, and text in
+text tokens rather than series colors. Rendering is deterministic:
+groups, fuzzers, and grid times iterate sorted, and the only
+randomness is the seeded bootstrap resampler.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Sequence, Tuple
+
+from ...fleet.report import (ALPHA, REPORT_METRICS, _median, group_stats)
+from ...fleet.store import DONE, ResultsStore
+
+__all__ = ["generate_report", "render_html_report",
+           "coverage_band", "MAX_CHART_SERIES"]
+
+#: Series slots with validated light/dark steps (dataviz palette);
+#: fuzzers beyond this count appear in the tables only.
+MAX_CHART_SERIES = 3
+
+_CHART_W, _CHART_H = 560, 240
+_PAD_L, _PAD_R, _PAD_T, _PAD_B = 46, 10, 10, 24
+
+_CSS = """
+:root {
+  --surface: #fcfcfb; --panel: #f4f3f0;
+  --ink: #0b0b0b; --ink-2: #52514e; --grid: #dcdbd6;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --panel: #242422;
+    --ink: #ffffff; --ink-2: #c3c2b7; --grid: #3a3936;
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+  }
+}
+body { margin: 0 auto; max-width: 980px; padding: 24px;
+       background: var(--surface); color: var(--ink);
+       font: 14px/1.5 system-ui, sans-serif; }
+h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 32px; }
+h3 { font-size: 14px; color: var(--ink-2); font-weight: 500; }
+.card { background: var(--panel); border-radius: 8px;
+        padding: 16px; margin: 12px 0; }
+.legend { display: flex; gap: 16px; color: var(--ink-2);
+          font-size: 12px; margin-top: 4px; }
+.legend span::before { content: ""; display: inline-block;
+  width: 10px; height: 10px; border-radius: 3px;
+  margin-right: 5px; background: var(--c); }
+svg text { fill: var(--ink-2); font-size: 11px; }
+svg .axis { stroke: var(--grid); stroke-width: 1; }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th, td { text-align: left; padding: 4px 10px 4px 0;
+         border-bottom: 1px solid var(--grid); }
+th { color: var(--ink-2); font-weight: 500; }
+.num { font-variant-numeric: tabular-nums; }
+.sig { font-weight: 600; }
+.note { color: var(--ink-2); font-size: 12px; }
+"""
+
+_SERIES_VARS = ("var(--s1)", "var(--s2)", "var(--s3)")
+
+
+def _step_value(curve: Sequence[Tuple[float, float]],
+                t: float) -> float:
+    """Step-function read of a coverage curve at time ``t``."""
+    value = 0.0
+    for point_t, edges in curve:
+        if point_t > t:
+            break
+        value = float(edges)
+    return value
+
+
+def coverage_band(curves: Sequence[Sequence[Tuple[float, float]]],
+                  seed: int = 0) -> List[Tuple[float, float, float,
+                                               float]]:
+    """``(t, median, ci_lo, ci_hi)`` rows over the union time grid.
+
+    The band is a seeded bootstrap CI of the median across trials of
+    each curve evaluated as a step function — the coverage-over-time
+    analogue of the scalar CIs in :mod:`repro.fleet.stats`.
+    """
+    from ...fleet.stats import bootstrap_ci
+    usable = [sorted((float(t), float(v)) for t, v in curve)
+              for curve in curves if curve]
+    if not usable:
+        return []
+    grid = sorted(set(t for curve in usable for t, _ in curve))
+    rows: List[Tuple[float, float, float, float]] = []
+    for t in grid:
+        values = [_step_value(curve, t) for curve in usable]
+        lo, hi = bootstrap_ci(values, seed=seed)
+        rows.append((t, _median(values), lo, hi))
+    return rows
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e9:
+        return f"{int(value):,}"
+    return f"{value:,.1f}"
+
+
+def _scale(rows_by_fuzzer: Dict[str, list]) -> Tuple[float, float]:
+    tmax = ymax = 0.0
+    for fuzzer in sorted(rows_by_fuzzer):
+        for t, _median_v, _lo, hi in rows_by_fuzzer[fuzzer]:
+            tmax = max(tmax, t)
+            ymax = max(ymax, hi)
+    return (tmax or 1.0), (ymax or 1.0)
+
+
+def _xy(t: float, v: float, tmax: float, ymax: float) -> str:
+    x = _PAD_L + (t / tmax) * (_CHART_W - _PAD_L - _PAD_R)
+    y = (_CHART_H - _PAD_B -
+         (v / ymax) * (_CHART_H - _PAD_T - _PAD_B))
+    return f"{x:.1f},{y:.1f}"
+
+
+def _coverage_svg(rows_by_fuzzer: Dict[str, list]) -> str:
+    tmax, ymax = _scale(rows_by_fuzzer)
+    baseline = _CHART_H - _PAD_B
+    parts = [f'<svg viewBox="0 0 {_CHART_W} {_CHART_H}" '
+             f'role="img">']
+    parts.append(f'<line class="axis" x1="{_PAD_L}" y1="{baseline}" '
+                 f'x2="{_CHART_W - _PAD_R}" y2="{baseline}"/>')
+    parts.append(f'<line class="axis" x1="{_PAD_L}" y1="{_PAD_T}" '
+                 f'x2="{_PAD_L}" y2="{baseline}"/>')
+    parts.append(f'<text x="{_PAD_L - 4}" y="{_PAD_T + 8}" '
+                 f'text-anchor="end">{_fmt(ymax)}</text>')
+    parts.append(f'<text x="{_CHART_W - _PAD_R}" '
+                 f'y="{_CHART_H - 6}" text-anchor="end">'
+                 f't={_fmt(tmax)}s</text>')
+    for slot, fuzzer in enumerate(sorted(rows_by_fuzzer)):
+        rows = rows_by_fuzzer[fuzzer]
+        if not rows or slot >= MAX_CHART_SERIES:
+            continue
+        color = _SERIES_VARS[slot]
+        upper = " ".join(_xy(t, hi, tmax, ymax)
+                         for t, _m, _lo, hi in rows)
+        lower = " ".join(_xy(t, lo, tmax, ymax)
+                         for t, _m, lo, _hi in reversed(rows))
+        parts.append(f'<polygon points="{upper} {lower}" '
+                     f'fill="{color}" fill-opacity="0.15" '
+                     f'stroke="none"/>')
+        path = " ".join(
+            ("M" if i == 0 else "L") + _xy(t, m, tmax, ymax)
+            for i, (t, m, _lo, _hi) in enumerate(rows))
+        parts.append(f'<path d="{path}" fill="none" '
+                     f'stroke="{color}" stroke-width="2" '
+                     f'stroke-linejoin="round"/>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _legend(fuzzers: Sequence[str]) -> str:
+    if len(fuzzers) < 2:
+        return ""
+    spans = "".join(
+        f'<span style="--c: {_SERIES_VARS[i]}">'
+        f'{html.escape(fuzzer)}</span>'
+        for i, fuzzer in enumerate(fuzzers[:MAX_CHART_SERIES]))
+    return f'<div class="legend">{spans}</div>'
+
+
+def _metric_table(stats: dict) -> str:
+    rows = [f'<h3>metric: {html.escape(stats["metric"])}</h3>',
+            "<table><tr><th>fuzzer</th><th>n</th><th>median</th>"
+            "<th>95% CI</th></tr>"]
+    for entry in stats["fuzzers"]:
+        name = html.escape(entry["fuzzer"])
+        if entry["n"] == 0:
+            rows.append(f"<tr><td>{name}</td>"
+                        f'<td class="num">0</td>'
+                        f"<td>&mdash;</td><td>&mdash;</td></tr>")
+            continue
+        lo, hi = entry["ci"]
+        rows.append(
+            f"<tr><td>{name}</td>"
+            f'<td class="num">{entry["n"]}</td>'
+            f'<td class="num">{_fmt(entry["median"])}</td>'
+            f'<td class="num">[{_fmt(lo)}, {_fmt(hi)}]</td></tr>')
+    rows.append("</table>")
+    if stats["pairs"]:
+        rows.append(
+            "<table><tr><th>pair</th><th>U</th><th>p</th>"
+            "<th>A12</th><th>&Delta;median 95% CI</th></tr>")
+        for pair in stats["pairs"]:
+            dlo, dhi = pair["diff_ci"]
+            cls = ' class="num sig"' if pair["significant"] \
+                else ' class="num"'
+            label = (f'{html.escape(pair["first"])} vs '
+                     f'{html.escape(pair["second"])}')
+            star = " *" if pair["significant"] else ""
+            rows.append(
+                f"<tr><td>{label}</td>"
+                f'<td class="num">{pair["u1"]:.1f}</td>'
+                f'<td{cls}>{pair["p_value"]:.4f}{star}</td>'
+                f'<td class="num">{pair["a12"]:.3f}</td>'
+                f'<td class="num">[{_fmt(dlo)}, {_fmt(dhi)}]</td>'
+                f"</tr>")
+        rows.append("</table>")
+        rows.append(f'<p class="note">two-sided Mann-Whitney, '
+                    f'* marks p &lt; {ALPHA}; CIs are seeded '
+                    f'bootstrap intervals.</p>')
+    return "\n".join(rows)
+
+
+def _store_section(name: str, store: ResultsStore,
+                   seed: int) -> str:
+    parts = [f"<h2>store: {html.escape(name)}</h2>"]
+    lost = store.lost_trials()
+    if lost:
+        ids = ", ".join(str(t) for t in lost)
+        parts.append(f'<p class="note">lost/quarantined trials '
+                     f'(excluded from stats): {ids}</p>')
+    fuzzers = store.fuzzers()
+    for group in group_stats(store, fuzzers, REPORT_METRICS, seed):
+        parts.append(f'<div class="card">')
+        parts.append(f"<h3>{html.escape(group['label'])}</h3>")
+        bands: Dict[str, list] = {}
+        for fuzzer in fuzzers:
+            curves = [store.coverage_curve(int(row["trial_id"]))
+                      for row in store.trial_rows(
+                          benchmark=group["benchmark"],
+                          fuzzer=fuzzer,
+                          map_size=group["map_size"],
+                          status=DONE)]
+            bands[fuzzer] = coverage_band(curves, seed=seed)
+        if any(bands[fuzzer] for fuzzer in sorted(bands)):
+            parts.append(_coverage_svg(bands))
+            parts.append(_legend(fuzzers))
+            if len(fuzzers) > MAX_CHART_SERIES:
+                extra = ", ".join(fuzzers[MAX_CHART_SERIES:])
+                parts.append(
+                    f'<p class="note">chart shows the first '
+                    f'{MAX_CHART_SERIES} fuzzers; also in tables: '
+                    f'{html.escape(extra)}</p>')
+        for stats in group["metrics"]:
+            parts.append(_metric_table(stats))
+        parts.append("</div>")
+    return "\n".join(parts)
+
+
+def render_html_report(stores: Dict[str, str], seed: int = 0,
+                       title: str = "repro-fuzz comparison report"
+                       ) -> str:
+    """The full report page for ``name -> sqlite path`` stores.
+
+    Stores are opened with ``mode="ro"`` — a report over a live
+    campaign reads a consistent WAL snapshot and can never write.
+    """
+    sections = []
+    for name in sorted(stores):
+        with ResultsStore(stores[name],
+                          mode=ResultsStore.RO) as store:
+            sections.append(_store_section(name, store, seed))
+    body = "\n".join(sections)
+    return (f"<!doctype html>\n<html lang=\"en\"><head>"
+            f'<meta charset="utf-8">'
+            f'<meta name="viewport" content="width=device-width, '
+            f'initial-scale=1">'
+            f"<title>{html.escape(title)}</title>"
+            f"<style>{_CSS}</style></head><body>"
+            f"<h1>{html.escape(title)}</h1>"
+            f'<p class="note">medians over trials with seeded '
+            f'bootstrap CI bands (seed {seed}); statistics from '
+            f'repro.fleet.stats.</p>'
+            f"{body}</body></html>\n")
+
+
+def generate_report(stores: Dict[str, str], out_path: str,
+                    seed: int = 0,
+                    title: str = "repro-fuzz comparison report"
+                    ) -> str:
+    """Render and write the report; returns the HTML."""
+    page = render_html_report(stores, seed=seed, title=title)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write(page)
+    return page

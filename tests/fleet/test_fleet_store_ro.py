@@ -1,0 +1,95 @@
+"""Read-only stores: write refusal, live-writer concurrency."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import FleetStateError
+from repro.fleet.spec import FleetSpec
+from repro.fleet.store import DONE, PENDING, ResultsStore
+from repro.fuzzer import CampaignConfig, run_campaign
+
+_TEMPLATE = run_campaign(CampaignConfig(
+    benchmark="zlib", fuzzer="bigmap", map_size=1 << 14, scale=0.05,
+    seed_scale=0.02, virtual_seconds=1.0, max_real_execs=400))
+
+
+def _trials(n_trials=3):
+    return FleetSpec(fuzzers=("afl", "bigmap"), benchmarks=("zlib",),
+                     map_sizes=(1 << 16,), n_trials=n_trials).expand()
+
+
+def _result(execs=1000, edges=40):
+    return dataclasses.replace(
+        _TEMPLATE, execs=execs, virtual_seconds=2.0,
+        throughput=execs / 2.0, discovered_locations=edges,
+        unique_crashes=0, unique_hangs=0, stopped_by="budget",
+        coverage_curve=[(0.5, edges // 2), (2.0, edges)])
+
+
+class TestReadOnlyRefusal:
+    def test_every_write_api_raises(self, tmp_path):
+        path = str(tmp_path / "results.sqlite")
+        trials = _trials()
+        with ResultsStore(path) as store:
+            store.init_states([t.trial_id for t in trials])
+        with ResultsStore(path, mode=ResultsStore.RO) as store:
+            attempts = (
+                lambda: store.init_states([99]),
+                lambda: store.transition(0, "dispatched"),
+                lambda: store.record_trial(trials[0], _result(),
+                                           attempts=1),
+                lambda: store.record_measurement(0, 1, 5.0, 10, 8,
+                                                 0.0),
+            )
+            for attempt in attempts:
+                with pytest.raises(FleetStateError, match="read-only"):
+                    attempt()
+
+    def test_ro_memory_store_is_rejected(self):
+        with pytest.raises(ValueError):
+            ResultsStore(":memory:", mode=ResultsStore.RO)
+
+    def test_unknown_mode_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store mode"):
+            ResultsStore(str(tmp_path / "s.sqlite"), mode="rx")
+
+    def test_ro_open_of_missing_file_fails_without_creating_it(
+            self, tmp_path):
+        path = tmp_path / "never-created.sqlite"
+        with pytest.raises(Exception):
+            with ResultsStore(str(path), mode=ResultsStore.RO) as st:
+                st.trial_rows()
+        assert not path.exists()
+
+
+class TestConcurrentReader:
+    def test_ro_reader_tracks_a_writing_dispatcher(self, tmp_path):
+        """The dashboard scenario: an ro store polls while the
+        dispatcher commits trial results to the same file."""
+        path = str(tmp_path / "results.sqlite")
+        trials = _trials()
+        with ResultsStore(path) as writer:
+            writer.init_states([t.trial_id for t in trials])
+            with ResultsStore(path, mode=ResultsStore.RO) as reader:
+                counts = reader.state_counts()
+                assert counts[PENDING] == len(trials)
+                assert counts.get(DONE, 0) == 0
+
+                for i, trial in enumerate(trials):
+                    writer.transition(trial.trial_id, "dispatched")
+                    writer.transition(trial.trial_id, "running")
+                    writer.record_trial(trial,
+                                        _result(execs=1000 + i),
+                                        attempts=1)
+                    writer.transition(trial.trial_id, DONE)
+                    # Each commit is visible to the ro reader at its
+                    # next query, mid-campaign included.
+                    counts = reader.state_counts()
+                    assert counts.get(DONE, 0) == i + 1
+                    rows = reader.trial_rows(status=DONE)
+                    assert len(rows) == i + 1
+
+                assert reader.n_trials() == len(trials)
+                assert [r["execs"] for r in
+                        reader.trial_rows(status=DONE)][:1] == [1000]

@@ -1,0 +1,133 @@
+"""Golden tests for TEL104: aggregator coverage of EVENT_SCHEMA."""
+
+from repro.statlint import LintConfig
+
+from lint_helpers import rules_fired
+
+EVENTS = '''
+    EVENT_SCHEMA = {
+        "trial_start": {"trial": "int", "seed": "int"},
+        "trial_finish": {"trial": "int", "status": "str"},
+        "heartbeat": {"t_mono": "float"},
+    }
+
+
+    def make_event(kind, t, instance=-1, **payload):
+        return {"kind": kind, "t": t, "instance": instance, **payload}
+'''
+
+AGG_PATH = "repro/telemetry/serve/aggregator.py"
+TEL104 = LintConfig(enable=("TEL104",))
+
+
+def _aggregator(body, ignored='("heartbeat",)'):
+    return f'''
+    IGNORED_KINDS = {ignored}
+
+
+    class TelemetryAggregator:
+{body}
+'''
+
+
+def test_full_coverage_is_clean(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        AGG_PATH: _aggregator('''
+        def _on_trial_start(self, event):
+            pass
+
+        def _on_trial_finish(self, event):
+            pass
+'''),
+    }, TEL104)
+    assert result.ok, [f.message for f in result.active]
+
+
+def test_unconsumed_kind_fires(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        AGG_PATH: _aggregator('''
+        def _on_trial_start(self, event):
+            pass
+'''),
+    }, TEL104)
+    (finding,) = result.active
+    assert finding.rule == "TEL104"
+    assert "'trial_finish' is neither handled" in finding.message
+    assert finding.path.endswith("aggregator.py")
+
+
+def test_kind_both_handled_and_ignored_fires(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        AGG_PATH: _aggregator('''
+        def _on_trial_start(self, event):
+            pass
+
+        def _on_trial_finish(self, event):
+            pass
+
+        def _on_heartbeat(self, event):
+            pass
+'''),
+    }, TEL104)
+    (finding,) = result.active
+    assert "both handled" in finding.message
+    assert "_on_heartbeat" in finding.message
+
+
+def test_stale_handler_fires(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        AGG_PATH: _aggregator('''
+        def _on_trial_start(self, event):
+            pass
+
+        def _on_trial_finish(self, event):
+            pass
+
+        def _on_trial_abort(self, event):
+            pass
+'''),
+    }, TEL104)
+    (finding,) = result.active
+    assert ("handler _on_trial_abort matches no EVENT_SCHEMA kind"
+            in finding.message)
+
+
+def test_stale_ignore_entry_fires(lint_tree):
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        AGG_PATH: _aggregator('''
+        def _on_trial_start(self, event):
+            pass
+
+        def _on_trial_finish(self, event):
+            pass
+''', ignored='("heartbeat", "old_kind")'),
+    }, TEL104)
+    (finding,) = result.active
+    assert "'old_kind' matches no EVENT_SCHEMA kind" in finding.message
+
+
+def test_no_aggregator_module_is_silent(lint_tree):
+    # Projects without the serve subsystem (or with a relocated
+    # aggregator_path) must not fail TEL104.
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+    }, TEL104)
+    assert result.ok
+
+
+def test_rule_respects_configured_path(lint_tree):
+    config = LintConfig(enable=("TEL104",),
+                        aggregator_path="repro/custom/agg.py")
+    result = lint_tree({
+        "repro/telemetry/events.py": EVENTS,
+        "repro/custom/agg.py": _aggregator('''
+        def _on_trial_start(self, event):
+            pass
+'''),
+    }, config)
+    assert "TEL104" in rules_fired(result)

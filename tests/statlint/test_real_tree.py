@@ -112,7 +112,7 @@ def test_repo_config_lists_every_rule(repo_config):
         "DET001", "DET002", "DET003", "TEL001", "ERR001", "ERR002",
         "NUM001", "SNAP001", "EXP001",
         "FSM001", "FSM002", "NUM101", "NUM102", "NUM103", "NUM104",
-        "TEL101", "TEL102", "TEL103", "CONC001"}
+        "TEL101", "TEL102", "TEL103", "TEL104", "CONC001"}
     assert "repro/core/walltime.py" in repo_config.wallclock_allow
     assert "repro/telemetry/*" in repo_config.telemetry_paths
     assert repo_config.store_path == "repro/fleet/store.py"

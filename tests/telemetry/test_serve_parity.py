@@ -1,0 +1,76 @@
+"""Golden parity: AFL-format sink artifacts vs aggregator series.
+
+The AflStatsSink and the TelemetryAggregator both fold the same
+canonical event stream. Parsing the sink's ``plot_data`` /
+``fuzzer_stats`` output back must yield exactly the values the
+aggregator serves — one stream, two projections, zero drift.
+"""
+
+from repro.telemetry.aflstats import (parse_fuzzer_stats,
+                                      parse_plot_data)
+from repro.telemetry.serve.aggregator import TelemetryAggregator
+from repro.telemetry.sinks import AflStatsSink
+
+from test_serve_aggregator import sample_stream, snapshot_event
+
+
+def fold_both(events):
+    sink = AflStatsSink()
+    agg = TelemetryAggregator()
+    for event in events:
+        sink.emit(event)
+        agg.ingest("c", event)
+    return sink, agg.campaign("c")
+
+
+class TestPlotDataParity:
+    def test_plot_rows_align_with_series(self):
+        stream = sample_stream()
+        sink, series = fold_both(stream)
+        rows = parse_plot_data(sink.artifacts()["plot_data"])
+
+        assert len(rows) == len(series.series["throughput"])
+        for row, (t, eps) in zip(rows, series.series["throughput"]):
+            assert row["relative_time"] == int(t)
+            assert row["execs_per_sec"] == eps
+        for row, (t, crashes, hangs) in zip(
+                rows, series.series["crashes"]):
+            assert row["unique_crashes"] == crashes
+            assert row["unique_hangs"] == hangs
+
+    def test_richer_stream_stays_in_lockstep(self):
+        events = [sample_stream()[0]]
+        for t in range(1, 8):
+            events.append(snapshot_event(
+                float(t), execs=200 * t, execs_per_sec=190.0 + t,
+                edges=11 * t, crashes=t // 3, hangs=t // 5,
+                map_density=0.002 * t))
+        sink, series = fold_both(events)
+        rows = parse_plot_data(sink.artifacts()["plot_data"])
+        assert [r["execs_per_sec"] for r in rows] == [
+            eps for _t, eps in series.series["throughput"]]
+        assert [r["unique_crashes"] for r in rows] == [
+            c for _t, c, _h in series.series["crashes"]]
+        assert [r["unique_hangs"] for r in rows] == [
+            h for _t, _c, h in series.series["crashes"]]
+        assert [r["relative_time"] for r in rows] == [
+            int(t) for t, _e in series.series["coverage"]]
+
+
+class TestFuzzerStatsParity:
+    def test_final_stats_match_series_tails(self):
+        sink, series = fold_both(sample_stream())
+        stats = parse_fuzzer_stats(
+            sink.artifacts()["fuzzer_stats"])
+
+        last_t, last_execs = series.series["execs"][-1]
+        assert int(stats["execs_done"]) == last_execs
+        assert int(stats["last_update"]) == int(last_t)
+        assert float(stats["execs_per_sec"]) == \
+            series.series["throughput"][-1][1]
+        _t, crashes, hangs = series.series["crashes"][-1]
+        assert int(stats["unique_crashes"]) == crashes
+        assert int(stats["unique_hangs"]) == hangs
+        density = series.series["density"][-1][1]
+        assert stats["bitmap_cvg"] == f"{density * 100.0:.2f}%"
+        assert stats["afl_banner"] == series.meta["benchmark"]

@@ -1,0 +1,98 @@
+"""Static HTML report: parity with fleet.report stats, determinism."""
+
+import json
+
+import pytest
+
+from repro.fleet.report import group_stats, metric_stats, render_report
+from repro.fleet.store import ResultsStore
+from repro.telemetry.serve.cli import report_main
+from repro.telemetry.serve.reportgen import (MAX_CHART_SERIES,
+                                             coverage_band,
+                                             generate_report,
+                                             render_html_report)
+
+from test_serve_http import populate_store
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    path = tmp_path / "results.sqlite"
+    populate_store(path)
+    return path
+
+
+class TestCoverageBand:
+    def test_median_band_over_union_grid(self):
+        rows = coverage_band([[(1.0, 10), (2.0, 20)],
+                              [(1.0, 12), (3.0, 30)]])
+        assert [t for t, _m, _lo, _hi in rows] == [1.0, 2.0, 3.0]
+        # At t=2.0 the step reads are 20 and 12 -> median 16.
+        assert rows[1][1] == 16.0
+        for _t, median, lo, hi in rows:
+            assert lo <= median <= hi
+
+    def test_deterministic_and_empty_input(self):
+        curves = [[(1.0, 5), (4.0, 9)], [(2.0, 6)], []]
+        assert coverage_band(curves, seed=3) == coverage_band(
+            curves, seed=3)
+        assert coverage_band([]) == []
+        assert coverage_band([[], []]) == []
+
+
+class TestHtmlParity:
+    def test_tables_carry_fleet_stats_values(self, store_path):
+        page = render_html_report({"fleet": str(store_path)})
+        with ResultsStore(str(store_path),
+                          mode=ResultsStore.RO) as store:
+            stats = metric_stats(store, "zlib", 1 << 16,
+                                 store.fuzzers(), "edges", seed=0)
+            text = render_report(store, seed=0)
+        (pair,) = stats["pairs"]
+        # The exact strings the text report prints for p/A12/U must
+        # appear in the HTML tables: one computation, two renderers.
+        for token in (f'{pair["u1"]:.1f}', f'{pair["p_value"]:.4f}',
+                      f'{pair["a12"]:.3f}'):
+            assert token in page
+            assert token in text
+        for entry in stats["fuzzers"]:
+            assert entry["fuzzer"] in page
+
+    def test_chart_svg_legend_and_band(self, store_path):
+        page = render_html_report({"fleet": str(store_path)})
+        assert page.count("<svg") == 1
+        assert 'stroke-width="2"' in page
+        assert 'fill-opacity="0.15"' in page
+        # Two fuzzers share the plot: a legend is mandatory.
+        assert 'class="legend"' in page
+        assert "var(--s1)" in page and "var(--s2)" in page
+        assert "prefers-color-scheme: dark" in page
+
+    def test_deterministic_bytes(self, store_path):
+        stores = {"fleet": str(store_path)}
+        assert (render_html_report(stores, seed=1) ==
+                render_html_report(stores, seed=1))
+
+    def test_max_chart_series_is_three(self):
+        assert MAX_CHART_SERIES == 3
+
+
+class TestGenerate:
+    def test_generate_writes_file(self, store_path, tmp_path):
+        out = tmp_path / "report.html"
+        page = generate_report({"fleet": str(store_path)}, str(out))
+        assert out.read_text(encoding="utf-8") == page
+        assert page.startswith("<!doctype html>")
+
+    def test_report_cli(self, store_path, tmp_path, capsys):
+        out = tmp_path / "cli-report.html"
+        rc = report_main(["--store", f"fleet={store_path}",
+                          "--out", str(out), "--seed", "0"])
+        assert rc == 0
+        page = out.read_text(encoding="utf-8")
+        with ResultsStore(str(store_path),
+                          mode=ResultsStore.RO) as store:
+            (group,) = group_stats(store, seed=0)
+        for metric in group["metrics"]:
+            assert f"metric: {metric['metric']}" in page
+        assert str(out) in capsys.readouterr().out

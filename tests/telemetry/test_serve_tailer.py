@@ -1,0 +1,134 @@
+"""Incremental tailing: FileTailer/TreeTailer and the --follow view."""
+
+import os
+
+import pytest
+
+from repro.core.errors import TelemetryError
+from repro.telemetry.events import make_event
+from repro.telemetry.introspect import StatusTracker
+from repro.telemetry.serve.tailer import (EVENTS_FILENAME, FileTailer,
+                                          TreeTailer,
+                                          metrics_watcher_paths)
+from repro.telemetry.sinks import encode_event
+
+
+def restart_event(t, restarts=1, instance=0):
+    return make_event("restart", t, instance=instance,
+                      restarts=restarts)
+
+
+def append_events(path, events):
+    with open(path, "a", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(encode_event(event) + "\n")
+
+
+class TestFileTailer:
+    def test_reads_only_appended_bytes(self, tmp_path):
+        path = tmp_path / EVENTS_FILENAME
+        append_events(path, [restart_event(1.0)])
+        tailer = FileTailer(str(path))
+        assert [e["t"] for e in tailer.poll()] == [1.0]
+        first_read = tailer.bytes_read
+        assert first_read == os.path.getsize(path)
+
+        append_events(path, [restart_event(2.0), restart_event(3.0)])
+        assert [e["t"] for e in tailer.poll()] == [2.0, 3.0]
+        # The regression handle: total bytes read equals file size,
+        # not (refresh count x size).
+        assert tailer.bytes_read == os.path.getsize(path)
+        assert tailer.poll() == []
+        assert tailer.bytes_read == os.path.getsize(path)
+
+    def test_partial_trailing_line_is_not_consumed(self, tmp_path):
+        path = tmp_path / EVENTS_FILENAME
+        full = encode_event(restart_event(1.0)) + "\n"
+        partial = encode_event(restart_event(2.0))
+        path.write_text(full + partial[:10])
+        tailer = FileTailer(str(path))
+        assert [e["t"] for e in tailer.poll()] == [1.0]
+        # Writer finishes the line: only then is it handed out.
+        path.write_text(full + partial + "\n")
+        assert [e["t"] for e in tailer.poll()] == [2.0]
+
+    def test_truncation_restarts_from_zero(self, tmp_path):
+        path = tmp_path / EVENTS_FILENAME
+        append_events(path, [restart_event(1.0), restart_event(2.0)])
+        tailer = FileTailer(str(path))
+        assert len(tailer.poll()) == 2
+        path.write_text(encode_event(restart_event(9.0)) + "\n")
+        assert [e["t"] for e in tailer.poll()] == [9.0]
+        assert tailer.lineno == 2
+
+    def test_missing_file_polls_empty(self, tmp_path):
+        tailer = FileTailer(str(tmp_path / "absent.jsonl"))
+        assert tailer.poll() == []
+
+    def test_invalid_json_names_file_and_line(self, tmp_path):
+        path = tmp_path / EVENTS_FILENAME
+        append_events(path, [restart_event(1.0)])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{not json\n")
+        tailer = FileTailer(str(path))
+        with pytest.raises(TelemetryError, match=r":2: invalid JSON"):
+            tailer.poll()
+
+
+class TestTreeTailer:
+    def test_discovers_new_campaign_dirs_between_polls(self, tmp_path):
+        first = tmp_path / "instance-0"
+        first.mkdir()
+        append_events(first / EVENTS_FILENAME, [restart_event(1.0)])
+        tailer = TreeTailer(str(tmp_path))
+        assert [cid for cid, _ in tailer.poll()] == ["instance-0"]
+
+        second = tmp_path / "instance-1"
+        second.mkdir()
+        append_events(second / EVENTS_FILENAME, [restart_event(2.0)])
+        assert [cid for cid, _ in tailer.poll()] == ["instance-1"]
+        assert tailer.campaigns == ["instance-0", "instance-1"]
+
+    def test_root_level_log_is_campaign_dot(self, tmp_path):
+        append_events(tmp_path / EVENTS_FILENAME, [restart_event(1.0)])
+        tailer = TreeTailer(str(tmp_path))
+        assert [cid for cid, _ in tailer.poll()] == ["."]
+        [(cid, metrics)] = metrics_watcher_paths(str(tmp_path), ["."])
+        assert cid == "."
+        assert metrics == os.path.join(str(tmp_path), "metrics.json")
+
+
+class TestStatusTracker:
+    def test_refresh_reads_incrementally_on_growing_file(self, tmp_path):
+        path = tmp_path / EVENTS_FILENAME
+        events = [restart_event(float(t), restarts=t)
+                  for t in range(1, 21)]
+        append_events(path, events[:10])
+        tracker = StatusTracker(str(tmp_path))
+        view = tracker.refresh()
+        assert "restart" in view
+        after_first = tracker.bytes_read
+        assert after_first == os.path.getsize(path)
+        # Many refreshes with no growth read zero further bytes.
+        for _ in range(5):
+            tracker.refresh()
+        assert tracker.bytes_read == after_first
+        # Growth reads only the appended suffix.
+        append_events(path, events[10:])
+        view = tracker.refresh()
+        assert tracker.bytes_read == os.path.getsize(path)
+        assert "restarts=20" in view
+
+    def test_empty_root_renders_placeholder(self, tmp_path):
+        tracker = StatusTracker(str(tmp_path))
+        assert "no telemetry artifacts" in tracker.refresh()
+
+
+def test_cli_follow_refreshes_bounded(tmp_path, capsys):
+    from repro.cli import main
+    append_events(tmp_path / EVENTS_FILENAME, [restart_event(1.0)])
+    rc = main(["telemetry", "--telemetry-dir", str(tmp_path),
+               "--follow", "--interval", "0", "--refreshes", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("recent events:") == 2
