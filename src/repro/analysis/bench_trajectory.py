@@ -42,6 +42,11 @@ class BenchRecord:
         serial_execs_per_sec / batched_execs_per_sec: recorded rates.
         speedup: recorded ratio.
         identical_results: equivalence re-check outcome.
+        backend / workers / window: optional engine descriptors newer
+            artifacts carry (``BENCH_6`` onward records the execution
+            backend, its worker count and the cross-seed window);
+            ``None`` for artifacts predating those fields. The loader
+            must accept every recorded schema generation side by side.
     """
 
     pr: int
@@ -52,6 +57,9 @@ class BenchRecord:
     batched_execs_per_sec: float
     speedup: float
     identical_results: bool
+    backend: Optional[str] = None
+    workers: Optional[int] = None
+    window: Optional[int] = None
 
 
 def _workload_label(payload: dict) -> str:
@@ -66,7 +74,11 @@ def _workload_label(payload: dict) -> str:
         size = f"{map_size >> 10}k"
     else:
         size = str(map_size)
-    return f"{benchmark}/{fuzzer} @ {size}, {execs // 1000}k execs"
+    label = f"{benchmark}/{fuzzer} @ {size}, {execs // 1000}k execs"
+    window = payload.get("window")
+    if window is not None and int(window) > 1:
+        label += f", W={int(window)}"
+    return label
 
 
 def load_bench_records(root: Optional[Path] = None
@@ -95,7 +107,15 @@ def load_bench_records(root: Optional[Path] = None
                 batched_execs_per_sec=float(
                     payload["batched_execs_per_sec"]),
                 speedup=float(payload["speedup"]),
-                identical_results=bool(payload["identical_results"])))
+                identical_results=bool(payload["identical_results"]),
+                # Newer-schema descriptors: optional, so artifacts of
+                # every generation load side by side.
+                backend=(None if payload.get("backend") is None
+                         else str(payload["backend"])),
+                workers=(None if payload.get("workers") is None
+                         else int(payload["workers"])),
+                window=(None if payload.get("window") is None
+                        else int(payload["window"]))))
         except KeyError as exc:
             raise ExperimentError(
                 f"bench artifact {path.name} is missing field "

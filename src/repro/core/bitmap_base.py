@@ -64,8 +64,8 @@ def aggregate_keys(keys: np.ndarray, counts: np.ndarray
 
 
 def aggregate_keys_batch(keys: np.ndarray, counts: np.ndarray,
-                         offsets: np.ndarray, map_size: int
-                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                         offsets: np.ndarray, map_size: int,
+                         *, return_segments: bool = False):
     """Per-segment :func:`aggregate_keys` over one flat key array.
 
     Trace ``i`` owns ``keys[offsets[i]:offsets[i+1]]``. Each segment is
@@ -76,30 +76,66 @@ def aggregate_keys_batch(keys: np.ndarray, counts: np.ndarray,
 
     Returns:
         ``(unique_keys, summed_counts, out_offsets)`` — flat aggregated
-        arrays plus the new segment boundaries.
+        arrays plus the new segment boundaries. With
+        ``return_segments=True`` a fourth array carries the segment id
+        of every flat output entry (a by-product of the aggregation
+        pass; callers that need it avoid re-expanding the offsets).
     """
     n_seg = offsets.size - 1
     if keys.size == 0:
-        return (keys.astype(np.int64), counts.astype(np.int64),
-                np.zeros(n_seg + 1, dtype=np.int64))
+        empty = (keys.astype(np.int64), counts.astype(np.int64),
+                 np.zeros(n_seg + 1, dtype=np.int64))
+        if return_segments:
+            return empty + (np.zeros(0, dtype=np.int64),)
+        return empty
     seg = np.repeat(np.arange(n_seg, dtype=np.int64), np.diff(offsets))
-    composite = seg * np.int64(map_size) + keys
-    # Hand-rolled unique: argsort + group-boundary prefix sums stay in
-    # int64 and skip the inverse array np.unique would build. Order
-    # among equal composites is irrelevant (their counts just sum).
-    order = np.argsort(composite)
-    sorted_comp = composite[order]
-    bounds = np.flatnonzero(
-        np.r_[True, sorted_comp[1:] != sorted_comp[:-1]])
+    counts64 = np.asarray(counts, dtype=np.int64)
+    # Sorting values beats argsort-then-gather by ~3x, so when counts
+    # fit in the low 20 bits of a non-negative int64 (hit counts are
+    # tiny — 1 + input_byte % loop_cap), pack (composite, count) into
+    # one word and sort that. Equal composites still land adjacent
+    # (count bits only order ties, whose counts just sum either way).
+    cmax = int(counts64.max())
+    if (0 <= int(counts64.min()) and cmax < (1 << 20)
+            and n_seg * map_size <= (1 << 43)):
+        # packed = (seg * map_size + keys) << 20 | counts, built
+        # in place on the owned `seg` buffer to skip three temporaries.
+        packed = seg
+        packed *= np.int64(map_size) << np.int64(20)
+        packed += keys.astype(np.int64) << np.int64(20)
+        packed += counts64
+        packed.sort()
+        sorted_comp = packed >> np.int64(20)
+        sorted_counts = packed & np.int64((1 << 20) - 1)
+    else:
+        # Hand-rolled unique: argsort + group-boundary prefix sums stay
+        # in int64 and skip the inverse array np.unique would build.
+        # Order among equal composites is irrelevant (counts just sum).
+        composite = seg * np.int64(map_size) + keys
+        order = np.argsort(composite)
+        sorted_comp = composite[order]
+        sorted_counts = counts64[order]
+    neq = np.empty(sorted_comp.size, dtype=bool)
+    neq[0] = True
+    np.not_equal(sorted_comp[1:], sorted_comp[:-1], out=neq[1:])
+    bounds = np.flatnonzero(neq)
     unique = sorted_comp[bounds]
-    prefix = np.concatenate(
-        [[0], np.cumsum(np.asarray(counts, dtype=np.int64)[order])])
+    prefix = np.empty(sorted_counts.size + 1, dtype=np.int64)
+    prefix[0] = 0
+    np.cumsum(sorted_counts, out=prefix[1:])
     ends = np.concatenate([bounds[1:], [sorted_comp.size]])
     summed = prefix[ends] - prefix[bounds]
-    out_seg = unique // np.int64(map_size)
-    out_keys = (unique - out_seg * np.int64(map_size)).astype(np.int64)
+    if map_size & (map_size - 1) == 0:
+        shift = np.int64(map_size.bit_length() - 1)
+        out_seg = unique >> shift
+        out_keys = unique & np.int64(map_size - 1)
+    else:
+        out_seg = unique // np.int64(map_size)
+        out_keys = (unique - out_seg * np.int64(map_size)).astype(np.int64)
     out_offsets = np.searchsorted(
         out_seg, np.arange(n_seg + 1, dtype=np.int64)).astype(np.int64)
+    if return_segments:
+        return out_keys, summed, out_offsets, out_seg
     return out_keys, summed, out_offsets
 
 
@@ -137,6 +173,9 @@ class BatchUpdate:
         offsets: segment boundaries (``n + 1`` entries).
         n_unique: distinct locations per trace (the cost model's
             ``unique_locations``).
+        seg: optional cached segment id per flat entry (the aggregation
+            pass produces it for free; ``segment_ids`` falls back to
+            expanding ``offsets`` when absent).
     """
 
     keys: np.ndarray
@@ -144,6 +183,7 @@ class BatchUpdate:
     classified: np.ndarray
     offsets: np.ndarray
     n_unique: np.ndarray
+    seg: Optional[np.ndarray] = None
 
     @property
     def n(self) -> int:
@@ -156,8 +196,10 @@ class BatchUpdate:
 
     def segment_ids(self) -> np.ndarray:
         """Segment index of every flat entry."""
-        return np.repeat(np.arange(self.n, dtype=np.int64),
-                         np.diff(self.offsets))
+        if self.seg is None:
+            self.seg = np.repeat(np.arange(self.n, dtype=np.int64),
+                                 np.diff(self.offsets))
+        return self.seg
 
 
 def apply_counts(store: np.ndarray, slots: np.ndarray, summed: np.ndarray,
@@ -245,12 +287,12 @@ class CoverageMap(ABC):
         map state (interesting / crash / hang) replay the scalar path.
         """
         self._check_keys(keys)
-        u_keys, summed, u_off = aggregate_keys_batch(
-            keys, counts, offsets, self.map_size)
+        u_keys, summed, u_off, u_seg = aggregate_keys_batch(
+            keys, counts, offsets, self.map_size, return_segments=True)
         return BatchUpdate(
             keys=u_keys, summed=summed,
             classified=classified_counts(summed, self.counter_mode),
-            offsets=u_off, n_unique=np.diff(u_off))
+            offsets=u_off, n_unique=np.diff(u_off), seg=u_seg)
 
     def compare_batch(self, update: BatchUpdate,
                       virgin: VirginMap) -> np.ndarray:
@@ -264,6 +306,21 @@ class CoverageMap(ABC):
         pipeline to learn the truth (and to perform the merge).
         """
         raise NotImplementedError
+
+    def update_compare_batch(self, keys: np.ndarray, counts: np.ndarray,
+                             offsets: np.ndarray, virgin: VirginMap
+                             ) -> Tuple[BatchUpdate, np.ndarray]:
+        """Fused :meth:`update_batch` + :meth:`compare_batch`.
+
+        One pass produces both the aggregated/classified view and the
+        conservative interest flags, so a cold batch (no new coverage,
+        no crash or hang candidates) never takes a second pass over its
+        keys. Subclasses fuse the virgin gather into the aggregation
+        pass; this default simply chains the two methods and is
+        guaranteed to return identical values.
+        """
+        update = self.update_batch(keys, counts, offsets)
+        return update, self.compare_batch(update, virgin)
 
     # -- introspection ---------------------------------------------------
 

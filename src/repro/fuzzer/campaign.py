@@ -24,6 +24,7 @@ from ..memsim.calibration import model_for_benchmark
 from ..memsim.costmodel import AFL, BIGMAP, BitmapCostModel, ExecShape
 from ..memsim.machine import Machine, XEON_E5645
 from ..target import BuiltBenchmark, Executor, get_benchmark
+from ..target.executor import ExecResult
 from ..telemetry.recorder import TelemetryRecorder
 from ..telemetry.spans import NULL_TRACER
 from .clock import VirtualClock
@@ -69,13 +70,26 @@ class CampaignConfig:
             timeout): reported, deduplicated against ``virgin_tmout``,
             never admitted to the queue. ``None`` disables hang
             detection.
-        batch_execution: run each seed's whole energy budget as one
-            vectorized batch (mutation, execution, coverage compare),
-            replaying only crash / hang / possibly-interesting traces
-            through the scalar pipeline. Results are bit-identical to
-            the serial engine — same RNG stream, same admits, same
+        batch_execution: run each scheduled window's whole energy
+            budget as one vectorized batch (mutation, execution,
+            coverage compare), replaying only crash / hang /
+            possibly-interesting traces through the scalar pipeline.
+            Results are bit-identical to the serial engine at the same
+            ``batch_window`` — same RNG stream, same admits, same
             curves, same checkpoints — it is purely an execution
             strategy (see DESIGN.md, "batch equivalence contract").
+        batch_window: how many scheduled seeds one window accumulates
+            before any of their mutants execute. Scheduling, splice
+            partners and havoc streams for all seeds in the window are
+            drawn up front (in schedule order); processing then walks
+            the combined mega-batch in that same order. The window is a
+            *semantic* knob — admissions discovered while processing
+            seed A cannot influence the scheduling of seeds already in
+            the window — but for any fixed window both engines (and
+            every worker count of the shared-memory backend) produce
+            bit-identical campaigns. Larger windows feed the vectorized
+            kernels bigger uniform batches; 1 reproduces the classic
+            one-seed-at-a-time loop.
         use_dictionary: extract the target's compare operands as an
             autodictionary and let havoc stamp them in — the *other*
             road (besides laf-intel) past multi-byte magic compares.
@@ -103,6 +117,7 @@ class CampaignConfig:
     persistent_mode: bool = True
     hang_factor: Optional[float] = 20.0
     batch_execution: bool = True
+    batch_window: int = 1
     use_dictionary: bool = False
     anchor_rate: Optional[float] = None
     machine: Machine = XEON_E5645
@@ -116,6 +131,50 @@ class CampaignConfig:
             raise CampaignConfigError("virtual_seconds must be positive")
         if self.max_real_execs <= 0:
             raise CampaignConfigError("max_real_execs must be positive")
+        if self.batch_window < 1:
+            raise CampaignConfigError(
+                f"batch_window must be >= 1, got {self.batch_window}")
+
+
+@dataclass
+class BatchFront:
+    """Vectorized front-half summary of one (mega-)batch.
+
+    Everything the batched processing loop needs per trace, and nothing
+    more — deliberately free of flat key arrays so execution backends
+    (``repro.fuzzer.mp``) can compute it in worker processes and ship
+    only these four small arrays back. Replayed traces re-derive their
+    full state through the scalar pipeline in the parent.
+
+    Attributes:
+        traversals: per-trace edge-traversal counts (``int64``).
+        n_unique: distinct map locations per trace after collision
+            aliasing (the cost model's ``unique_locations``).
+        flags: conservative "could be interesting" flags from the fused
+            batched compare (see ``CoverageMap.update_compare_batch``).
+        crashes: per-trace crash mask.
+        bres: the full :class:`BatchExecResult`, kept by the in-process
+            backend so replays reuse the already-computed traces instead
+            of re-executing. Optional — backends that compute the front
+            remotely ship only the four arrays above and leave it None;
+            replays then re-execute, producing bit-identical traces.
+        update: the aggregated :class:`BatchUpdate`, kept for the same
+            reason: it lets the processing loop re-test a flagged
+            trace's keys against the *current* virgin map right before
+            its replay and downgrade stale flags to the cheap path.
+            Equally optional, equally result-neutral.
+    """
+
+    traversals: np.ndarray
+    n_unique: np.ndarray
+    flags: np.ndarray
+    crashes: np.ndarray
+    bres: Optional[object] = None
+    update: Optional[object] = None
+
+    @property
+    def n(self) -> int:
+        return int(self.traversals.size)
 
 
 class Campaign:
@@ -220,8 +279,15 @@ class Campaign:
         """None = auto (resolved inside the calibration factory)."""
         return self.config.non_temporal_reset
 
-    def _pipeline(self, data: bytes, want_snapshot: bool = False):
+    def _pipeline(self, data: bytes, want_snapshot: bool = False,
+                  precomputed: Optional[ExecResult] = None):
         """Execute one test case through the full coverage pipeline.
+
+        ``precomputed`` may carry the trace from a batched execution of
+        the same input — bit-identical to ``executor.execute(data)`` by
+        the executor's contract — so replays skip the re-execution. The
+        execute span is still entered (zero host work, zero clock
+        delta) to keep telemetry call counts engine-independent.
 
         Returns ``(exec_result, compare_result, shape, snapshot)`` where
         ``snapshot`` is ``(covered_locations, coverage_hash)`` captured
@@ -229,7 +295,8 @@ class Campaign:
         interesting or ``want_snapshot`` is set).
         """
         with self._span_execute:
-            result = self.executor.execute(data)
+            result = precomputed if precomputed is not None \
+                else self.executor.execute(data)
         inp = np.frombuffer(data, dtype=np.uint8)
         keys, counts = self.instrumentation.keys_for(result, inp)
 
@@ -507,147 +574,329 @@ class Campaign:
                     self._admit(filler, cycles, 0, None, snapshot)
                 continue
 
-            self.run_one(self.scheduler.next_seed(), deadline)
+            window = self._collect_window()
+            if window is None:
+                continue
+            if self.config.batch_execution:
+                self._run_window_batched(window, deadline)
+            else:
+                self._run_window_serial(window, deadline)
 
-    def run_one(self, seed: Seed, deadline: float) -> None:
-        """Fuzz one scheduled seed: its full havoc energy loop.
+    def _collect_window(self) -> Optional[Tuple["object", List[Seed],
+                                               np.ndarray]]:
+        """Schedule a window of seeds and draw their havoc streams.
 
-        Both engines draw the seed's whole energy budget through
-        :meth:`Mutator.havoc_batch` up front — the canonical mutation
-        stream — so switching ``batch_execution`` cannot move a single
-        RNG draw. The serial engine then walks the pre-generated
-        mutants through the scalar pipeline one at a time; the batched
-        engine executes them all at once and replays only the traces
-        the vectorized pre-filter cannot dismiss.
+        Up to ``batch_window`` seeds are scheduled in order; for each,
+        the scheduler's skip walk, the splice-partner pick and the
+        whole-energy :meth:`Mutator.havoc_draw` happen here, up front —
+        the canonical mutation stream, consumed per seed in schedule
+        order regardless of window size. The drawn stacks are then
+        materialized by one cross-seed :meth:`Mutator.havoc_apply`
+        pass: the mutation kernels run once per window over the
+        combined row count, which is where the queue-cycle batching
+        actually pays (per-seed application re-pays the kernel setup
+        and the deep-stack scalar tail for every seed).
+
+        Both engines process the same collected window afterwards, so
+        switching ``batch_execution`` (or the execution backend) cannot
+        move a single RNG draw. Windows never outlive a ``step_until``
+        call, which keeps checkpoints window-agnostic: snapshots only
+        ever see fully drained windows.
+
+        Returns ``(mega_batch, seeds, bounds)`` — seed ``k``'s mutants
+        are rows ``bounds[k]:bounds[k+1]`` — or None if nothing was
+        scheduled with energy.
         """
-        with self._span_run_one:
+        seeds: List[Seed] = []
+        draws = []
+        for _ in range(self.config.batch_window):
+            if not self.pool.seeds:
+                break
+            seed = self.scheduler.next_seed()
             energy = self.scheduler.energy_for(seed)
             seed.fuzzed = True
             partner = self.pool.pick_splice_partner(self.rng, seed.seed_id)
             if energy <= 0:
-                return
+                continue
             with self._span_mutate:
-                batch = self.mutator.havoc_batch(
+                draws.append(self.mutator.havoc_draw(
                     seed.data, energy,
-                    splice_with=partner.data if partner else None)
-            if self.config.batch_execution:
-                self._run_batch(seed, batch, deadline)
+                    splice_with=partner.data if partner else None))
+            seeds.append(seed)
+        if not seeds:
+            return None
+        mega = self.mutator.havoc_apply(draws)
+        bounds = np.concatenate(
+            ([0], np.cumsum([d.n for d in draws], dtype=np.int64)))
+        return mega, seeds, bounds
+
+    def _run_window_serial(self, window, deadline: float) -> None:
+        """Serial engine: walk every mutant through the scalar path."""
+        mega, seeds, bounds = window
+        for k, seed in enumerate(seeds):
+            with self._span_run_one:
+                stop = self._serial_portion(seed, mega, int(bounds[k]),
+                                            int(bounds[k + 1]), deadline)
+            if stop:
                 return
-            for i in range(energy):
-                if self._exhausted(deadline):
-                    break
-                mutant = batch.tobytes(i)
-                result, compare, shape, snapshot = self._pipeline(mutant)
-                cycles = self._charge(shape)
-                if result.crash is not None:
-                    self._handle_crash(result, self._compare_limit())
-                elif self._is_hang(cycles):
-                    # Hanging inputs are reported, never queued (AFL
-                    # drops them from the fuzzing flow the same way).
-                    self._handle_hang()
-                elif compare.interesting:
-                    self._admit(mutant, cycles, seed.depth + 1,
-                                seed.seed_id, snapshot)
-                self._record_curve()
 
-    def _run_batch(self, seed: Seed, batch, deadline: float) -> None:
-        """Batched engine: execute a whole energy budget at once.
+    def _serial_portion(self, seed: Seed, mega, lo: int, hi: int,
+                        deadline: float) -> bool:
+        """One seed's pre-drawn mutants, one at a time. True = stop."""
+        for i in range(lo, hi):
+            if self._exhausted(deadline):
+                return True
+            mutant = mega.tobytes(i)
+            result, compare, shape, snapshot = self._pipeline(mutant)
+            cycles = self._charge(shape)
+            if result.crash is not None:
+                self._handle_crash(result, self._compare_limit())
+            elif self._is_hang(cycles):
+                # Hanging inputs are reported, never queued (AFL
+                # drops them from the fuzzing flow the same way).
+                self._handle_hang()
+            elif compare.interesting:
+                self._admit(mutant, cycles, seed.depth + 1,
+                            seed.seed_id, snapshot)
+            self._record_curve()
+        return False
 
-        The vectorized front half (execute, key gather, aggregate,
-        classify, compare against virgin) computes, per trace, a
-        conservative "could this be interesting?" flag plus its exact
+    def _batch_front(self, batch) -> BatchFront:
+        """Vectorized front half of the batched engine.
+
+        Execute the whole (mega-)batch, gather instrumentation keys,
+        and run the fused aggregate/classify/compare kernel. Execution
+        backends override this — ``repro.fuzzer.mp`` shards the rows
+        across worker processes and concatenates their results in
+        worker order, which is bit-identical because every per-trace
+        quantity is row/segment-local.
+        """
+        bres = self.executor.execute_batch(batch.data, batch.lengths)
+        keys, counts = self.instrumentation.keys_for_batch(
+            bres, list(batch.rows()))
+        update, flags = self.coverage.update_compare_batch(
+            keys, counts, bres.offsets, self.virgin)
+        crashes = np.fromiter((c is not None for c in bres.crashes),
+                              dtype=bool, count=bres.n)
+        return BatchFront(traversals=np.asarray(bres.traversals),
+                          n_unique=np.asarray(update.n_unique),
+                          flags=flags, crashes=crashes,
+                          bres=bres, update=update)
+
+    def _repair_map(self, batch, i: int, front: BatchFront = None) -> None:
+        """Leave the map exactly as the serial engine would: holding
+        the classified trace of the last processed mutant (checkpoints
+        capture the coverage map). The trace comes from the batch
+        result when the backend kept it, else from one scalar
+        re-execution — bit-identical by the executor's contract — then
+        reset + update + classify, which reproduces
+        ``classify_and_compare``'s map effect (the merge never writes
+        the local map). Host-only work: no clock, no virgin, no
+        counters."""
+        row = batch.row(i)
+        if front is not None and front.bres is not None:
+            result = front.bres.result_for(i)
+        else:
+            result = self.executor.execute(row.tobytes())
+        mkeys, mcounts = self.instrumentation.keys_for(result, row)
+        self.coverage.reset()
+        self.coverage.update(mkeys, mcounts)
+        self.coverage.classify()
+
+    def _run_window_batched(self, window, deadline: float) -> None:
+        """Batched engine: execute a whole window's energy at once.
+
+        The vectorized front half (execute, key gather, fused
+        aggregate/classify/compare against virgin) computes, per trace,
+        a conservative "could this be interesting?" flag plus its exact
         cheap-path cycle cost. Traces that crash, would time out, or
         might be interesting replay the scalar pipeline — which also
         performs the virgin merge exactly as the serial engine would.
         Everything else is charged from the batch pricing without ever
-        materializing a coverage map.
+        materializing a coverage map; with telemetry disabled, maximal
+        runs of consecutive cheap traces are charged in one vectorized
+        sweep whose float accumulation order is bit-identical to the
+        per-trace loop (see :meth:`_charge_cheap_run`).
 
         The conservative flags are sound under in-order processing:
         virgin bits only clear monotonically, so a trace dismissed
-        against the batch-start virgin map stays uninteresting no
-        matter what earlier traces merge before its turn.
+        against the window-start virgin map stays uninteresting no
+        matter what earlier traces merge before its turn. Hang
+        prediction and admissions stay per-seed: every trace belongs to
+        exactly one seed portion (``bounds``), and its verdicts are
+        computed from its own totals and attributed to its own parent.
         """
         # No spans around the batch kernels: the serial engine records
         # one {execute, classify_compare, cost_eval} call per execution
         # (zero clock delta — charging happens later), so the batched
         # engine deposits the same per-exec calls below instead of
         # phantom per-batch entries, keeping profiles bit-identical.
-        bres = self.executor.execute_batch(batch.data, batch.lengths)
-        keys, counts = self.instrumentation.keys_for_batch(
-            bres, list(batch.rows()))
-        update = self.coverage.update_batch(keys, counts,
-                                            bres.offsets)
-        flags = self.coverage.compare_batch(update, self.virgin)
+        mega, seeds, bounds = window
+        front = self._batch_front(mega)
 
         bigmap = self.config.fuzzer == BIGMAP
         used = self.coverage.active_bytes() if bigmap else 0
         batch_ops = self.model.exec_cycles_batch(
-            bres.traversals, update.n_unique, used_bytes=used)
+            front.traversals, front.n_unique, used_bytes=used)
         totals = batch_ops.totals()
 
         budget = self._hang_budget_cycles
         # The cheap-path cost is exact for non-replayed traces, so the
-        # hang prediction matches the serial engine's verdict.
-        base_replays = np.fromiter((c is not None for c in bres.crashes),
-                                   dtype=bool, count=bres.n) | flags
+        # hang prediction matches the serial engine's verdict — and it
+        # is per-trace: a predicted hang in seed A's portion marks only
+        # that trace, never a neighbour from another seed.
+        base_replays = front.crashes | front.flags
         replays = base_replays if budget is None \
             else base_replays | (totals > budget)
 
+        fast = self.telemetry is None
         last_cheap = -1  # last processed trace that skipped the map
-        for i in range(bres.n):
-            if self._exhausted(deadline):
+        i = 0
+        stop = False
+        for k, seed in enumerate(seeds):
+            end = int(bounds[k + 1])
+            with self._span_run_one:
+                while i < end:
+                    if self._exhausted(deadline):
+                        stop = True
+                        break
+                    if replays[i] and front.flags[i] \
+                            and not front.crashes[i] \
+                            and front.update is not None \
+                            and not self.coverage.segment_interesting(
+                                front.update, i, self.virgin):
+                        # The flag went stale: earlier traces already
+                        # claimed every virgin bit this one touches.
+                        # The serial engine would run the pipeline and
+                        # find compare.interesting False — exactly the
+                        # cheap-path charge — so downgrade the trace.
+                        # Clearing the base flag keeps any budget-driven
+                        # replay decision intact across re-pricings.
+                        front.flags[i] = False
+                        base_replays[i] = False
+                        replays[i] = budget is not None \
+                            and totals[i] > budget
+                    if replays[i]:
+                        mutant = mega.tobytes(i)
+                        pre = front.bres.result_for(i) \
+                            if front.bres is not None else None
+                        result, compare, shape, snapshot = \
+                            self._pipeline(mutant, precomputed=pre)
+                        cycles = self._charge(shape)
+                        if result.crash is not None:
+                            self._handle_crash(result,
+                                               self._compare_limit())
+                        elif self._is_hang(cycles):
+                            self._handle_hang()
+                        elif compare.interesting:
+                            self._admit(mutant, cycles, seed.depth + 1,
+                                        seed.seed_id, snapshot)
+                        last_cheap = -1
+                        if bigmap and self.coverage.active_bytes() != used:
+                            # used_key moved: re-price the remaining
+                            # cheap entries against the grown condensed
+                            # prefix (exactly what the serial engine's
+                            # per-trace pricing would now charge them).
+                            used = self.coverage.active_bytes()
+                            batch_ops = self.model.exec_cycles_batch(
+                                front.traversals, front.n_unique,
+                                used_bytes=used)
+                            totals = batch_ops.totals()
+                            if budget is not None:
+                                replays = base_replays | (totals > budget)
+                        self._record_curve()
+                        i += 1
+                    elif fast:
+                        j = i + 1
+                        while j < end and not replays[j]:
+                            j += 1
+                        done, exhausted = self._charge_cheap_run(
+                            front, batch_ops, totals, i, j, used,
+                            deadline)
+                        if done:
+                            last_cheap = i + done - 1
+                        i += done
+                        self._record_curve()
+                        if exhausted:
+                            stop = True
+                            break
+                    else:
+                        shape = ExecShape(
+                            traversals=int(front.traversals[i]),
+                            unique_locations=int(front.n_unique[i]),
+                            used_bytes=used, interesting=False,
+                            hash_bytes=0)
+                        self._charge(shape, ops=batch_ops.row(i))
+                        # The per-exec span calls the scalar pipeline
+                        # would have recorded (their clock deltas are
+                        # zero: the cost is charged in _charge, outside
+                        # those spans).
+                        tracer = self._tracer
+                        tracer.add("execute", 0.0)
+                        tracer.add("classify_compare", 0.0)
+                        tracer.add("cost_eval", 0.0)
+                        last_cheap = i
+                        self._record_curve()
+                        i += 1
+            if stop:
                 break
-            if replays[i]:
-                mutant = batch.tobytes(i)
-                result, compare, shape, snapshot = self._pipeline(mutant)
-                cycles = self._charge(shape)
-                if result.crash is not None:
-                    self._handle_crash(result, self._compare_limit())
-                elif self._is_hang(cycles):
-                    self._handle_hang()
-                elif compare.interesting:
-                    self._admit(mutant, cycles, seed.depth + 1,
-                                seed.seed_id, snapshot)
-                last_cheap = -1
-                if bigmap and self.coverage.active_bytes() != used:
-                    # used_key moved: re-price the remaining cheap
-                    # entries against the grown condensed prefix.
-                    used = self.coverage.active_bytes()
-                    batch_ops = self.model.exec_cycles_batch(
-                        bres.traversals, update.n_unique,
-                        used_bytes=used)
-                    totals = batch_ops.totals()
-                    if budget is not None:
-                        replays = base_replays | (totals > budget)
-            else:
-                shape = ExecShape(
-                    traversals=int(bres.traversals[i]),
-                    unique_locations=int(update.n_unique[i]),
-                    used_bytes=used, interesting=False, hash_bytes=0)
-                self._charge(shape, ops=batch_ops.row(i))
-                if self.telemetry is not None:
-                    # The per-exec span calls the scalar pipeline would
-                    # have recorded (its clock deltas are zero: the cost
-                    # is charged in _charge, outside those spans).
-                    tracer = self._tracer
-                    tracer.add("execute", 0.0)
-                    tracer.add("classify_compare", 0.0)
-                    tracer.add("cost_eval", 0.0)
-                last_cheap = i
-            self._record_curve()
 
         if last_cheap >= 0:
-            # Leave the map exactly as the serial engine would: holding
-            # the classified trace of the last processed mutant
-            # (checkpoints capture the coverage map). reset + update +
-            # classify reproduces classify_and_compare's map effect —
-            # the merge never writes the local map. Host-only work: no
-            # clock, no virgin, no counters.
-            mkeys, mcounts = self.instrumentation.keys_for(
-                bres.result_for(last_cheap), batch.row(last_cheap))
-            self.coverage.reset()
-            self.coverage.update(mkeys, mcounts)
-            self.coverage.classify()
+            self._repair_map(mega, last_cheap, front)
+
+    def _charge_cheap_run(self, front: BatchFront, batch_ops, totals,
+                          lo: int, hi: int, used: int,
+                          deadline: float) -> Tuple[int, bool]:
+        """Charge consecutive cheap traces ``[lo, hi)`` in one sweep.
+
+        Bit-identical to calling :meth:`_charge` per trace: the clock
+        and every ``op_cycles`` key advance through
+        ``np.add.accumulate`` — a strictly sequential left-to-right
+        fold, the same float operations in the same order as the scalar
+        loop — and the shape statistics are exact integer sums. The
+        serial engine checks exhaustion *before* each trace, so the run
+        stops at the first trace whose preceding clock value crosses
+        the deadline, or when the real-execution cap is reached.
+
+        Returns ``(n_processed, exhausted)``.
+        """
+        n = hi - lo
+        multiplier = (getattr(self, "cycle_multiplier", 1.0) *
+                      self.fault_multiplier)
+        acc = np.add.accumulate(np.concatenate(
+            ([self.clock.cycles], totals[lo:hi] * multiplier)))
+        # acc[t] is the clock after t traces; the serial loop admits
+        # trace t iff acc[t] / f < deadline (checked before charging).
+        seconds = acc / self.clock.frequency_hz
+        t_clock = int(np.searchsorted(seconds, deadline, side="left"))
+        t = min(n, t_clock, self.config.max_real_execs - self.execs)
+        if t > 0:
+            self.clock.cycles = float(acc[t])
+            oc = self.op_cycles
+            oc["execution"] = float(np.add.accumulate(np.concatenate(
+                ([oc["execution"]],
+                 batch_ops.execution[lo:lo + t])))[-1])
+            for key, const in (("reset", batch_ops.reset),
+                               ("classify", batch_ops.classify),
+                               ("compare", batch_ops.compare),
+                               ("others", batch_ops.others)):
+                oc[key] = float(np.add.accumulate(np.concatenate(
+                    ([oc[key]], np.full(t, const))))[-1])
+            # batch_ops.hash is 0.0 for cheap traces: adding it would
+            # not change a single bit, so it is skipped outright.
+            stats = self.shape_stats
+            stats.execs += t
+            stats.traversals += int(np.sum(front.traversals[lo:lo + t]))
+            stats.unique_locations += int(
+                np.sum(front.n_unique[lo:lo + t]))
+            stats.used_bytes_last = used
+            self.execs += t
+        if t < n:
+            # Mirror the serial loop's _exhausted call at the stopping
+            # trace (it is what records stopped_by="execs").
+            self._exhausted(deadline)
+            return t, True
+        return t, False
 
     def snapshot(self):
         """Capture a resumable checkpoint of the campaign's state.

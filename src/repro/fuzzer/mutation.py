@@ -73,6 +73,50 @@ class MutantBatch:
         return self.row(i).tobytes()
 
 
+@dataclass
+class HavocDraw:
+    """One seed's fully-drawn havoc randomness, not yet applied.
+
+    Produced by :meth:`Mutator.havoc_draw`; consumed (possibly many at
+    a time) by :meth:`Mutator.havoc_apply`. Holds the base/partner
+    byte views plus every random draw — splice decisions, stacking
+    depths, and the ``(rounds, n)`` per-op parameter matrices — so
+    that application is a pure function of this record and the shared
+    batch width.
+
+    Attributes:
+        base: seed bytes as a uint8 view.
+        partner: splice partner bytes, or None.
+        n: number of mutants (the seed's energy).
+        width: this draw's own padded width
+            (:meth:`Mutator._batch_width`); a fused apply uses the max
+            over the window.
+        fill: random ``(n, min_len)`` fill for empty bases, else None.
+        do_splice / cut_a / cut_b: splice mask and cut points, or None
+            when splicing was not eligible.
+        n_ops: per-mutant stacking depth.
+        op / f1..f4 / sel / val: ``(rounds, n)`` op-parameter
+            matrices, or None when ``n`` is zero.
+    """
+
+    base: np.ndarray
+    partner: Optional[np.ndarray]
+    n: int
+    width: int
+    fill: Optional[np.ndarray]
+    do_splice: Optional[np.ndarray]
+    cut_a: Optional[np.ndarray]
+    cut_b: Optional[np.ndarray]
+    n_ops: np.ndarray
+    op: Optional[np.ndarray]
+    f1: Optional[np.ndarray]
+    f2: Optional[np.ndarray]
+    f3: Optional[np.ndarray]
+    f4: Optional[np.ndarray]
+    sel: Optional[np.ndarray]
+    val: Optional[np.ndarray]
+
+
 class Mutator:
     """Stateful random mutator (one per campaign instance).
 
@@ -128,36 +172,25 @@ class Mutator:
         longest = max(base_size, partner_size, self.min_len)
         return int(min(self.max_len, max(64, 2 * longest)))
 
-    def havoc_batch(self, data: bytes, n: int,
-                    splice_with: Optional[bytes] = None) -> MutantBatch:
-        """Generate ``n`` stacked-random mutants of ``data`` at once.
+    def havoc_draw(self, data: bytes, n: int,
+                   splice_with: Optional[bytes] = None) -> "HavocDraw":
+        """Draw one seed's whole havoc randomness, without applying it.
 
-        This is the canonical havoc stream for campaigns: serial and
-        batched execution modes both draw a seed's whole energy through
-        this method, so the RNG consumption — and therefore every
-        downstream decision — is identical no matter how the mutants
-        are later executed.
+        This is the canonical havoc stream for campaigns: every
+        execution strategy draws a scheduled seed's energy through this
+        method, in schedule order, so the RNG consumption — and
+        therefore every downstream decision — is identical no matter
+        how (or in what grouping) the mutants are later materialized.
+        The draw order is fixed: random fill for empty bases, splice
+        mask and cut points (one vector each), per-row stacking depths,
+        then one ``(rounds, n)`` matrix per op parameter covering every
+        round at once (op codes, four uniform floats, a selector and a
+        value byte).
 
-        The randomness is drawn in a fixed order: splice mask and cut
-        points (one vector each), per-row stacking depths, then one
-        ``(rounds, n)`` matrix per op parameter covering every round at
-        once (op codes, four uniform floats, a selector and a value
-        byte). Mutants use the same op mix as :meth:`havoc` (same ops,
-        same guard fallbacks to the constant-overwrite op, same
-        block-size cap), but the stack is applied in a canonical
-        type-major order rather than strictly interleaved: each
-        mutant's length-changing block ops run first (in round order),
-        then every byte-level op is applied against the final geometry
-        — bit flips and arithmetic first (commutative), then all
-        overwrites with per-byte conflicts resolved in round order.
-        The composition of any fixed op multiset is as random as the
-        interleaved one, the result is fully deterministic given the
-        RNG seed, and growth is bounded by the matrix width instead of
-        a final truncation.
-
-        Returns:
-            :class:`MutantBatch`; rows are zero-padded past their
-            logical lengths.
+        Application is deferred to :meth:`havoc_apply`, which may fuse
+        the draws of several seeds into one uniform batch — the
+        cross-seed batching that keeps the vectorized mutation kernels
+        fed with large matrices.
         """
         rng = self.rng
         base = np.frombuffer(data, dtype=np.uint8)
@@ -165,30 +198,19 @@ class Mutator:
             np.frombuffer(splice_with, dtype=np.uint8)
         width = self._batch_width(base.size,
                                   0 if partner is None else partner.size)
-        mat = np.zeros((n, width), dtype=np.uint8)
-        lengths = np.full(n, min(base.size, width), dtype=np.int64)
-        if base.size:
-            mat[:, :int(lengths[0])] = base[:width]
-        else:
-            mat[:, :self.min_len] = rng.integers(
-                0, 256, size=(n, self.min_len), dtype=np.uint8)
-            lengths[:] = self.min_len
-
+        fill = None
+        if not base.size:
+            fill = rng.integers(0, 256, size=(n, self.min_len),
+                                dtype=np.uint8)
+        do_splice = cut_a = cut_b = None
         if partner is not None and partner.size > 2 and base.size > 2:
             do_splice = rng.random(n) < 0.5
             cut_a = rng.integers(1, base.size, size=n)
             cut_b = rng.integers(1, partner.size, size=n)
-            for i in np.flatnonzero(do_splice):
-                ca, cb = int(cut_a[i]), int(cut_b[i])
-                joined = np.concatenate([base[:ca],
-                                         partner[cb:]])[:width]
-                mat[i] = 0
-                mat[i, :joined.size] = joined
-                lengths[i] = joined.size
-
         n_ops = (1 << rng.integers(1, HAVOC_STACK_POW2 + 1,
                                    size=n)).astype(np.int64)
         rounds = int(n_ops.max()) if n else 0
+        op_m = f1_m = f2_m = f3_m = f4_m = sel_m = val_m = None
         if rounds:
             op_m = rng.integers(0, 10, size=(rounds, n))
             f1_m = rng.random((rounds, n))
@@ -198,12 +220,101 @@ class Mutator:
             sel_m = rng.integers(0, 1 << 30, size=(rounds, n))
             val_m = rng.integers(0, 256, size=(rounds, n),
                                  dtype=np.uint8)
-            active = np.arange(rounds)[:, None] < n_ops[None, :]
-            self._apply_stacked(mat, lengths, width, active, op_m,
-                                f1_m, f2_m, f3_m, f4_m, sel_m, val_m)
+        return HavocDraw(base=base, partner=partner, n=n, width=width,
+                         fill=fill, do_splice=do_splice, cut_a=cut_a,
+                         cut_b=cut_b, n_ops=n_ops, op=op_m, f1=f1_m,
+                         f2=f2_m, f3=f3_m, f4=f4_m, sel=sel_m,
+                         val=val_m)
+
+    def havoc_apply(self, draws: Sequence["HavocDraw"]) -> MutantBatch:
+        """Materialize pre-drawn havoc stacks as one uniform batch.
+
+        Row block ``k`` holds draw ``k``'s mutants, in draw order. All
+        rows share one padded width — the widest draw's — so a whole
+        scheduling window's mutation work runs as a single
+        :meth:`_apply_stacked` pass: the per-round vectorized steps see
+        ``sum(n_k)`` rows instead of ``n_k``, and the scalar tail of
+        the deepest stacks is paid once per window rather than once per
+        seed. Per-row results depend only on that row's own draw and
+        the shared width (rows never interact), so a single-draw apply
+        reproduces the classic one-seed batch exactly.
+
+        Mutants use the same op mix as :meth:`havoc` (same ops, same
+        guard fallbacks to the constant-overwrite op, same block-size
+        cap), but the stack is applied in a canonical type-major order
+        rather than strictly interleaved: each mutant's length-changing
+        block ops run first (in round order), then every byte-level op
+        is applied against the final geometry — bit flips and
+        arithmetic first (commutative), then all overwrites with
+        per-byte conflicts resolved in round order. The composition of
+        any fixed op multiset is as random as the interleaved one, the
+        result is fully deterministic given the RNG seed, and growth is
+        bounded by the matrix width instead of a final truncation.
+
+        Returns:
+            :class:`MutantBatch`; rows are zero-padded past their
+            logical lengths.
+        """
+        if not draws:
+            return MutantBatch(
+                data=np.zeros((0, self.min_len), dtype=np.uint8),
+                lengths=np.zeros(0, dtype=np.int64))
+        width = max(d.width for d in draws)
+        bounds = np.concatenate(
+            ([0], np.cumsum([d.n for d in draws], dtype=np.int64)))
+        total = int(bounds[-1])
+        mat = np.zeros((total, width), dtype=np.uint8)
+        lengths = np.empty(total, dtype=np.int64)
+        # The stacks are flattened to one entry per live (row, round)
+        # cell — only ~n_ops/rounds of a padded matrix is live, so the
+        # flat form skips zero-filling and re-gathering the rest.
+        # Built per draw in row-major (row, then round) order, which
+        # :meth:`_apply_stacked` requires.
+        c_rows, c_rnds, c_cols = [], [], []
+
+        for k, d in enumerate(draws):
+            lo, hi = int(bounds[k]), int(bounds[k + 1])
+            sub = mat[lo:hi]
+            base = d.base
+            if base.size:
+                lengths[lo:hi] = min(base.size, width)
+                sub[:, :int(lengths[lo])] = base[:width]
+            else:
+                sub[:, :self.min_len] = d.fill
+                lengths[lo:hi] = self.min_len
+            if d.do_splice is not None:
+                for i in np.flatnonzero(d.do_splice):
+                    ca, cb = int(d.cut_a[i]), int(d.cut_b[i])
+                    joined = np.concatenate([base[:ca],
+                                             d.partner[cb:]])[:width]
+                    sub[i] = 0
+                    sub[i, :joined.size] = joined
+                    lengths[lo + i] = joined.size
+            if d.op is not None:
+                n_ops = d.n_ops
+                local = np.repeat(np.arange(d.n, dtype=np.int64), n_ops)
+                rnds = (np.arange(local.size, dtype=np.int64) -
+                        np.repeat(np.cumsum(n_ops) - n_ops, n_ops))
+                c_rows.append(local + lo)
+                c_rnds.append(rnds)
+                c_cols.append((rnds, local, d))
+
+        if c_rows:
+            rows = np.concatenate(c_rows)
+            rnds = np.concatenate(c_rnds)
+            op = np.concatenate([d.op[r, c] for r, c, d in c_cols])
+            f1 = np.concatenate([d.f1[r, c] for r, c, d in c_cols])
+            f2 = np.concatenate([d.f2[r, c] for r, c, d in c_cols])
+            f3 = np.concatenate([d.f3[r, c] for r, c, d in c_cols])
+            f4 = np.concatenate([d.f4[r, c] for r, c, d in c_cols])
+            sel = np.concatenate([d.sel[r, c] for r, c, d in c_cols])
+            val = np.concatenate([d.val[r, c] for r, c, d in c_cols])
+            self._apply_stacked(mat, lengths, width, rows, rnds, op,
+                                f1, f2, f3, f4, sel, val)
 
         if self.dictionary:
-            for i in range(n):
+            rng = self.rng
+            for i in range(total):
                 out = self.dictionary.maybe_apply(
                     mat[i, :int(lengths[i])].copy(), rng)
                 out = out[:width]
@@ -211,6 +322,16 @@ class Mutator:
                 mat[i, :out.size] = out
                 lengths[i] = out.size
         return MutantBatch(data=mat, lengths=lengths)
+
+    def havoc_batch(self, data: bytes, n: int,
+                    splice_with: Optional[bytes] = None) -> MutantBatch:
+        """Generate ``n`` stacked-random mutants of ``data`` at once.
+
+        One-seed convenience over :meth:`havoc_draw` +
+        :meth:`havoc_apply`; both the RNG stream and the produced
+        mutants are exactly a single-draw window's.
+        """
+        return self.havoc_apply([self.havoc_draw(data, n, splice_with)])
 
     @staticmethod
     def _block_scatter(starts: np.ndarray, lens: np.ndarray):
@@ -227,77 +348,81 @@ class Mutator:
         return within, np.repeat(starts, lens) + within
 
     def _apply_stacked(self, mat: np.ndarray, lengths: np.ndarray,
-                       width: int, active: np.ndarray,
-                       op_m: np.ndarray, f1_m: np.ndarray,
-                       f2_m: np.ndarray, f3_m: np.ndarray,
-                       f4_m: np.ndarray, sel_m: np.ndarray,
-                       val_m: np.ndarray) -> None:
+                       width: int, rows: np.ndarray, rnds: np.ndarray,
+                       op: np.ndarray, f1a: np.ndarray, f2a: np.ndarray,
+                       f3a: np.ndarray, f4a: np.ndarray,
+                       sela: np.ndarray, vala: np.ndarray) -> None:
         """Apply every mutant's havoc stack in canonical type-major order.
 
-        ``active[r, i]`` marks round ``r`` live for mutant ``i``.
-        Length-changing ops (delete/insert) run first, per mutant in
-        round order, vectorized across mutants one stack position at a
-        time. Byte-level ops then run against the final geometry in a
+        Inputs are flat parallel arrays with one entry per live
+        (row, round) stack cell, sorted row-major — grouped by ``rows``
+        with ``rnds`` ascending inside each group (the order
+        :meth:`havoc_apply` builds). Length-changing ops
+        (delete/insert) run first, per mutant in round order,
+        vectorized across mutants one stack position at a time.
+        Byte-level ops then run against the final geometry in a
         handful of whole-batch passes: XOR bit flips and mod-256
         arithmetic are commutative (``ufunc.at`` handles duplicate
         targets), and all overwrites are resolved per byte by round
         order — the same bytes a sequential replay of the writes would
-        leave behind. Guard failures (word/dword on short rows, delete
-        at the minimum length, insert at full width) fall through to
-        the constant-overwrite op, as in the scalar if/elif chain.
+        leave behind. (Cell *order* never matters in this phase: every
+        (byte, round) key pair is unique, so the conflict sort is
+        total.) Guard failures (word/dword on short rows, delete at
+        the minimum length, insert at full width) fall through to the
+        constant-overwrite op, as in the scalar if/elif chain.
         """
-        n = int(op_m.shape[1])
-        is_len = active & ((op_m == 6) | (op_m == 7))
+        n = int(lengths.size)
+        is_len = (op == 6) | (op == 7)
 
         # -- phase A: block deletes / inserts, sequential per mutant --
-        fb_rows = [np.empty(0, dtype=np.int64)]  # guard fallbacks
-        fb_rnds = [np.empty(0, dtype=np.int64)]
-        rows_a, rnds_a = np.nonzero(is_len.T)  # by row, then round
-        if rows_a.size:
-            counts = np.bincount(rows_a, minlength=n)
+        fb_idx = [np.empty(0, dtype=np.int64)]  # guard-fallback cells
+        a_idx = np.flatnonzero(is_len)  # row-major: by row, then round
+        if a_idx.size:
+            counts = np.bincount(rows[a_idx], minlength=n)
             starts = np.cumsum(counts) - counts
             for step in range(int(counts.max())):
                 live = counts > step
                 idx = starts[live] + step
                 if idx.size <= _SCALAR_STEP_CUTOFF:
-                    self._length_tail(mat, lengths, width, rows_a,
-                                      rnds_a, starts, counts, step,
-                                      op_m, f1_m, f2_m, f3_m, f4_m,
-                                      val_m, fb_rows, fb_rnds)
+                    self._length_tail(mat, lengths, width, a_idx, rows,
+                                      starts, counts, step, op, f1a,
+                                      f2a, f3a, f4a, vala, fb_idx)
                     break
-                r, rd = rows_a[idx], rnds_a[idx]
-                is_del = op_m[rd, r] == 6
+                cell = a_idx[idx]
+                r = rows[cell]
+                is_del = op[cell] == 6
                 ln = lengths[r]
                 bad = np.where(is_del, ln <= self.min_len, ln >= width)
                 if bad.any():
-                    fb_rows.append(r[bad])
-                    fb_rnds.append(rd[bad])
+                    fb_idx.append(cell[bad])
                     good = ~bad
-                    r, rd = r[good], rd[good]
+                    cell, r = cell[good], r[good]
                     is_del, ln = is_del[good], ln[good]
                 if r.size:
                     self._length_step(mat, lengths, width, r, is_del,
-                                      ln, f1_m[rd, r], f2_m[rd, r],
-                                      f3_m[rd, r], f4_m[rd, r],
-                                      val_m[rd, r])
+                                      ln, f1a[cell], f2a[cell],
+                                      f3a[cell], f4a[cell], vala[cell])
 
         # -- phase B: byte-level ops against the final geometry --
-        rnds_b, rows_b = np.nonzero(active & ~is_len)
-        opv = op_m[rnds_b, rows_b]
+        b_idx = np.flatnonzero(~is_len)
+        rows_b = rows[b_idx]
+        rnds_b = rnds[b_idx]
+        opv = op[b_idx]
         ln = lengths[rows_b]
         opv[(opv == 2) & (ln < 2)] = 9
         opv[(opv == 3) & (ln < 4)] = 9
-        f1 = f1_m[rnds_b, rows_b]
-        f2 = f2_m[rnds_b, rows_b]
-        f3 = f3_m[rnds_b, rows_b]
-        sel = sel_m[rnds_b, rows_b]
-        val = val_m[rnds_b, rows_b]
+        f1 = f1a[b_idx]
+        f2 = f2a[b_idx]
+        f3 = f3a[b_idx]
+        sel = sela[b_idx]
+        val = vala[b_idx]
 
+        flat = mat.reshape(-1)
         m = opv == 0  # flip one bit
         if m.any():
             pos = (f1[m] * ln[m]).astype(np.int64)
             np.bitwise_xor.at(
-                mat, (rows_b[m], pos),
+                flat, rows_b[m] * width + pos,
                 np.uint8(1) << (f2[m] * 8).astype(np.uint8))
 
         m = opv == 4  # arithmetic +/- (wraps mod 256)
@@ -305,7 +430,8 @@ class Mutator:
             pos = (f1[m] * ln[m]).astype(np.int64)
             delta = 1 + (sel[m] % ARITH_MAX)
             delta = np.where(f3[m] < 0.5, -delta, delta)
-            np.add.at(mat, (rows_b[m], pos), delta.astype(np.uint8))
+            np.add.at(flat, rows_b[m] * width + pos,
+                      delta.astype(np.uint8))
 
         # Overwrites: collect per-byte (flat index, round, value)
         # triples, then keep the round-latest value per byte.
@@ -359,40 +485,43 @@ class Mutator:
             block_rows = np.repeat(r, length)
             emit(block_rows, np.repeat(rnds_b[m], length),
                  np.repeat(dst, length) + within,
-                 mat[block_rows, src_cols])
+                 flat[block_rows * width + src_cols])
 
         # constant-block overwrite: drawn op 9 plus guard fallbacks
         m = opv == 9
-        r9 = np.concatenate([rows_b[m]] + fb_rows)
-        rd9 = np.concatenate([rnds_b[m]] + fb_rnds)
-        if r9.size:
+        i9 = np.concatenate([b_idx[m]] + fb_idx)
+        if i9.size:
+            r9 = rows[i9]
             n_ = lengths[r9]
             cap = np.maximum(1, (n_ * _BLOCK_FRACTION).astype(np.int64))
-            length = 1 + (f2_m[rd9, r9] * cap).astype(np.int64)
-            dst = (f1_m[rd9, r9] * (n_ - length + 1)).astype(np.int64)
+            length = 1 + (f2a[i9] * cap).astype(np.int64)
+            dst = (f1a[i9] * (n_ - length + 1)).astype(np.int64)
             _, dst_cols = self._block_scatter(dst, length)
-            emit(np.repeat(r9, length), np.repeat(rd9, length),
-                 dst_cols, np.repeat(val_m[rd9, r9], length))
+            emit(np.repeat(r9, length), np.repeat(rnds[i9], length),
+                 dst_cols, np.repeat(vala[i9], length))
 
         if lin_parts:
             lin = np.concatenate(lin_parts)
             if lin.size:
                 key = np.concatenate(key_parts)
                 values = np.concatenate(val_parts)
-                order = np.lexsort((key, lin))
-                lin = lin[order]
-                values = values[order]
-                last = np.flatnonzero(
-                    np.append(lin[1:] != lin[:-1], True))
-                mat.reshape(-1)[lin[last]] = values[last]
+                # Round-latest value per byte without sorting: fold
+                # (round, value) packed entries into a dense max
+                # accumulator (a byte's round numbers are unique, so
+                # the max picks the latest write), then write every
+                # contended byte its winner — duplicate scatters all
+                # carry the same value.
+                acc = np.full(mat.size, -1, dtype=np.int16)
+                np.maximum.at(acc, lin,
+                              (key * 256 + values).astype(np.int16))
+                mat.reshape(-1)[lin] = (acc[lin] & 0xFF).astype(np.uint8)
 
     def _length_tail(self, mat: np.ndarray, lengths: np.ndarray,
-                     width: int, rows_a: np.ndarray, rnds_a: np.ndarray,
+                     width: int, a_idx: np.ndarray, rows: np.ndarray,
                      starts: np.ndarray, counts: np.ndarray, step: int,
-                     op_m: np.ndarray, f1_m: np.ndarray,
-                     f2_m: np.ndarray, f3_m: np.ndarray,
-                     f4_m: np.ndarray, val_m: np.ndarray,
-                     fb_rows: list, fb_rnds: list) -> None:
+                     op: np.ndarray, f1a: np.ndarray, f2a: np.ndarray,
+                     f3a: np.ndarray, f4a: np.ndarray,
+                     vala: np.ndarray, fb_idx: list) -> None:
         """Finish the remaining length-op stacks with row slices.
 
         Once few mutants still have pending deletes/inserts, the fixed
@@ -407,29 +536,29 @@ class Mutator:
             row_v = mat[row]
             for j in range(starts[row] + step,
                            starts[row] + counts[row]):
-                rd = rnds_a[j]
+                cell = int(a_idx[j])
                 ln = int(lengths[row])
                 cap = max(1, int(ln * _BLOCK_FRACTION))
-                length = 1 + int(f2_m[rd, row] * cap)
-                if op_m[rd, row] == 6:  # delete block
+                length = 1 + int(f2a[cell] * cap)
+                if op[cell] == 6:  # delete block
                     if ln <= min_len:
-                        fb.append((row, rd))
+                        fb.append(cell)
                         continue
-                    start = int(f1_m[rd, row] * (ln - length + 1))
+                    start = int(f1a[cell] * (ln - length + 1))
                     row_v[start:ln - length] = \
                         row_v[start + length:ln].copy()
                     row_v[ln - length:ln] = 0
                     lengths[row] = max(min_len, ln - length)
                 else:  # clone / insert block
                     if ln >= width:
-                        fb.append((row, rd))
+                        fb.append(cell)
                         continue
-                    src = int(f1_m[rd, row] * (ln - length + 1))
-                    dst = int(f3_m[rd, row] * (ln + 1))
-                    if f4_m[rd, row] < 0.75:
+                    src = int(f1a[cell] * (ln - length + 1))
+                    dst = int(f3a[cell] * (ln + 1))
+                    if f4a[cell] < 0.75:
                         block = row_v[src:src + length].copy()
                     else:
-                        block = val_m[rd, row]
+                        block = vala[cell]
                     tail = row_v[dst:ln].copy()
                     t_end = min(width, ln + length)
                     tail_fit = t_end - (dst + length)
@@ -442,9 +571,7 @@ class Mutator:
                         row_v[dst:b_end] = block
                     lengths[row] = min(width, ln + length)
         if fb:
-            arr = np.asarray(fb, dtype=np.int64)
-            fb_rows.append(arr[:, 0])
-            fb_rnds.append(arr[:, 1])
+            fb_idx.append(np.asarray(fb, dtype=np.int64))
 
     def _length_step(self, mat: np.ndarray, lengths: np.ndarray,
                      width: int, r: np.ndarray, is_del: np.ndarray,
@@ -466,35 +593,52 @@ class Mutator:
         # Delete's block start and insert's clone source share a formula.
         src = (a * (n_ - length + 1)).astype(np.int64)
         dst = (c * (n_ + 1)).astype(np.int64)  # unused for deletes
-        # Region contents: zeros (delete), cloned block or constant
-        # fill (insert) — gathered before any scatter lands.
-        within, src_cols = self._block_scatter(src, length)
-        rep_r = np.repeat(r, length)
-        region_vals = np.where(
-            np.repeat(is_del, length), np.uint8(0),
-            np.where(np.repeat(d < 0.75, length),
-                     mat[rep_r, src_cols], np.repeat(v, length)))
+        # Clone sources are the only region bytes that must be read
+        # before any scatter lands; deletes fill with zeros and the
+        # rest with a constant, so those skip the gather entirely.
+        flat = mat.reshape(-1)
+        base = r * width  # 1-D fancy indexing beats 2-D row/col pairs
+        clone = ~is_del & (d < 0.75)
+        within_c, src_cols_c = self._block_scatter(src[clone],
+                                                   length[clone])
+        clone_base = np.repeat(base[clone], length[clone])
+        clone_vals = flat[clone_base + src_cols_c]
         # Tail move: [move_from, n) shifts to start at move_to.
         move_from = np.where(is_del, src + length, dst)
         move_to = np.where(is_del, src, dst + length)
         tail_len = n_ - move_from
         _, from_cols = self._block_scatter(move_from, tail_len)
-        tail_rows = np.repeat(r, tail_len)
-        tail_vals = mat[tail_rows, from_cols]
+        tail_base = np.repeat(base, tail_len)
+        tail_vals = flat[tail_base + from_cols]
         to_cols = from_cols + np.repeat(move_to - move_from, tail_len)
         if to_cols.size and int(to_cols.max()) >= width:
             keep = to_cols < width
-            tail_rows, to_cols = tail_rows[keep], to_cols[keep]
+            tail_base, to_cols = tail_base[keep], to_cols[keep]
             tail_vals = tail_vals[keep]
-        mat[tail_rows, to_cols] = tail_vals
-        # Region write: the vacated end (delete) or the gap (insert).
-        region_start = np.where(is_del, n_ - length, dst)
-        region_cols = src_cols + np.repeat(region_start - src, length)
-        if region_cols.size and int(region_cols.max()) >= width:
-            keep = region_cols < width
-            rep_r, region_cols = rep_r[keep], region_cols[keep]
-            region_vals = region_vals[keep]
-        mat[rep_r, region_cols] = region_vals
+        flat[tail_base + to_cols] = tail_vals
+        # Region writes: the vacated end (delete, zeros), the cloned
+        # block, or the constant fill — distinct rows per class, so
+        # three scatters land exactly what the fused one did.
+        del_base = np.repeat(base[is_del], length[is_del])
+        _, del_cols = self._block_scatter((n_ - length)[is_del],
+                                          length[is_del])
+        flat[del_base + del_cols] = 0
+        clone_cols = within_c + np.repeat(dst[clone], length[clone])
+        if clone_cols.size and int(clone_cols.max()) >= width:
+            keep = clone_cols < width
+            clone_base, clone_cols = clone_base[keep], clone_cols[keep]
+            clone_vals = clone_vals[keep]
+        flat[clone_base + clone_cols] = clone_vals
+        const = ~is_del & (d >= 0.75)
+        within_k, _ = self._block_scatter(dst[const], length[const])
+        const_base = np.repeat(base[const], length[const])
+        const_cols = within_k + np.repeat(dst[const], length[const])
+        const_vals = np.repeat(v[const], length[const])
+        if const_cols.size and int(const_cols.max()) >= width:
+            keep = const_cols < width
+            const_base, const_cols = const_base[keep], const_cols[keep]
+            const_vals = const_vals[keep]
+        flat[const_base + const_cols] = const_vals
         lengths[r] = np.where(
             is_del, np.maximum(self.min_len, n_ - length),
             np.minimum(width, n_ + length))

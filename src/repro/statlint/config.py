@@ -64,9 +64,17 @@ class LintConfig:
         conc_exempt: modules whose module-level mutable state is the
             *sanctioned* cross-process layer (the store and the
             artifact directory); CONC001 skips globals they define.
-        conc_worker_roots: function names in ``workers_path`` that run
-            on the worker side of the process boundary (spawn targets
-            and the shared trial path).
+        conc_worker_roots: function names in ``workers_path`` (and any
+            ``conc_worker_paths`` module) that run on the worker side
+            of the process boundary (spawn targets and the shared
+            trial path).
+        conc_worker_paths: additional files, beyond ``workers_path``,
+            searched for ``conc_worker_roots`` — e.g. the shared-memory
+            campaign backend's forked worker loop.
+        conc_dispatch_paths: additional files, beyond
+            ``dispatcher_path``, whose callables all count as
+            dispatcher-side roots (the parent side of a fork boundary
+            that lives outside the fleet dispatcher).
         fsm_state_funcs: public state-writer names whose call sites
             FSM001 checks against the transition graph.
     """
@@ -93,6 +101,8 @@ class LintConfig:
     conc_exempt: Tuple[str, ...] = (
         "repro/fleet/store.py", "repro/fleet/artifacts.py")
     conc_worker_roots: Tuple[str, ...] = ("execute_trial", "_worker_main")
+    conc_worker_paths: Tuple[str, ...] = ()
+    conc_dispatch_paths: Tuple[str, ...] = ()
     fsm_state_funcs: Tuple[str, ...] = ("transition", "force_state")
 
     def rule_enabled(self, rule_id: str) -> bool:

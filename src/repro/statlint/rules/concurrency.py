@@ -132,20 +132,27 @@ class ForkBoundaryRule(ProjectRule):
                  "or the artifact directory.")
 
     def check_project(self, project, config: LintConfig) -> Iterator:
-        dispatcher = project.find(config.dispatcher_path)
-        workers = project.find(config.workers_path)
-        if dispatcher is None or workers is None:
-            return
         graph = project.callgraph
         symbols = project.symbols
 
-        dispatch_roots = graph.nodes_in_file(dispatcher.relpath)
-        worker_syms = symbols.module_for(workers)
-        worker_roots = [
-            worker_syms.functions[name].qualified
-            for name in config.conc_worker_roots
-            if worker_syms is not None and
-            name in worker_syms.functions]
+        dispatch_roots: List[str] = []
+        for relpath in (config.dispatcher_path,
+                        *config.conc_dispatch_paths):
+            source = project.find(relpath)
+            if source is not None:
+                dispatch_roots.extend(graph.nodes_in_file(source.relpath))
+        worker_roots: List[str] = []
+        for relpath in (config.workers_path, *config.conc_worker_paths):
+            source = project.find(relpath)
+            if source is None:
+                continue
+            syms = symbols.module_for(source)
+            if syms is None:
+                continue
+            worker_roots.extend(
+                syms.functions[name].qualified
+                for name in config.conc_worker_roots
+                if name in syms.functions)
         if not dispatch_roots or not worker_roots:
             return
         dispatch_reach = graph.reachable(dispatch_roots)

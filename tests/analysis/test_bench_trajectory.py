@@ -34,6 +34,37 @@ class TestLoader:
     def test_default_root_resolves_to_repo(self):
         assert load_bench_records() == load_bench_records(REPO_ROOT)
 
+    def test_heterogeneous_schemas_load_side_by_side(self, tmp_path):
+        """BENCH_6 adds backend/workers/window; older artifacts lack
+        them. One directory holding both generations must load."""
+        common = {"bench": "batch_engine",
+                  "workload": {"benchmark": "zlib", "fuzzer": "bigmap",
+                               "map_size": 65536},
+                  "execs": 20000, "serial_execs_per_sec": 100.0,
+                  "batched_execs_per_sec": 300.0, "speedup": 3.0,
+                  "identical_results": True}
+        (tmp_path / "BENCH_5.json").write_text(json.dumps(common),
+                                               encoding="utf-8")
+        newer = dict(common, backend="mp", workers=2, window=8)
+        (tmp_path / "BENCH_6.json").write_text(json.dumps(newer),
+                                               encoding="utf-8")
+        old, new = load_bench_records(tmp_path)
+        assert (old.backend, old.workers, old.window) == (None,) * 3
+        assert (new.backend, new.workers, new.window) == ("mp", 2, 8)
+        assert "W=8" in new.workload and "W=" not in old.workload
+        # Both generations render into the same table.
+        table = render_trajectory_table([old, new])
+        assert table.count("\n") == 3
+
+    def test_loads_bench_6(self):
+        records = load_bench_records(REPO_ROOT)
+        (rec,) = [r for r in records if r.pr == 6]
+        assert rec.window == 8
+        assert rec.workers is not None
+        assert rec.backend is not None
+        assert rec.speedup >= 3.0
+        assert rec.identical_results is True
+
     def test_missing_field_raises(self, tmp_path):
         (tmp_path / "BENCH_9.json").write_text(
             json.dumps({"bench": "x"}), encoding="utf-8")

@@ -219,6 +219,205 @@ class TestRandomizedCrossConfigSweep:
                                  campaigns[1].snapshot())
 
 
+class _WindowRecordingCampaign(Campaign):
+    """Records how many seeds each collected window actually held."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.window_sizes = []
+
+    def _collect_window(self):
+        window = super()._collect_window()
+        if window is not None:
+            self.window_sizes.append(len(window[1]))
+        return window
+
+
+@pytest.mark.parametrize("window", [2, 5, 8])
+@pytest.mark.parametrize("fuzzer", ["afl", "bigmap"])
+class TestCrossSeedWindowEquivalence:
+    """``batch_window`` is a semantic scheduling knob shared by both
+    engines: for any window width the serial and batched engines must
+    stay bit-identical (the cross-seed generalization of the
+    equivalence contract)."""
+
+    def test_results_and_checkpoints_identical(self, fuzzer, window):
+        built = get_benchmark("zlib").build(scale=0.2, seed_scale=1.0)
+        serial = _WindowRecordingCampaign(
+            _config(fuzzer, "zlib", batch=False, batch_window=window),
+            built=built)
+        batched = _WindowRecordingCampaign(
+            _config(fuzzer, "zlib", batch=True, batch_window=window),
+            built=built)
+        rs, rb = serial.run(), batched.run()
+        # Guard against vacuous equivalence: the campaign must really
+        # have scheduled multi-seed windows, on both engines.
+        assert max(serial.window_sizes) > 1
+        assert serial.window_sizes == batched.window_sizes
+        assert rs == rb
+        assert_checkpoints_equal(serial.snapshot(), batched.snapshot())
+
+
+class TestCrossSeedHangAttribution:
+    """Regression: hang prediction in a cross-seed mega-batch is
+    per-trace and charged to the owning seed's portion. A tight hang
+    budget plus multi-seed windows exercises predicted hangs landing in
+    interior portions of the batch; every hang verdict, cycle charge
+    and admitted seed's parentage must match the serial engine."""
+
+    @pytest.mark.parametrize("fuzzer", ["afl", "bigmap"])
+    def test_hangs_attributed_identically_across_windows(self, fuzzer):
+        serial, batched, rs, rb = _run_pair(
+            fuzzer, "zlib", rng_seed=2, hang_factor=1.5,
+            batch_window=5)
+        assert rs.hangs > 0
+        assert rs.hangs == rb.hangs
+        assert rs.unique_hangs == rb.unique_hangs
+        assert rs.op_cycles == rb.op_cycles
+        sa, sb = serial.snapshot(), batched.snapshot()
+        # The attribution fields specifically: every admitted seed's
+        # cycle charge, parent and depth (checked field-by-field inside
+        # the full checkpoint comparison).
+        _assert_seeds_equal(sa.seeds, sb.seeds)
+        assert_checkpoints_equal(sa, sb)
+
+
+class TestMPBackendEquivalence:
+    """The shared-memory process-pool backend is a pure execution
+    strategy: results, checkpoints and telemetry must be bit-identical
+    to the in-process batched engine for any worker count."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_results_checkpoints_telemetry_identical(self, workers):
+        from repro.fuzzer.mp import MPCampaign
+        from repro.telemetry.recorder import TelemetryRecorder
+        built = get_benchmark("zlib").build(scale=0.2, seed_scale=1.0)
+        config = _config("bigmap", "zlib", batch=True, batch_window=8)
+
+        ref_recorder = TelemetryRecorder(instance=0)
+        reference = Campaign(config, built=built,
+                             telemetry=ref_recorder)
+        ref_result = reference.run()
+
+        mp_recorder = TelemetryRecorder(instance=0)
+        with MPCampaign(config, built=built, telemetry=mp_recorder,
+                        workers=workers) as campaign:
+            mp_result = campaign.run()
+            mp_snapshot = campaign.snapshot()
+
+        assert ref_result == mp_result
+        assert ref_recorder.events == mp_recorder.events
+        assert ref_recorder.tracer.profile() == \
+            mp_recorder.tracer.profile()
+        assert_checkpoints_equal(reference.snapshot(), mp_snapshot)
+
+    @pytest.mark.parametrize("fuzzer", ["afl", "bigmap"])
+    def test_matches_the_serial_engine_too(self, fuzzer):
+        """Transitivity spot-check straight against serial — the
+        contract chains serial ≡ batched ≡ mp."""
+        from repro.fuzzer.mp import MPCampaign
+        built = get_benchmark("zlib").build(scale=0.2, seed_scale=1.0)
+        serial = Campaign(_config(fuzzer, "zlib", batch=False,
+                                  batch_window=4), built=built)
+        rs = serial.run()
+        with MPCampaign(_config(fuzzer, "zlib", batch=True,
+                                batch_window=4), built=built,
+                        workers=2) as campaign:
+            rmp = campaign.run()
+            mp_snapshot = campaign.snapshot()
+        assert rs == rmp
+        assert_checkpoints_equal(serial.snapshot(), mp_snapshot)
+
+    def test_rejects_serial_config(self):
+        from repro.core.errors import CampaignConfigError
+        from repro.fuzzer.mp import MPCampaign
+        with pytest.raises(CampaignConfigError, match="batch_execution"):
+            MPCampaign(_config("bigmap", "zlib", batch=False))
+        with pytest.raises(CampaignConfigError, match="workers"):
+            MPCampaign(_config("bigmap", "zlib", batch=True), workers=0)
+
+
+class TestCheckpointResumeSweep:
+    """Kill-at-every-tick: snapshot a straight-through campaign at
+    several mid-campaign virtual times and resume each checkpoint —
+    under the same backend and across backends — to the end. Every
+    resumed final must be bit-identical to the straight run. Windows
+    never outlive a ``step_until`` call, so a checkpoint taken between
+    ticks only ever sees fully drained windows; this sweep is the
+    regression net for resume inside a cross-seed scheduling regime."""
+
+    TICKS = (0.1, 0.2, 0.3, 0.4)
+
+    def _straight_run(self, campaign_factory, config):
+        straight = campaign_factory(config)
+        straight.start()
+        checkpoints = []
+        for tick in self.TICKS:
+            straight.step_until(tick)
+            checkpoints.append(straight.snapshot())
+        straight.step_until(config.virtual_seconds)
+        final = straight.finish()
+        final_snapshot = straight.snapshot()
+        self._close(straight)
+        return checkpoints, final, final_snapshot
+
+    @staticmethod
+    def _close(campaign):
+        if hasattr(campaign, "close"):
+            campaign.close()
+
+    def _resume_and_check(self, campaign_factory, config, tick_index,
+                          checkpoint, final, final_snapshot):
+        # A deadline stop is semantic (it discards the rest of a drawn
+        # window), so the resumed campaign replays the driver's
+        # remaining tick schedule, exactly as a restarted driver would.
+        resumed = campaign_factory(config)
+        resumed.start()
+        resumed.restore(checkpoint)
+        for tick in self.TICKS[tick_index + 1:]:
+            resumed.step_until(tick)
+        resumed.step_until(config.virtual_seconds)
+        replay = resumed.finish()
+        snapshot = resumed.snapshot()
+        self._close(resumed)
+        assert final == replay
+        assert_checkpoints_equal(final_snapshot, snapshot)
+
+    @pytest.mark.parametrize("fuzzer", ["afl", "bigmap"])
+    def test_every_tick_resumes_identically_in_process(self, fuzzer):
+        built = get_benchmark("zlib").build(scale=0.2, seed_scale=1.0)
+        config = _config(fuzzer, "zlib", batch=True, batch_window=5)
+        factory = lambda cfg: Campaign(cfg, built=built)
+        checkpoints, final, final_snapshot = self._straight_run(
+            factory, config)
+        for k, checkpoint in enumerate(checkpoints):
+            self._resume_and_check(factory, config, k, checkpoint,
+                                   final, final_snapshot)
+
+    def test_every_tick_resumes_identically_across_backends(self):
+        """A checkpoint is backend-agnostic: snapshots from the
+        in-process engine resume under the mp backend and vice versa,
+        landing on the same finals."""
+        from repro.fuzzer.mp import MPCampaign
+        built = get_benchmark("zlib").build(scale=0.2, seed_scale=1.0)
+        config = _config("bigmap", "zlib", batch=True, batch_window=5)
+        inproc = lambda cfg: Campaign(cfg, built=built)
+        mp = lambda cfg: MPCampaign(cfg, built=built, workers=2)
+
+        checkpoints, final, final_snapshot = self._straight_run(
+            inproc, config)
+        for k, checkpoint in enumerate(checkpoints):
+            self._resume_and_check(mp, config, k, checkpoint,
+                                   final, final_snapshot)
+
+        mp_checkpoints, mp_final, mp_final_snapshot = \
+            self._straight_run(mp, config)
+        assert final == mp_final
+        for k, checkpoint in enumerate(mp_checkpoints):
+            self._resume_and_check(inproc, config, k, checkpoint,
+                                   mp_final, mp_final_snapshot)
+
+
 class TestBatchedCheckpointResume:
     @pytest.mark.parametrize("fuzzer", ["afl", "bigmap"])
     def test_resume_replays_identically(self, fuzzer):

@@ -153,6 +153,42 @@ def test_conc_suppression(lint_tree):
     assert len(result.suppressed) == 1
 
 
+def test_extra_paths_cover_the_mp_backend_boundary(lint_tree):
+    """conc_worker_paths / conc_dispatch_paths extend the rule to a
+    second fork boundary (the shared-memory campaign backend): a
+    module-level global written by both the parent-side dispatch code
+    and the forked worker loop in the same module is flagged."""
+    config = LintConfig(
+        enable=("CONC001",),
+        conc_dispatch_paths=("repro/fuzzer/mp.py",),
+        conc_worker_paths=("repro/fuzzer/mp.py",),
+        conc_worker_roots=("execute_trial", "_worker_main",
+                           "_mp_worker_main"))
+    result = lint_tree({
+        "repro/fleet/dispatcher.py": '''
+            def dispatch(tid):
+                return tid
+        ''',
+        "repro/fleet/workers.py": '''
+            def execute_trial(tid):
+                return tid
+        ''',
+        "repro/fuzzer/mp.py": '''
+            _SEGMENTS = []
+
+            def _mp_worker_main(conn):
+                _SEGMENTS.append("worker")
+
+            def dispatch_front(batch):
+                _SEGMENTS.append("parent")
+        ''',
+    }, config)
+    (finding,) = result.active
+    assert finding.rule == "CONC001"
+    assert finding.path.endswith("mp.py")
+    assert "'_SEGMENTS'" in finding.message
+
+
 def test_fixed_through_the_store_passes(lint_tree):
     """Rerouting worker-side state through a parameterized store (no
     module-level container) clears the finding."""
